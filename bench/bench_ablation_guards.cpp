@@ -1,0 +1,144 @@
+// Ablations of Sieve's design choices (DESIGN.md §4):
+//   A. guard selection (Algorithm 1 over merged candidates) vs naive
+//      owner-equality guards only;
+//   B. bitmap-OR index unions on vs off (PostgreSQL-like profile);
+//   C. the Δ operator forced off (always inline) vs cost-based choice.
+
+#include "bench/harness.h"
+#include "sieve/guard_selection.h"
+
+using namespace sieve;         // NOLINT
+using namespace sieve::bench;  // NOLINT
+
+namespace {
+
+// SELECT-ALL time using an explicitly provided guarded expression, with
+// per-guard FORCE INDEX arms (MySQL-like path).
+double TimeWithGuards(TippersWorld* world, const GuardedExpression& ge,
+                      const QueryMetadata& md, bool force_inline) {
+  std::vector<std::string> arms;
+  for (const Guard& g : ge.guards) {
+    bool use_delta = force_inline ? false : g.use_delta;
+    ExprPtr arm = world->sieve->rewriter().GuardArmExpr(g, use_delta);
+    arms.push_back(StrFormat("SELECT * FROM WiFi_Dataset FORCE INDEX (%s) "
+                             "WHERE %s",
+                             g.guard.attr.c_str(), arm->ToSql().c_str()));
+  }
+  std::string sql = Join(arms, " UNION ");
+  return TimeQuery(
+      [&] { return world->db->ExecuteSql(sql, &md, kTimeoutSeconds); });
+}
+
+// Owner-only guarded expression: one guard per distinct owner (the trivial
+// candidate set, no merging, no non-owner attributes).
+GuardedExpression OwnerOnlyGuards(TippersWorld* world,
+                                  const std::vector<const Policy*>& policies,
+                                  const QueryMetadata& md) {
+  GuardedExpression ge;
+  ge.querier = md.querier;
+  ge.purpose = md.purpose;
+  ge.table_name = "WiFi_Dataset";
+  std::map<std::string, Guard> by_owner;
+  const TableEntry* entry = world->db->catalog().Find("WiFi_Dataset");
+  const Index* owner_index = entry->indexes.Find("owner");
+  for (const Policy* p : policies) {
+    std::string key = p->owner.ToString();
+    auto it = by_owner.find(key);
+    if (it == by_owner.end()) {
+      Guard g;
+      g.guard.attr = "owner";
+      g.guard.lo = p->owner;
+      g.guard.hi = p->owner;
+      g.guard.selectivity = owner_index->EstimateEqSelectivity(p->owner);
+      it = by_owner.emplace(key, std::move(g)).first;
+    }
+    it->second.guard.policy_ids.push_back(p->id);
+  }
+  for (auto& [key, guard] : by_owner) ge.guards.push_back(std::move(guard));
+  return ge;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: guard selection, bitmap-OR, Delta ===\n\n");
+  auto world = MakeTippersWorld();
+  if (world == nullptr) return 1;
+
+  auto top = world->TopQueriers("faculty", 1);
+  if (top.empty()) return 1;
+  QueryMetadata md{top[0].first, "Analytics"};
+  std::printf("querier %s with %zu policies\n\n", md.querier.c_str(),
+              top[0].second);
+
+  std::vector<const Policy*> policies =
+      world->sieve->policies().FilterByMetadata(md, "WiFi_Dataset",
+                                                &world->dataset.groups);
+
+  // --- A: Algorithm 1 vs owner-only guards ---
+  GuardedExpressionBuilder builder(world->db.get(), &world->sieve->policies(),
+                                   &world->sieve->cost_model(),
+                                   &world->dataset.groups);
+  auto full = builder.Build(md, "WiFi_Dataset");
+  if (!full.ok()) return 1;
+  // Give the full guards persisted ids so Δ arms resolve.
+  GuardedExpression full_copy = *full;
+  if (!world->sieve->guards().Put(std::move(full_copy)).ok()) return 1;
+  const GuardedExpression* stored =
+      world->sieve->guards().Get(md.querier, md.purpose, "WiFi_Dataset");
+
+  GuardedExpression naive = OwnerOnlyGuards(world.get(), policies, md);
+
+  double t_full = TimeWithGuards(world.get(), *stored, md, false);
+  double t_naive = TimeWithGuards(world.get(), naive, md, true);
+  TablePrinter a({"guard construction", "#guards", "time ms"});
+  a.AddRow({"Algorithm 1 (merged candidates)",
+            StrFormat("%zu", stored->guards.size()), FormatMs(t_full)});
+  a.AddRow({"owner-equality only",
+            StrFormat("%zu", naive.guards.size()), FormatMs(t_naive)});
+  a.Print();
+
+  // --- B: bitmap-OR on vs off (PostgreSQL-like profile) ---
+  std::printf("\n");
+  {
+    auto pg_on = MakeTippersWorld(EngineProfile::PostgresLike(), 0.5, 12);
+    EngineProfile no_bitmap = EngineProfile::PostgresLike();
+    no_bitmap.enable_bitmap_or = false;
+    auto pg_off = MakeTippersWorld(no_bitmap, 0.5, 12);
+    if (pg_on == nullptr || pg_off == nullptr) return 1;
+    auto pg_top = pg_on->TopQueriers("faculty", 1);
+    if (pg_top.empty()) return 1;
+    QueryMetadata pg_md{pg_top[0].first, "Analytics"};
+    double on_ms = TimeQuery([&] {
+      return pg_on->sieve->Execute("SELECT * FROM WiFi_Dataset", pg_md);
+    });
+    double off_ms = TimeQuery([&] {
+      return pg_off->sieve->Execute("SELECT * FROM WiFi_Dataset", pg_md);
+    });
+    TablePrinter b({"bitmap-OR index unions", "time ms"});
+    b.AddRow({"enabled (PostgreSQL behaviour)", FormatMs(on_ms)});
+    b.AddRow({"disabled", FormatMs(off_ms)});
+    b.Print();
+  }
+
+  // --- C: Δ forced off vs cost-based ---
+  std::printf("\n");
+  double t_auto = TimeWithGuards(world.get(), *stored, md, false);
+  double t_inline = TimeWithGuards(world.get(), *stored, md, true);
+  size_t delta_guards = 0;
+  for (const Guard& g : stored->guards) {
+    if (g.use_delta) ++delta_guards;
+  }
+  TablePrinter c({"partition evaluation", "delta guards", "time ms"});
+  c.AddRow({"cost-based inline/Delta", StrFormat("%zu", delta_guards),
+            FormatMs(t_auto)});
+  c.AddRow({"always inline", "0", FormatMs(t_inline)});
+  c.Print();
+
+  std::printf("\nExpected: Algorithm 1 needs far fewer guards than the naive "
+              "per-owner cover at\ncomparable or better latency; bitmap-OR "
+              "cuts duplicate index fetches; Delta only\nmatters when "
+              "partitions exceed the crossover (~%zu policies here).\n",
+              world->sieve->cost_model().DeltaCrossover());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Google-benchmark micro-benchmarks of the minidb substrate: the unit costs
+// (tuple read, predicate evaluation, UDF invocation) that the paper's cost
+// model calibrates (cr, ce, UDFinv).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "index/bptree.h"
+#include "index/histogram.h"
+#include "parser/parser.h"
+
+namespace sieve {
+namespace {
+
+void BM_BPTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(Value::Int(rng.Uniform(0, 1 << 20)), i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPTreePointLookup(benchmark::State& state) {
+  BPlusTree tree;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(Value::Int(rng.Uniform(0, 1 << 20)), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(Value::Int(rng.Uniform(0, 1 << 20))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPTreePointLookup);
+
+void BM_BPTreeRangeScan(benchmark::State& state) {
+  BPlusTree tree;
+  for (int i = 0; i < 200000; ++i) tree.Insert(Value::Int(i), i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.CountRange(
+        Value::Int(1000), true, Value::Int(1000 + state.range(0)), true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPTreeRangeScan)->Arg(100)->Arg(10000);
+
+void BM_HistogramEstimate(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Value> values;
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(Value::Int(rng.Uniform(0, 9999)));
+  }
+  auto h = EquiDepthHistogram::Build(std::move(values), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h.EstimateRange(Value::Int(100), true, Value::Int(500), true));
+  }
+}
+BENCHMARK(BM_HistogramEstimate);
+
+void BM_ParseQ1(benchmark::State& state) {
+  const std::string sql =
+      "SELECT * FROM WiFi_Dataset AS W WHERE W.wifiAP IN (1, 2, 3) AND "
+      "W.ts_time BETWEEN '09:00' AND '10:00' AND W.ts_date BETWEEN "
+      "'2019-09-25' AND '2019-12-12'";
+  for (auto _ : state) {
+    auto stmt = Parser::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseQ1);
+
+// Per-tuple costs on a real table: the constants behind cr / ce / UDFinv.
+class ScanFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (db_ != nullptr) return;
+    db_ = new Database();
+    (void)db_->CreateTable("t", Schema({{"id", DataType::kInt},
+                                        {"owner", DataType::kInt},
+                                        {"v", DataType::kInt}}));
+    Rng rng(4);
+    for (int i = 0; i < 100000; ++i) {
+      (void)db_->Insert("t", Row{Value::Int(i), Value::Int(rng.Uniform(0, 499)),
+                                 Value::Int(rng.Uniform(0, 99999))});
+    }
+    (void)db_->CreateIndex("t", "owner");
+    (void)db_->Analyze();
+    (void)db_->udfs().Register(
+        "noop", [](const std::vector<Value>&, UdfContext&) -> Result<Value> {
+          return Value::Bool(true);
+        });
+  }
+  static Database* db_;
+};
+Database* ScanFixture::db_ = nullptr;
+
+BENCHMARK_F(ScanFixture, SeqScan100k)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = db_->ExecuteSql("SELECT COUNT(*) FROM t USE INDEX () WHERE v >= 0");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+BENCHMARK_F(ScanFixture, IndexProbe)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = db_->ExecuteSql(
+        "SELECT COUNT(*) FROM t FORCE INDEX (owner) WHERE owner = 7");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK_F(ScanFixture, PolicyDnf32)(benchmark::State& state) {
+  std::string arms;
+  for (int i = 0; i < 32; ++i) {
+    if (i > 0) arms += " OR ";
+    arms += "(owner = " + std::to_string(1000 + i) + " AND v < 0)";
+  }
+  std::string sql = "SELECT COUNT(*) FROM t USE INDEX () WHERE " + arms;
+  for (auto _ : state) {
+    auto r = db_->ExecuteSql(sql);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000 * 32);
+}
+
+BENCHMARK_F(ScanFixture, UdfPerTuple)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = db_->ExecuteSql(
+        "SELECT COUNT(*) FROM t USE INDEX () WHERE noop() = true AND v < 0");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+}  // namespace
+}  // namespace sieve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+#ifndef SIEVE_BENCH_HARNESS_H_
+#define SIEVE_BENCH_HARNESS_H_
+
+// Shared infrastructure for the experiment harnesses that regenerate the
+// paper's tables and figures. Absolute milliseconds differ from the paper's
+// Xeon testbed; the shapes (who wins, crossovers, scaling trends) are the
+// reproduction target. See EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "engine/database.h"
+#include "sieve/middleware.h"
+#include "workload/baselines.h"
+#include "workload/mall.h"
+#include "workload/policy_gen.h"
+#include "workload/query_gen.h"
+#include "workload/tippers.h"
+
+namespace sieve::bench {
+
+/// The paper's experiment timeout (Section 7.2).
+inline constexpr double kTimeoutSeconds = 30.0;
+/// Warm repetitions per measurement (paper: 5; 3 keeps the suite quick).
+inline constexpr int kRepetitions = 1;
+
+/// Milliseconds or "TO".
+inline std::string FormatMs(double ms) {
+  if (ms < 0) return "TO";
+  return StrFormat("%.1f", ms);
+}
+
+/// Times `fn` (a callable returning Result<ResultSet>) over warm reps;
+/// returns average ms, or -1 on timeout.
+template <typename Fn>
+double TimeQuery(Fn&& fn) {
+  double total = 0;
+  for (int i = 0; i < kRepetitions; ++i) {
+    Timer t;
+    auto result = fn();
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kTimeout) return -1.0;
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return -2.0;
+    }
+    total += t.ElapsedMillis();
+  }
+  return total / kRepetitions;
+}
+
+/// The TIPPERS benchmark world: engine, dataset, middleware, baselines.
+struct TippersWorld {
+  std::unique_ptr<Database> db;
+  TippersDataset dataset;
+  std::unique_ptr<SieveMiddleware> sieve;
+  std::unique_ptr<Baselines> baselines;
+
+  /// Queriers of a profile sorted by how many policies name them
+  /// (descending), as (name, policy count).
+  std::vector<std::pair<std::string, size_t>> TopQueriers(
+      const std::string& profile, size_t k) const;
+};
+
+/// Builds the standard bench-scale TIPPERS world. `scale` multiplies the
+/// default sizes (1.0 ≈ 3,000 devices / 250k events / ~6k policies).
+inline std::unique_ptr<TippersWorld> MakeTippersWorld(
+    EngineProfile profile = EngineProfile::MySqlLike(), double scale = 1.0,
+    int advanced_policies = 40) {
+  auto world = std::make_unique<TippersWorld>();
+  world->db = std::make_unique<Database>(profile);
+  TippersConfig config;
+  config.num_devices = static_cast<int>(3000 * scale);
+  config.num_aps = 64;
+  config.num_days = 90;
+  config.target_events = static_cast<int>(250000 * scale);
+  config.num_groups = 28;
+  TippersGenerator generator(config);
+  auto ds = generator.Populate(world->db.get());
+  if (!ds.ok()) {
+    std::fprintf(stderr, "TIPPERS populate failed: %s\n",
+                 ds.status().ToString().c_str());
+    return nullptr;
+  }
+  world->dataset = std::move(ds).value();
+
+  SieveOptions options;
+  options.timeout_seconds = kTimeoutSeconds;
+  world->sieve = std::make_unique<SieveMiddleware>(
+      world->db.get(), &world->dataset.groups, options);
+  if (!world->sieve->Init().ok()) return nullptr;
+
+  PolicyGenConfig pg;
+  pg.advanced_policies_per_user = advanced_policies;
+  TippersPolicyGenerator policy_gen(pg);
+  auto count = policy_gen.Generate(world->dataset, &world->sieve->policies());
+  if (!count.ok()) {
+    std::fprintf(stderr, "policy gen failed: %s\n",
+                 count.status().ToString().c_str());
+    return nullptr;
+  }
+
+  world->baselines = std::make_unique<Baselines>(
+      world->db.get(), &world->sieve->policies(), &world->dataset.groups);
+  if (!world->baselines->Init().ok()) return nullptr;
+  return world;
+}
+
+inline std::vector<std::pair<std::string, size_t>> TippersWorld::TopQueriers(
+    const std::string& profile, size_t k) const {
+  std::vector<std::pair<std::string, size_t>> counted;
+  for (int device : dataset.DevicesWithProfile(profile)) {
+    std::string name = TippersDataset::UserName(device);
+    size_t n = 0;
+    for (const Policy& p : sieve->policies().policies()) {
+      if (EqualsIgnoreCase(p.querier, name)) ++n;
+    }
+    if (n > 0) counted.emplace_back(std::move(name), n);
+  }
+  std::sort(counted.begin(), counted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (counted.size() > k) counted.resize(k);
+  return counted;
+}
+
+/// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size() + 2);
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size() + 2);
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (size_t w : widths_) rule += std::string(w, '-') + "+";
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::string cell = cells[i];
+      cell.resize(widths_[i], ' ');
+      line += cell + "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sieve::bench
+
+#endif  // SIEVE_BENCH_HARNESS_H_

@@ -1,0 +1,56 @@
+#ifndef SIEVE_COMMON_EXEC_STATS_H_
+#define SIEVE_COMMON_EXEC_STATS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sieve {
+
+/// Execution counters collected by one query run. These are the
+/// hardware-independent observables the reproduction reports next to wall
+/// clock: the paper's cost model is driven by tuples read (cr), predicate
+/// evaluations (ce, α) and UDF invocation counts.
+struct ExecStats {
+  uint64_t tuples_scanned = 0;      ///< rows fetched by seq scans
+  uint64_t index_probe_rows = 0;    ///< rows fetched through index scans
+  uint64_t comparisons = 0;         ///< atomic predicate evaluations
+  uint64_t policy_evals = 0;        ///< full policy object-condition checks
+  uint64_t udf_invocations = 0;     ///< UDF calls (incl. the Δ operator)
+  uint64_t udf_policy_checks = 0;   ///< policies evaluated inside Δ
+  uint64_t subquery_execs = 0;      ///< correlated scalar subquery runs
+  uint64_t rows_output = 0;         ///< rows produced by the plan root
+
+  void Add(const ExecStats& other) {
+    tuples_scanned += other.tuples_scanned;
+    index_probe_rows += other.index_probe_rows;
+    comparisons += other.comparisons;
+    policy_evals += other.policy_evals;
+    udf_invocations += other.udf_invocations;
+    udf_policy_checks += other.udf_policy_checks;
+    subquery_execs += other.subquery_execs;
+    rows_output += other.rows_output;
+  }
+
+  std::string ToString() const;
+};
+
+inline std::string ExecStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scanned=%llu probed=%llu cmp=%llu pol=%llu udf=%llu "
+                "udf_pol=%llu subq=%llu out=%llu",
+                static_cast<unsigned long long>(tuples_scanned),
+                static_cast<unsigned long long>(index_probe_rows),
+                static_cast<unsigned long long>(comparisons),
+                static_cast<unsigned long long>(policy_evals),
+                static_cast<unsigned long long>(udf_invocations),
+                static_cast<unsigned long long>(udf_policy_checks),
+                static_cast<unsigned long long>(subquery_execs),
+                static_cast<unsigned long long>(rows_output));
+  return buf;
+}
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_EXEC_STATS_H_

@@ -1,0 +1,18 @@
+#ifndef SIEVE_COMMON_METADATA_H_
+#define SIEVE_COMMON_METADATA_H_
+
+#include <string>
+
+namespace sieve {
+
+/// Query metadata QM^i (Section 3.1): the identity of the querier and the
+/// declared purpose of the query. Sieve filters the policy corpus by this
+/// metadata before any rewriting happens.
+struct QueryMetadata {
+  std::string querier;
+  std::string purpose;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_METADATA_H_

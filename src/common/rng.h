@@ -1,0 +1,67 @@
+#ifndef SIEVE_COMMON_RNG_H_
+#define SIEVE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sieve {
+
+/// Deterministic PRNG used by all workload generators so experiments are
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(gen_);
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed pick in [0, n): low ranks are exponentially more
+  /// likely. Used to model device/AP affinity skew.
+  int64_t Skewed(int64_t n, double theta = 1.0) {
+    double u = NextDouble();
+    double x = std::pow(u, theta + 1.0);
+    int64_t idx = static_cast<int64_t>(x * static_cast<double>(n));
+    if (idx >= n) idx = n - 1;
+    return idx;
+  }
+
+  /// Gaussian sample.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Picks k distinct elements of [0, n).
+  std::vector<int64_t> Sample(int64_t n, int64_t k) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    for (int64_t i = 0; i < k && i < n; ++i) {
+      int64_t j = Uniform(i, n - 1);
+      std::swap(all[static_cast<size_t>(i)], all[static_cast<size_t>(j)]);
+    }
+    all.resize(static_cast<size_t>(k < n ? k : n));
+    return all;
+  }
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_RNG_H_

@@ -1,0 +1,126 @@
+#ifndef SIEVE_COMMON_STATUS_H_
+#define SIEVE_COMMON_STATUS_H_
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace sieve {
+
+/// Error categories used across the engine and middleware. Mirrors the
+/// Status idiom used by Arrow/RocksDB: no exceptions cross public APIs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kTimeout,
+  kAccessDenied,
+  kInternal,
+};
+
+/// Lightweight status object: success or (code, message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status AccessDenied(std::string msg) {
+    return Status(StatusCode::kAccessDenied, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Move-friendly; access to
+/// the value of an error result aborts in debug builds (undefined otherwise),
+/// so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, Result> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value)                                         // NOLINT(google-explicit-constructor)
+      : data_(std::in_place_type<T>, std::forward<U>(value)) {}
+  Result(Status status) : data_(std::move(status)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const { return std::get<Status>(data_); }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define SIEVE_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::sieve::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assign the value of a Result<T> expression to `lhs` or propagate its error.
+#define SIEVE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SIEVE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SIEVE_ASSIGN_OR_RETURN_NAME(a, b) SIEVE_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SIEVE_ASSIGN_OR_RETURN(lhs, expr) \
+  SIEVE_ASSIGN_OR_RETURN_IMPL(            \
+      SIEVE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_STATUS_H_

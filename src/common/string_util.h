@@ -1,0 +1,23 @@
+#ifndef SIEVE_COMMON_STRING_UTIL_H_
+#define SIEVE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sieve {
+
+/// Case-insensitive ASCII string equality (SQL keywords, identifiers).
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,30 @@
+#ifndef SIEVE_COMMON_TIMER_H_
+#define SIEVE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sieve {
+
+/// Monotonic stopwatch used by the benchmark harness and the cost-model
+/// calibration routines.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_TIMER_H_

@@ -1,0 +1,106 @@
+#ifndef SIEVE_COMMON_VALUE_H_
+#define SIEVE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sieve {
+
+/// Column data types supported by minidb. These cover the TIPPERS and Mall
+/// schemas used in the paper (int, varchar, time, date) plus double/bool for
+/// aggregates and predicates.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kTime,  // seconds since midnight, stored as int64
+  kDate,  // days since 1970-01-01, stored as int64
+};
+
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed cell value. Time and Date are int64 under the hood
+/// but retain their logical type so that formatting and histogram bucketing
+/// stay meaningful.
+class Value {
+ public:
+  Value() : type_(DataType::kNull), num_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v ? 1 : 0); }
+  static Value Int(int64_t v) { return Value(DataType::kInt, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = DataType::kDouble;
+    out.real_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = DataType::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+  /// Seconds since midnight [0, 86400).
+  static Value Time(int64_t seconds) { return Value(DataType::kTime, seconds); }
+  /// Days since the Unix epoch.
+  static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+
+  /// Parses "HH:MM" or "HH:MM:SS" into a Time value.
+  static Result<Value> ParseTime(const std::string& text);
+  /// Parses "YYYY-MM-DD" into a Date value.
+  static Result<Value> ParseDate(const std::string& text);
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  bool AsBool() const { return num_ != 0; }
+  int64_t AsInt() const { return num_; }
+  double AsDouble() const {
+    return type_ == DataType::kDouble ? real_ : static_cast<double>(num_);
+  }
+  const std::string& AsString() const { return str_; }
+
+  /// Underlying numeric payload for ordered types (int/time/date/bool).
+  int64_t raw() const { return num_; }
+
+  /// Three-way comparison. Null sorts before everything; values of different
+  /// type families compare by type id (stable but arbitrary), except the
+  /// int/double family which compares numerically.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  size_t Hash() const;
+
+  /// Human-readable rendering; Time as HH:MM:SS, Date as YYYY-MM-DD.
+  std::string ToString() const;
+  /// SQL literal rendering (strings/time/date quoted and escaped).
+  std::string ToSqlLiteral() const;
+
+ private:
+  Value(DataType type, int64_t num) : type_(type), num_(num) {}
+
+  DataType type_;
+  int64_t num_ = 0;
+  double real_ = 0.0;
+  std::string str_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_VALUE_H_

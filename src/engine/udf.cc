@@ -1,0 +1,25 @@
+#include "engine/udf.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+Status UdfRegistry::Register(const std::string& name, UdfFn fn) {
+  std::string key = ToLower(name);
+  if (fns_.count(key) > 0) {
+    return Status::AlreadyExists("UDF already registered: " + name);
+  }
+  fns_.emplace(std::move(key), std::move(fn));
+  return Status::OK();
+}
+
+bool UdfRegistry::Contains(const std::string& name) const {
+  return fns_.count(ToLower(name)) > 0;
+}
+
+const UdfFn* UdfRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sieve

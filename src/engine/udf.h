@@ -1,0 +1,48 @@
+#ifndef SIEVE_ENGINE_UDF_H_
+#define SIEVE_ENGINE_UDF_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/exec_stats.h"
+#include "common/metadata.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace sieve {
+
+class Database;
+
+/// Everything a UDF may look at when invoked for one tuple: the database
+/// (the Δ operator reads the policy tables through it), the tuple and its
+/// schema, the query metadata, and the stat counters.
+struct UdfContext {
+  Database* db = nullptr;
+  const Schema* schema = nullptr;
+  const Row* row = nullptr;
+  const QueryMetadata* metadata = nullptr;
+  ExecStats* stats = nullptr;
+};
+
+using UdfFn =
+    std::function<Result<Value>(const std::vector<Value>& args, UdfContext&)>;
+
+/// Name -> function registry, mirroring CREATE FUNCTION support in the
+/// DBMSs the paper targets. Invocations are counted per query so the cost
+/// model can calibrate UDF invocation overhead (Section 5.4).
+class UdfRegistry {
+ public:
+  Status Register(const std::string& name, UdfFn fn);
+  bool Contains(const std::string& name) const;
+  const UdfFn* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, UdfFn> fns_;  // keys lower-cased
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_ENGINE_UDF_H_

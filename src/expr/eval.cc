@@ -1,0 +1,151 @@
+#include "expr/eval.h"
+
+namespace sieve {
+
+namespace {
+
+bool CompareValues(CompareOp op, const Value& a, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Value> Evaluator::Eval(const Expr& expr, const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      int idx = ref.bound_index();
+      if (idx < 0) {
+        // Late binding: tolerate unbound refs by resolving on the fly.
+        auto* mutable_ref = const_cast<ColumnRefExpr*>(&ref);
+        SIEVE_RETURN_IF_ERROR(BindExpr(mutable_ref, *schema_));
+        idx = ref.bound_index();
+      }
+      if (static_cast<size_t>(idx) >= row.size()) {
+        return Status::ExecutionError("column index out of range: " +
+                                      ref.FullName());
+      }
+      return row[static_cast<size_t>(idx)];
+    }
+
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      SIEVE_ASSIGN_OR_RETURN(Value left, Eval(*cmp.left(), row));
+      SIEVE_ASSIGN_OR_RETURN(Value right, Eval(*cmp.right(), row));
+      if (stats_ != nullptr) ++stats_->comparisons;
+      if (left.is_null() || right.is_null()) return Value::Null();
+      return Value::Bool(CompareValues(cmp.op(), left, right));
+    }
+
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*between.input(), row));
+      SIEVE_ASSIGN_OR_RETURN(Value lo, Eval(*between.lo(), row));
+      SIEVE_ASSIGN_OR_RETURN(Value hi, Eval(*between.hi(), row));
+      if (stats_ != nullptr) ++stats_->comparisons;
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      return Value::Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0);
+    }
+
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*in.input(), row));
+      if (v.is_null()) return Value::Null();
+      // Constant IN lists are probed through a hash set (one comparison),
+      // the way production engines evaluate large literal lists.
+      if (const auto* set = in.ConstantSet()) {
+        if (stats_ != nullptr) ++stats_->comparisons;
+        bool found = set->count(v) > 0;
+        return Value::Bool(in.negated() ? !found : found);
+      }
+      bool found = false;
+      for (const auto& item : in.items()) {
+        SIEVE_ASSIGN_OR_RETURN(Value candidate, Eval(*item, row));
+        if (stats_ != nullptr) ++stats_->comparisons;
+        if (!candidate.is_null() && v.Compare(candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(in.negated() ? !found : found);
+    }
+
+    case ExprKind::kAnd: {
+      const auto& conj = static_cast<const AndExpr&>(expr);
+      for (const auto& child : conj.children()) {
+        SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*child, row));
+        if (v.is_null() || !v.AsBool()) return Value::Bool(false);
+      }
+      return Value::Bool(true);
+    }
+
+    case ExprKind::kOr: {
+      const auto& disj = static_cast<const OrExpr&>(expr);
+      for (const auto& child : disj.children()) {
+        SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*child, row));
+        if (!v.is_null() && v.AsBool()) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+
+    case ExprKind::kNot: {
+      const auto& neg = static_cast<const NotExpr&>(expr);
+      SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*neg.child(), row));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.AsBool());
+    }
+
+    case ExprKind::kUdfCall: {
+      const auto& call = static_cast<const UdfCallExpr&>(expr);
+      if (hooks_ == nullptr) {
+        return Status::ExecutionError("UDF call without engine hooks: " +
+                                      call.name());
+      }
+      std::vector<Value> args;
+      args.reserve(call.args().size());
+      for (const auto& arg : call.args()) {
+        SIEVE_ASSIGN_OR_RETURN(Value v, Eval(*arg, row));
+        args.push_back(std::move(v));
+      }
+      return hooks_->CallUdf(call.name(), args, *schema_, row, metadata_,
+                             stats_);
+    }
+
+    case ExprKind::kSubquery: {
+      const auto& sub = static_cast<const SubqueryExpr&>(expr);
+      if (hooks_ == nullptr) {
+        return Status::ExecutionError("subquery without engine hooks");
+      }
+      if (stats_ != nullptr) ++stats_->subquery_execs;
+      return hooks_->EvalScalarSubquery(sub.sql(), *schema_, row, metadata_,
+                                        stats_);
+    }
+  }
+  return Status::Internal("unhandled expression kind in Eval");
+}
+
+Result<bool> Evaluator::EvalPredicate(const Expr& expr, const Row& row) {
+  SIEVE_ASSIGN_OR_RETURN(Value v, Eval(expr, row));
+  if (v.is_null()) return false;
+  return v.AsBool();
+}
+
+}  // namespace sieve

@@ -1,0 +1,62 @@
+#ifndef SIEVE_EXPR_EVAL_H_
+#define SIEVE_EXPR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/exec_stats.h"
+#include "common/metadata.h"
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace sieve {
+
+/// Callbacks the evaluator needs from the engine: correlated scalar
+/// subqueries and UDF dispatch. Database implements this; keeping it an
+/// interface avoids a layering cycle between expr/ and engine/.
+class EngineHooks {
+ public:
+  virtual ~EngineHooks() = default;
+
+  /// Runs `sql` as a scalar subquery; `outer_schema`/`outer_row` provide the
+  /// correlation scope (columns not resolvable inside the subquery bind to
+  /// the outer row).
+  virtual Result<Value> EvalScalarSubquery(const std::string& sql,
+                                           const Schema& outer_schema,
+                                           const Row& outer_row,
+                                           const QueryMetadata* metadata,
+                                           ExecStats* stats) = 0;
+
+  /// Dispatches a UDF call.
+  virtual Result<Value> CallUdf(const std::string& name,
+                                const std::vector<Value>& args,
+                                const Schema& schema, const Row& row,
+                                const QueryMetadata* metadata,
+                                ExecStats* stats) = 0;
+};
+
+/// Expression evaluator over one row at a time. Short-circuits AND/OR (the
+/// paper's α models exactly this behaviour for policy disjunctions) and
+/// counts atomic comparisons into ExecStats.
+class Evaluator {
+ public:
+  Evaluator(const Schema* schema, EngineHooks* hooks,
+            const QueryMetadata* metadata, ExecStats* stats)
+      : schema_(schema), hooks_(hooks), metadata_(metadata), stats_(stats) {}
+
+  Result<Value> Eval(const Expr& expr, const Row& row);
+
+  /// Boolean evaluation; NULL is treated as false (SQL WHERE semantics).
+  Result<bool> EvalPredicate(const Expr& expr, const Row& row);
+
+ private:
+  const Schema* schema_;
+  EngineHooks* hooks_;
+  const QueryMetadata* metadata_;
+  ExecStats* stats_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_EXPR_EVAL_H_

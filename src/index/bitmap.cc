@@ -1,0 +1,44 @@
+#include "index/bitmap.h"
+
+#include <bit>
+
+namespace sieve {
+
+void Bitmap::Or(const Bitmap& other) {
+  if (other.universe_ > universe_) {
+    universe_ = other.universe_;
+    words_.resize((universe_ + 63) / 64, 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void Bitmap::And(const Bitmap& other) {
+  size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                 : other.words_.size();
+  for (size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<RowId> Bitmap::ToVector() const {
+  std::vector<RowId> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      out.push_back(static_cast<RowId>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace sieve

@@ -1,0 +1,265 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sieve {
+
+namespace {
+constexpr RowId kMinRow = std::numeric_limits<RowId>::min();
+}  // namespace
+
+struct BPlusTree::Node {
+  bool is_leaf = false;
+  InternalNode* parent = nullptr;
+  virtual ~Node() = default;
+
+ protected:
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::LeafNode : Node {
+  LeafNode() : Node(true) {}
+  std::vector<Entry> entries;
+  LeafNode* next = nullptr;
+};
+
+struct BPlusTree::InternalNode : Node {
+  InternalNode() : Node(false) {}
+  // keys[i] separates children[i] (strictly less) from children[i+1] (>=).
+  std::vector<Entry> keys;
+  std::vector<Node*> children;
+};
+
+BPlusTree::BPlusTree() { root_ = new LeafNode(); }
+
+BPlusTree::~BPlusTree() { FreeNode(root_); }
+
+void BPlusTree::FreeNode(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    for (Node* child : in->children) FreeNode(child);
+  }
+  delete node;
+}
+
+int BPlusTree::CompareEntry(const Value& a_key, RowId a_row, const Value& b_key,
+                            RowId b_row) {
+  int c = a_key.Compare(b_key);
+  if (c != 0) return c;
+  if (a_row != b_row) return a_row < b_row ? -1 : 1;
+  return 0;
+}
+
+BPlusTree::LeafNode* BPlusTree::FindLeaf(const Value& key, RowId row_id) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    // First separator strictly greater than the target composite.
+    size_t idx = 0;
+    size_t lo = 0, hi = in->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (CompareEntry(in->keys[mid].key, in->keys[mid].row_id, key, row_id) <=
+          0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    idx = lo;
+    node = in->children[idx];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+BPlusTree::LeafNode* BPlusTree::LeftmostLeaf() const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<InternalNode*>(node)->children.front();
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+void BPlusTree::Insert(const Value& key, RowId row_id) {
+  LeafNode* leaf = FindLeaf(key, row_id);
+  auto pos = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), Entry{key, row_id},
+      [](const Entry& a, const Entry& b) {
+        return CompareEntry(a.key, a.row_id, b.key, b.row_id) < 0;
+      });
+  leaf->entries.insert(pos, Entry{key, row_id});
+  ++size_;
+
+  if (leaf->entries.size() <= kLeafCapacity) return;
+
+  // Split the leaf.
+  auto* right = new LeafNode();
+  size_t mid = leaf->entries.size() / 2;
+  right->entries.assign(leaf->entries.begin() + static_cast<long>(mid),
+                        leaf->entries.end());
+  leaf->entries.resize(mid);
+  right->next = leaf->next;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->entries.front().key,
+                   right->entries.front().row_id, right);
+}
+
+void BPlusTree::InsertIntoParent(Node* left, const Value& sep_key,
+                                 RowId sep_row, Node* right) {
+  InternalNode* parent = left->parent;
+  if (parent == nullptr) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(Entry{sep_key, sep_row});
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    ++height_;
+    return;
+  }
+
+  // Insert the separator right after `left`'s slot.
+  size_t idx = 0;
+  while (idx < parent->children.size() && parent->children[idx] != left) ++idx;
+  parent->keys.insert(parent->keys.begin() + static_cast<long>(idx),
+                      Entry{sep_key, sep_row});
+  parent->children.insert(parent->children.begin() + static_cast<long>(idx) + 1,
+                          right);
+  right->parent = parent;
+
+  if (parent->keys.size() <= kInternalCapacity) return;
+
+  // Split the internal node: middle key moves up.
+  auto* new_right = new InternalNode();
+  size_t mid = parent->keys.size() / 2;
+  Entry up = parent->keys[mid];
+  new_right->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
+                         parent->keys.end());
+  new_right->children.assign(
+      parent->children.begin() + static_cast<long>(mid) + 1,
+      parent->children.end());
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  for (Node* child : new_right->children) child->parent = new_right;
+  InsertIntoParent(parent, up.key, up.row_id, new_right);
+}
+
+bool BPlusTree::Erase(const Value& key, RowId row_id) {
+  LeafNode* leaf = FindLeaf(key, row_id);
+  auto pos = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), Entry{key, row_id},
+      [](const Entry& a, const Entry& b) {
+        return CompareEntry(a.key, a.row_id, b.key, b.row_id) < 0;
+      });
+  if (pos == leaf->entries.end() ||
+      CompareEntry(pos->key, pos->row_id, key, row_id) != 0) {
+    return false;
+  }
+  leaf->entries.erase(pos);
+  --size_;
+  return true;
+}
+
+void BPlusTree::ScanRange(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive,
+    const std::function<bool(const Value&, RowId)>& visitor) const {
+  const LeafNode* leaf;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo, kMinRow);
+  } else {
+    leaf = LeftmostLeaf();
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (lo.has_value()) {
+        int c = e.key.Compare(*lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = e.key.Compare(*hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      if (!visitor(e.key, e.row_id)) return;
+    }
+  }
+}
+
+std::vector<RowId> BPlusTree::Lookup(const Value& key) const {
+  return LookupRange(key, true, key, true);
+}
+
+std::vector<RowId> BPlusTree::LookupRange(const std::optional<Value>& lo,
+                                          bool lo_inclusive,
+                                          const std::optional<Value>& hi,
+                                          bool hi_inclusive) const {
+  std::vector<RowId> out;
+  ScanRange(lo, lo_inclusive, hi, hi_inclusive,
+            [&out](const Value&, RowId row) {
+              out.push_back(row);
+              return true;
+            });
+  return out;
+}
+
+size_t BPlusTree::CountRange(const std::optional<Value>& lo, bool lo_inclusive,
+                             const std::optional<Value>& hi,
+                             bool hi_inclusive) const {
+  size_t n = 0;
+  ScanRange(lo, lo_inclusive, hi, hi_inclusive, [&n](const Value&, RowId) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool BPlusTree::CheckNode(const Node* node, int depth, int leaf_depth) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    for (size_t i = 1; i < leaf->entries.size(); ++i) {
+      if (CompareEntry(leaf->entries[i - 1].key, leaf->entries[i - 1].row_id,
+                       leaf->entries[i].key, leaf->entries[i].row_id) > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  const auto* in = static_cast<const InternalNode*>(node);
+  if (in->children.size() != in->keys.size() + 1) return false;
+  for (size_t i = 1; i < in->keys.size(); ++i) {
+    if (CompareEntry(in->keys[i - 1].key, in->keys[i - 1].row_id,
+                     in->keys[i].key, in->keys[i].row_id) > 0) {
+      return false;
+    }
+  }
+  for (const Node* child : in->children) {
+    if (child->parent != node) return false;
+    if (!CheckNode(child, depth + 1, leaf_depth)) return false;
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (!CheckNode(root_, 1, height_)) return false;
+  // Leaf chain must be globally sorted and cover exactly size_ entries.
+  size_t n = 0;
+  const LeafNode* leaf = LeftmostLeaf();
+  const Entry* prev = nullptr;
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (prev != nullptr &&
+          CompareEntry(prev->key, prev->row_id, e.key, e.row_id) > 0) {
+        return false;
+      }
+      prev = &e;
+      ++n;
+    }
+  }
+  return n == size_;
+}
+
+}  // namespace sieve

@@ -1,0 +1,96 @@
+#ifndef SIEVE_INDEX_BPTREE_H_
+#define SIEVE_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace sieve {
+
+/// In-memory B+-tree mapping (Value key, RowId) -> RowId. Duplicate keys are
+/// supported by making the RowId part of the composite key. Leaves are linked
+/// for efficient range scans; this is the access path behind IndexRangeScan
+/// and the bitmap-OR scans that reproduce PostgreSQL's behaviour in the
+/// paper's Experiments 4-5.
+class BPlusTree {
+ public:
+  /// Composite entry stored in leaves.
+  struct Entry {
+    Value key;
+    RowId row_id;
+  };
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  void Insert(const Value& key, RowId row_id);
+
+  /// Removes one (key,row_id) entry. Returns true when found. Underflow is
+  /// tolerated (no rebalance on delete); lookups stay correct, which is the
+  /// standard trade-off for append-mostly analytic stores.
+  bool Erase(const Value& key, RowId row_id);
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Visits every entry with key in the given (optionally open) range in
+  /// key order. `visitor` returns false to stop early.
+  void ScanRange(const std::optional<Value>& lo, bool lo_inclusive,
+                 const std::optional<Value>& hi, bool hi_inclusive,
+                 const std::function<bool(const Value&, RowId)>& visitor) const;
+
+  /// Convenience: collects row ids for an equality probe.
+  std::vector<RowId> Lookup(const Value& key) const;
+
+  /// Convenience: collects row ids in a closed/open range.
+  std::vector<RowId> LookupRange(const std::optional<Value>& lo,
+                                 bool lo_inclusive,
+                                 const std::optional<Value>& hi,
+                                 bool hi_inclusive) const;
+
+  /// Number of entries with key in the given range (exact; used by tests and
+  /// to validate histogram estimates).
+  size_t CountRange(const std::optional<Value>& lo, bool lo_inclusive,
+                    const std::optional<Value>& hi, bool hi_inclusive) const;
+
+  /// Validates structural invariants (sorted keys, balanced height, separator
+  /// correctness). Used by property tests; returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  static constexpr int kLeafCapacity = 64;
+  static constexpr int kInternalCapacity = 64;
+
+  // Returns -1/0/1 comparing (key,row) composite entries.
+  static int CompareEntry(const Value& a_key, RowId a_row, const Value& b_key,
+                          RowId b_row);
+
+  LeafNode* FindLeaf(const Value& key, RowId row_id) const;
+  LeafNode* LeftmostLeaf() const;
+
+  void InsertIntoParent(Node* left, const Value& sep_key, RowId sep_row,
+                        Node* right);
+
+  bool CheckNode(const Node* node, int depth, int leaf_depth) const;
+  void FreeNode(Node* node);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_INDEX_BPTREE_H_

@@ -1,0 +1,127 @@
+#include "index/histogram.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<Value> values,
+                                             int num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  h.total_count_ = values.size();
+
+  size_t distinct_total = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i].Compare(values[i - 1]) != 0) ++distinct_total;
+  }
+  h.distinct_count_ = distinct_total;
+
+  if (num_buckets < 1) num_buckets = 1;
+  size_t depth = (values.size() + static_cast<size_t>(num_buckets) - 1) /
+                 static_cast<size_t>(num_buckets);
+  if (depth == 0) depth = 1;
+
+  size_t i = 0;
+  while (i < values.size()) {
+    Bucket b;
+    b.lo = values[i];
+    size_t end = std::min(values.size(), i + depth);
+    // Extend the bucket so one value never straddles two buckets; this keeps
+    // equality estimates consistent.
+    while (end < values.size() &&
+           values[end].Compare(values[end - 1]) == 0) {
+      ++end;
+    }
+    b.hi = values[end - 1];
+    b.count = end - i;
+    b.distinct = 1;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (values[j].Compare(values[j - 1]) != 0) ++b.distinct;
+    }
+    h.buckets_.push_back(std::move(b));
+    i = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::EstimateEq(const Value& v) const {
+  if (total_count_ == 0) return 0.0;
+  for (const Bucket& b : buckets_) {
+    if (v.Compare(b.lo) >= 0 && v.Compare(b.hi) <= 0) {
+      // Uniform-within-bucket assumption over distinct values.
+      double per_value =
+          static_cast<double>(b.count) / static_cast<double>(b.distinct);
+      return per_value / static_cast<double>(total_count_);
+    }
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::BucketFractionBelow(const Bucket& bucket,
+                                               const Value& v,
+                                               bool inclusive) const {
+  if (v.Compare(bucket.lo) < 0) return 0.0;
+  if (v.Compare(bucket.hi) > 0 || (inclusive && v.Compare(bucket.hi) == 0)) {
+    return 1.0;
+  }
+  // Numeric interpolation when possible; otherwise assume the midpoint.
+  DataType t = bucket.lo.type();
+  if ((t == DataType::kInt || t == DataType::kTime || t == DataType::kDate ||
+       t == DataType::kDouble) &&
+      v.type() != DataType::kString) {
+    double lo = bucket.lo.AsDouble();
+    double hi = bucket.hi.AsDouble();
+    if (hi > lo) {
+      double f = (v.AsDouble() - lo) / (hi - lo);
+      if (f < 0.0) f = 0.0;
+      if (f > 1.0) f = 1.0;
+      return f;
+    }
+    // Single-point bucket.
+    return inclusive && v.Compare(bucket.lo) >= 0 ? 1.0 : 0.0;
+  }
+  return 0.5;
+}
+
+double EquiDepthHistogram::EstimateRange(const std::optional<Value>& lo,
+                                         bool lo_inclusive,
+                                         const std::optional<Value>& hi,
+                                         bool hi_inclusive) const {
+  if (total_count_ == 0) return 0.0;
+  double selected = 0.0;
+  for (const Bucket& b : buckets_) {
+    double above_lo = 1.0;
+    if (lo.has_value()) {
+      // Fraction of bucket >= lo (or > lo when exclusive).
+      above_lo = 1.0 - BucketFractionBelow(b, *lo, /*inclusive=*/!lo_inclusive);
+    }
+    double below_hi = 1.0;
+    if (hi.has_value()) {
+      below_hi = BucketFractionBelow(b, *hi, /*inclusive=*/hi_inclusive);
+    }
+    double f = above_lo + below_hi - 1.0;
+    if (f > 0.0) selected += f * static_cast<double>(b.count);
+  }
+  double sel = selected / static_cast<double>(total_count_);
+  if (sel < 0.0) sel = 0.0;
+  if (sel > 1.0) sel = 1.0;
+  return sel;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StrFormat("histogram{n=%zu distinct=%zu buckets=[",
+                              total_count_, distinct_count_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("[%s..%s]x%zu", buckets_[i].lo.ToString().c_str(),
+                     buckets_[i].hi.ToString().c_str(), buckets_[i].count);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sieve

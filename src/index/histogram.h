@@ -1,0 +1,57 @@
+#ifndef SIEVE_INDEX_HISTOGRAM_H_
+#define SIEVE_INDEX_HISTOGRAM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sieve {
+
+/// Equi-depth histogram over one column, built from all column values (or a
+/// sample). This is the statistics substrate behind the paper's ρ(pred)
+/// cardinality estimates (Section 4's cost model footnote: "estimated using
+/// histograms maintained by the database").
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds the histogram with roughly `num_buckets` equi-depth buckets.
+  /// `values` need not be sorted; a copy is sorted internally.
+  static EquiDepthHistogram Build(std::vector<Value> values, int num_buckets);
+
+  size_t total_count() const { return total_count_; }
+  size_t distinct_count() const { return distinct_count_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Estimated fraction of rows with column == v.
+  double EstimateEq(const Value& v) const;
+
+  /// Estimated fraction of rows with column in the (optionally open) range.
+  double EstimateRange(const std::optional<Value>& lo, bool lo_inclusive,
+                       const std::optional<Value>& hi, bool hi_inclusive) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    Value lo;              // inclusive lower bound
+    Value hi;              // inclusive upper bound
+    size_t count = 0;      // rows in bucket
+    size_t distinct = 0;   // distinct values in bucket
+  };
+
+  // Fraction of `bucket` estimated to lie strictly below `v` (or up to and
+  // including it when `inclusive`).
+  double BucketFractionBelow(const Bucket& bucket, const Value& v,
+                             bool inclusive) const;
+
+  std::vector<Bucket> buckets_;
+  size_t total_count_ = 0;
+  size_t distinct_count_ = 0;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_INDEX_HISTOGRAM_H_

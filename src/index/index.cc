@@ -1,0 +1,87 @@
+#include "index/index.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+void Index::RefreshStatistics(int num_buckets) {
+  std::vector<Value> values;
+  values.reserve(tree_.size());
+  tree_.ScanRange(std::nullopt, true, std::nullopt, true,
+                  [&values](const Value& key, RowId) {
+                    values.push_back(key);
+                    return true;
+                  });
+  histogram_ = EquiDepthHistogram::Build(std::move(values), num_buckets);
+}
+
+double Index::EstimateRangeSelectivity(const std::optional<Value>& lo,
+                                       bool lo_inclusive,
+                                       const std::optional<Value>& hi,
+                                       bool hi_inclusive) const {
+  return histogram_.EstimateRange(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+double Index::EstimateEqSelectivity(const Value& v) const {
+  return histogram_.EstimateEq(v);
+}
+
+Status IndexManager::CreateIndex(const Table& table,
+                                 const std::string& column) {
+  if (Find(column) != nullptr) {
+    return Status::AlreadyExists("index already exists on column " + column);
+  }
+  int idx = table.schema().FindColumn(column);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat("cannot index %s.%s: no such column",
+                                      table.name().c_str(), column.c_str()));
+  }
+  auto index = std::make_unique<Index>(
+      StrFormat("idx_%s_%s", table.name().c_str(), column.c_str()), column,
+      static_cast<size_t>(idx));
+  table.ForEach([&index, idx](RowId id, const Row& row) {
+    index->InsertEntry(row[static_cast<size_t>(idx)], id);
+  });
+  index->RefreshStatistics();
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Index* IndexManager::Find(const std::string& column) {
+  for (auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->column(), column)) return index.get();
+  }
+  return nullptr;
+}
+
+const Index* IndexManager::Find(const std::string& column) const {
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->column(), column)) return index.get();
+  }
+  return nullptr;
+}
+
+void IndexManager::OnInsert(const Row& row, RowId id) {
+  for (auto& index : indexes_) {
+    index->InsertEntry(row[index->column_idx()], id);
+  }
+}
+
+void IndexManager::OnDelete(const Row& row, RowId id) {
+  for (auto& index : indexes_) {
+    index->EraseEntry(row[index->column_idx()], id);
+  }
+}
+
+void IndexManager::RefreshStatistics(int num_buckets) {
+  for (auto& index : indexes_) index->RefreshStatistics(num_buckets);
+}
+
+std::vector<std::string> IndexManager::IndexedColumns() const {
+  std::vector<std::string> out;
+  out.reserve(indexes_.size());
+  for (const auto& index : indexes_) out.push_back(index->column());
+  return out;
+}
+
+}  // namespace sieve

@@ -1,0 +1,87 @@
+#ifndef SIEVE_INDEX_INDEX_H_
+#define SIEVE_INDEX_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bptree.h"
+#include "index/histogram.h"
+#include "storage/table.h"
+
+namespace sieve {
+
+/// Secondary index over one column of a table, backed by a B+-tree, with an
+/// attached equi-depth histogram for cardinality estimation.
+class Index {
+ public:
+  Index(std::string name, std::string column, size_t column_idx)
+      : name_(std::move(name)),
+        column_(std::move(column)),
+        column_idx_(column_idx) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& column() const { return column_; }
+  size_t column_idx() const { return column_idx_; }
+
+  void InsertEntry(const Value& key, RowId row) { tree_.Insert(key, row); }
+  bool EraseEntry(const Value& key, RowId row) { return tree_.Erase(key, row); }
+
+  const BPlusTree& tree() const { return tree_; }
+
+  /// Rebuilds the histogram from the current index contents.
+  void RefreshStatistics(int num_buckets = 64);
+
+  const EquiDepthHistogram& histogram() const { return histogram_; }
+
+  /// Estimated selectivity (fraction of rows) of `column op value-range`.
+  double EstimateRangeSelectivity(const std::optional<Value>& lo,
+                                  bool lo_inclusive,
+                                  const std::optional<Value>& hi,
+                                  bool hi_inclusive) const;
+  double EstimateEqSelectivity(const Value& v) const;
+
+ private:
+  std::string name_;
+  std::string column_;
+  size_t column_idx_;
+  BPlusTree tree_;
+  EquiDepthHistogram histogram_;
+};
+
+/// All indexes of one table. The paper assumes every relation has an index
+/// on `owner` plus whatever other attributes the deployment indexes; this
+/// manager answers "is attribute X indexed" during guard generation.
+class IndexManager {
+ public:
+  /// Creates an index on `column` (one index per column). The backing table
+  /// is scanned to populate the new index.
+  Status CreateIndex(const Table& table, const std::string& column);
+
+  /// Index on `column`, or nullptr.
+  Index* Find(const std::string& column);
+  const Index* Find(const std::string& column) const;
+
+  bool HasIndex(const std::string& column) const {
+    return Find(column) != nullptr;
+  }
+
+  /// Maintenance hooks invoked by the engine on DML.
+  void OnInsert(const Row& row, RowId id);
+  void OnDelete(const Row& row, RowId id);
+
+  /// Rebuild histograms on every index (ANALYZE).
+  void RefreshStatistics(int num_buckets = 64);
+
+  std::vector<std::string> IndexedColumns() const;
+
+ private:
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_INDEX_INDEX_H_

@@ -1,0 +1,161 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone:
+      return "";
+    case AggFn::kCount:
+    case AggFn::kCountStar:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+std::string SelectItem::ToSql() const {
+  std::string out;
+  if (agg == AggFn::kCountStar) {
+    out = "COUNT(*)";
+  } else if (agg != AggFn::kNone) {
+    out = std::string(AggFnName(agg)) + "(" + expr->ToSql() + ")";
+  } else {
+    out = expr->ToSql();
+  }
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (agg == AggFn::kCountStar) return "count";
+  if (agg != AggFn::kNone) {
+    return ToLower(AggFnName(agg)) + "_" + expr->ToSql();
+  }
+  return expr->ToSql();
+}
+
+std::string IndexHint::ToSql() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "";
+    case Kind::kForceIndex:
+      return " FORCE INDEX (" + Join(columns, ", ") + ")";
+    case Kind::kIgnoreAllIndexes:
+      return " USE INDEX ()";
+  }
+  return "";
+}
+
+std::string TableRef::ToSql() const {
+  std::string out;
+  if (subquery != nullptr) {
+    out = "(" + subquery->ToSql() + ")";
+  } else {
+    out = table_name;
+  }
+  if (!alias.empty()) out += " AS " + alias;
+  out += hint.ToSql();
+  return out;
+}
+
+bool SelectStmt::HasAggregates() const {
+  for (const auto& item : items) {
+    if (item.agg != AggFn::kNone) return true;
+  }
+  return false;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string out;
+  if (!ctes.empty()) {
+    out += "WITH ";
+    for (size_t i = 0; i < ctes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ctes[i].name + " AS (" + ctes[i].query->ToSql() + ")";
+    }
+    out += " ";
+  }
+  out += "SELECT ";
+  if (select_star) {
+    out += "*";
+  } else {
+    std::vector<std::string> parts;
+    parts.reserve(items.size());
+    for (const auto& item : items) parts.push_back(item.ToSql());
+    out += Join(parts, ", ");
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    std::vector<std::string> parts;
+    parts.reserve(from.size());
+    for (const auto& ref : from) parts.push_back(ref.ToSql());
+    out += Join(parts, ", ");
+  }
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    std::vector<std::string> parts;
+    parts.reserve(group_by.size());
+    for (const auto& g : group_by) parts.push_back(g->ToSql());
+    out += Join(parts, ", ");
+  }
+  if (union_next != nullptr) {
+    switch (set_op) {
+      case SetOpKind::kUnion:
+        out += " UNION ";
+        break;
+      case SetOpKind::kUnionAll:
+        out += " UNION ALL ";
+        break;
+      case SetOpKind::kExcept:
+        out += " EXCEPT ";
+        break;
+    }
+    out += union_next->ToSql();
+  }
+  return out;
+}
+
+SelectStmtPtr SelectStmt::Clone() const {
+  auto out = std::make_shared<SelectStmt>();
+  out->ctes.reserve(ctes.size());
+  for (const auto& cte : ctes) {
+    out->ctes.push_back({cte.name, cte.query->Clone()});
+  }
+  out->select_star = select_star;
+  out->items.reserve(items.size());
+  for (const auto& item : items) {
+    SelectItem copy = item;
+    if (copy.expr != nullptr) copy.expr = copy.expr->Clone();
+    out->items.push_back(std::move(copy));
+  }
+  out->from.reserve(from.size());
+  for (const auto& ref : from) {
+    TableRef copy;
+    copy.table_name = ref.table_name;
+    copy.alias = ref.alias;
+    copy.hint = ref.hint;
+    if (ref.subquery != nullptr) copy.subquery = ref.subquery->Clone();
+    out->from.push_back(std::move(copy));
+  }
+  if (where != nullptr) out->where = where->Clone();
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (union_next != nullptr) out->union_next = union_next->Clone();
+  out->union_all = union_all;
+  out->set_op = set_op;
+  return out;
+}
+
+}  // namespace sieve

@@ -1,0 +1,107 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace sieve {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lexer::Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t begin = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tokens.push_back(
+          {TokenType::kIdentifier, sql.substr(begin, i - begin), begin, i});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // "1..2" or a trailing dot would be malformed; a single dot between
+          // digits makes it a double literal.
+          if (is_double) break;
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            break;
+          }
+          is_double = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_double ? TokenType::kDouble : TokenType::kInteger,
+                        sql.substr(begin, i - begin), begin, i});
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == quote) {
+          if (i + 1 < n && sql[i + 1] == quote) {
+            body += quote;
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(begin));
+      }
+      tokens.push_back({TokenType::kString, body, begin, i});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        i += 2;
+        tokens.push_back({TokenType::kSymbol, two, begin, i});
+        continue;
+      }
+    }
+    if (std::string("=<>(),.*;+-/").find(c) != std::string::npos) {
+      ++i;
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), begin, i});
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n, n});
+  return tokens;
+}
+
+}  // namespace sieve

@@ -1,0 +1,36 @@
+#ifndef SIEVE_PARSER_LEXER_H_
+#define SIEVE_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sieve {
+
+enum class TokenType {
+  kIdentifier,  // keywords are identifiers; the parser matches them
+  kInteger,
+  kDouble,
+  kString,   // quoted '...'
+  kSymbol,   // operators and punctuation: = != <> < <= > >= ( ) , . * ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/symbol text or unquoted string body
+  size_t begin = 0;   // byte offset in the source (for subquery slicing)
+  size_t end = 0;     // one past the last byte
+};
+
+/// Tokenizes a SQL string. Keeps source offsets so the parser can slice out
+/// the raw text of nested subqueries.
+class Lexer {
+ public:
+  static Result<std::vector<Token>> Tokenize(const std::string& sql);
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PARSER_LEXER_H_

@@ -1,0 +1,442 @@
+#include "parser/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+namespace {
+
+bool IsAggName(const std::string& name, AggFn* fn) {
+  if (EqualsIgnoreCase(name, "count")) {
+    *fn = AggFn::kCount;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "sum")) {
+    *fn = AggFn::kSum;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "avg")) {
+    *fn = AggFn::kAvg;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "min")) {
+    *fn = AggFn::kMin;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "max")) {
+    *fn = AggFn::kMax;
+    return true;
+  }
+  return false;
+}
+
+// Keywords that terminate an expression / cannot start a primary.
+bool IsReservedKeyword(const std::string& word) {
+  static const char* kReserved[] = {
+      "select", "from",  "where", "group",  "by",    "union", "all",
+      "and",    "or",    "not",   "in",     "between", "as",  "with",
+      "force",  "use",   "index", "join",   "on",     "except", "minus",
+  };
+  for (const char* kw : kReserved) {
+    if (EqualsIgnoreCase(word, kw)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<SelectStmtPtr> Parser::Parse(const std::string& sql) {
+  SIEVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(sql));
+  Parser parser(&sql, std::move(tokens));
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, parser.ParseSelectStmt());
+  parser.MatchSymbol(";");
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after statement: '" +
+                              parser.Peek().text + "'");
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& text) {
+  SIEVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(text));
+  Parser parser(&text, std::move(tokens));
+  SIEVE_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseOr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after expression: '" +
+                              parser.Peek().text + "'");
+  }
+  return expr;
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::PeekKeyword(const std::string& kw, size_t ahead) const {
+  const Token& t = Peek(ahead);
+  return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+}
+
+bool Parser::MatchKeyword(const std::string& kw) {
+  if (PeekKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const std::string& kw) {
+  if (!MatchKeyword(kw)) {
+    return Status::ParseError("expected " + kw + " but found '" + Peek().text +
+                              "'");
+  }
+  return Status::OK();
+}
+
+bool Parser::MatchSymbol(const std::string& sym) {
+  const Token& t = Peek();
+  if (t.type == TokenType::kSymbol && t.text == sym) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectSymbol(const std::string& sym) {
+  if (!MatchSymbol(sym)) {
+    return Status::ParseError("expected '" + sym + "' but found '" +
+                              Peek().text + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ParseIdentifier() {
+  const Token& t = Peek();
+  if (t.type != TokenType::kIdentifier) {
+    return Status::ParseError("expected identifier but found '" + t.text + "'");
+  }
+  Advance();
+  return t.text;
+}
+
+Result<size_t> Parser::FindMatchingParen(size_t open_idx) const {
+  int depth = 0;
+  for (size_t i = open_idx; i < tokens_.size(); ++i) {
+    const Token& t = tokens_[i];
+    if (t.type == TokenType::kSymbol) {
+      if (t.text == "(") ++depth;
+      if (t.text == ")") {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+  }
+  return Status::ParseError("unbalanced parentheses");
+}
+
+Result<SelectStmtPtr> Parser::ParseSelectStmt() {
+  auto stmt = std::make_shared<SelectStmt>();
+  if (MatchKeyword("with")) {
+    do {
+      CommonTableExpr cte;
+      SIEVE_ASSIGN_OR_RETURN(cte.name, ParseIdentifier());
+      SIEVE_RETURN_IF_ERROR(ExpectKeyword("as"));
+      SIEVE_RETURN_IF_ERROR(ExpectSymbol("("));
+      SIEVE_ASSIGN_OR_RETURN(cte.query, ParseSelectStmt());
+      SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt->ctes.push_back(std::move(cte));
+    } while (MatchSymbol(","));
+  }
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr core, ParseSelectCore());
+  core->ctes = std::move(stmt->ctes);
+  // Set-operation chain: UNION [ALL] | EXCEPT | MINUS.
+  SelectStmt* tail = core.get();
+  while (PeekKeyword("union") || PeekKeyword("except") ||
+         PeekKeyword("minus")) {
+    SetOpKind op;
+    if (MatchKeyword("union")) {
+      op = MatchKeyword("all") ? SetOpKind::kUnionAll : SetOpKind::kUnion;
+    } else {
+      Advance();  // EXCEPT or MINUS
+      op = SetOpKind::kExcept;
+    }
+    SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr next, ParseSelectCore());
+    tail->union_next = next;
+    tail->set_op = op;
+    tail->union_all = op == SetOpKind::kUnionAll;
+    tail = next.get();
+  }
+  return core;
+}
+
+Result<SelectStmtPtr> Parser::ParseSelectCore() {
+  SIEVE_RETURN_IF_ERROR(ExpectKeyword("select"));
+  auto stmt = std::make_shared<SelectStmt>();
+  if (MatchSymbol("*")) {
+    stmt->select_star = true;
+  } else {
+    do {
+      SIEVE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("from")) {
+    do {
+      SIEVE_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("where")) {
+    SIEVE_ASSIGN_OR_RETURN(stmt->where, ParseOr());
+  }
+  if (PeekKeyword("group")) {
+    Advance();
+    SIEVE_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      SIEVE_ASSIGN_OR_RETURN(ExprPtr col, ParsePrimary());
+      if (col->kind() != ExprKind::kColumnRef) {
+        return Status::ParseError("GROUP BY supports column references only");
+      }
+      stmt->group_by.push_back(std::move(col));
+    } while (MatchSymbol(","));
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Aggregate function?
+  const Token& t = Peek();
+  AggFn fn;
+  if (t.type == TokenType::kIdentifier && IsAggName(t.text, &fn) &&
+      Peek(1).type == TokenType::kSymbol && Peek(1).text == "(") {
+    Advance();  // function name
+    Advance();  // '('
+    if (fn == AggFn::kCount && MatchSymbol("*")) {
+      item.agg = AggFn::kCountStar;
+    } else {
+      item.agg = fn;
+      SIEVE_ASSIGN_OR_RETURN(item.expr, ParseOr());
+    }
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  } else {
+    SIEVE_ASSIGN_OR_RETURN(item.expr, ParseOr());
+  }
+  if (MatchKeyword("as")) {
+    SIEVE_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchSymbol("(")) {
+    SIEVE_ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt());
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  } else {
+    SIEVE_ASSIGN_OR_RETURN(ref.table_name, ParseIdentifier());
+  }
+  if (MatchKeyword("as")) {
+    SIEVE_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier &&
+             !IsReservedKeyword(Peek().text)) {
+    // Bare alias: "WiFi_Dataset W".
+    SIEVE_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+  }
+  // Index hints.
+  if (PeekKeyword("force")) {
+    Advance();
+    SIEVE_RETURN_IF_ERROR(ExpectKeyword("index"));
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol("("));
+    ref.hint.kind = IndexHint::Kind::kForceIndex;
+    if (!MatchSymbol(")")) {
+      do {
+        SIEVE_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+        ref.hint.columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+  } else if (PeekKeyword("use")) {
+    Advance();
+    SIEVE_RETURN_IF_ERROR(ExpectKeyword("index"));
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (!MatchSymbol(")")) {
+      return Status::ParseError(
+          "USE INDEX with a column list is not supported; use USE INDEX () to "
+          "disable indexes");
+    }
+    ref.hint.kind = IndexHint::Kind::kIgnoreAllIndexes;
+  }
+  return ref;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  SIEVE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  if (!PeekKeyword("or")) return left;
+  std::vector<ExprPtr> children;
+  children.push_back(std::move(left));
+  while (MatchKeyword("or")) {
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+    children.push_back(std::move(next));
+  }
+  return MakeOr(std::move(children));
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  SIEVE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  if (!PeekKeyword("and")) return left;
+  std::vector<ExprPtr> children;
+  children.push_back(std::move(left));
+  while (MatchKeyword("and")) {
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr next, ParseNot());
+    children.push_back(std::move(next));
+  }
+  return MakeAnd(std::move(children));
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return MakeNot(std::move(child));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  SIEVE_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+
+  // BETWEEN lo AND hi.
+  if (PeekKeyword("between")) {
+    Advance();
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr lo, ParsePrimary());
+    SIEVE_RETURN_IF_ERROR(ExpectKeyword("and"));
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr hi, ParsePrimary());
+    return std::make_shared<BetweenExpr>(std::move(left), std::move(lo),
+                                         std::move(hi));
+  }
+
+  // [NOT] IN (list).
+  bool negated = false;
+  if (PeekKeyword("not") && PeekKeyword("in", 1)) {
+    Advance();
+    negated = true;
+  }
+  if (PeekKeyword("in")) {
+    Advance();
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (PeekKeyword("select")) {
+      return Status::ParseError("IN (SELECT ...) subqueries are not supported");
+    }
+    std::vector<ExprPtr> items;
+    do {
+      SIEVE_ASSIGN_OR_RETURN(ExprPtr item, ParsePrimary());
+      items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return std::make_shared<InListExpr>(std::move(left), std::move(items),
+                                        negated);
+  }
+  if (negated) {
+    return Status::ParseError("dangling NOT before a non-IN predicate");
+  }
+
+  // Comparison.
+  const Token& t = Peek();
+  if (t.type == TokenType::kSymbol &&
+      (t.text == "=" || t.text == "!=" || t.text == "<>" || t.text == "<" ||
+       t.text == "<=" || t.text == ">" || t.text == ">=")) {
+    Advance();
+    SIEVE_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(t.text));
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+    return MakeCompare(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+
+  if (t.type == TokenType::kInteger) {
+    Advance();
+    return MakeLiteral(Value::Int(std::strtoll(t.text.c_str(), nullptr, 10)));
+  }
+  if (t.type == TokenType::kDouble) {
+    Advance();
+    return MakeLiteral(Value::Double(std::strtod(t.text.c_str(), nullptr)));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return MakeLiteral(Value::String(t.text));
+  }
+
+  if (t.type == TokenType::kSymbol && t.text == "(") {
+    // Scalar subquery in value position: capture raw text.
+    if (PeekKeyword("select", 1)) {
+      SIEVE_ASSIGN_OR_RETURN(size_t close, FindMatchingParen(pos_));
+      size_t text_begin = tokens_[pos_].end;
+      size_t text_end = tokens_[close].begin;
+      std::string body = source_->substr(text_begin, text_end - text_begin);
+      pos_ = close + 1;
+      return std::make_shared<SubqueryExpr>(body);
+    }
+    Advance();
+    SIEVE_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+    SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+
+  if (t.type == TokenType::kIdentifier) {
+    if (EqualsIgnoreCase(t.text, "true")) {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (EqualsIgnoreCase(t.text, "false")) {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    if (EqualsIgnoreCase(t.text, "null")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (IsReservedKeyword(t.text)) {
+      return Status::ParseError("unexpected keyword '" + t.text +
+                                "' in expression");
+    }
+    Advance();
+    std::string first = t.text;
+    // UDF call.
+    if (Peek().type == TokenType::kSymbol && Peek().text == "(") {
+      Advance();
+      std::vector<ExprPtr> args;
+      if (!MatchSymbol(")")) {
+        do {
+          SIEVE_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+          args.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+        SIEVE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return std::make_shared<UdfCallExpr>(first, std::move(args));
+    }
+    // Qualified column.
+    if (MatchSymbol(".")) {
+      SIEVE_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+      return MakeColumn(first, col);
+    }
+    return MakeColumn(first);
+  }
+
+  return Status::ParseError("unexpected token '" + t.text +
+                            "' in expression");
+}
+
+}  // namespace sieve

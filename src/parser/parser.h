@@ -1,0 +1,68 @@
+#ifndef SIEVE_PARSER_PARSER_H_
+#define SIEVE_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/lexer.h"
+
+namespace sieve {
+
+/// Recursive-descent parser for the SQL subset Sieve works with:
+///
+///   [WITH name AS (select), ...]
+///   SELECT {* | item[, ...]} FROM table [AS a] [FORCE INDEX (...)][, ...]
+///   [WHERE expr] [GROUP BY cols] [UNION [ALL] select]
+///
+/// Expressions support AND/OR/NOT, comparisons, BETWEEN, [NOT] IN (list),
+/// UDF calls, qualified columns and correlated scalar subqueries
+/// ("(SELECT ...)" in value position, captured as raw text and executed by
+/// the engine per outer row).
+class Parser {
+ public:
+  /// Parses a full SELECT statement.
+  static Result<SelectStmtPtr> Parse(const std::string& sql);
+
+  /// Parses a standalone boolean/scalar expression (used for persisted
+  /// policy conditions whose values are stored as text).
+  static Result<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  Parser(const std::string* source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const;
+  bool MatchKeyword(const std::string& kw);
+  Status ExpectKeyword(const std::string& kw);
+  bool MatchSymbol(const std::string& sym);
+  Status ExpectSymbol(const std::string& sym);
+
+  Result<SelectStmtPtr> ParseSelectStmt();
+  Result<SelectStmtPtr> ParseSelectCore();
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+  Result<std::string> ParseIdentifier();
+
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParsePrimary();
+
+  /// Token index of the ')' matching the '(' at `open_idx`.
+  Result<size_t> FindMatchingParen(size_t open_idx) const;
+
+  const std::string* source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PARSER_PARSER_H_

@@ -1,0 +1,174 @@
+#include "plan/operators.h"
+
+namespace sieve {
+
+HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
+                                             std::vector<ExprPtr> group_by,
+                                             std::vector<SelectItem> items)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      items_(std::move(items)) {}
+
+Status HashAggregateOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(child_->Open(ctx));
+  for (auto& g : group_by_) {
+    SIEVE_RETURN_IF_ERROR(BindExpr(g.get(), child_->schema()));
+  }
+  size_t num_aggs = 0;
+  for (auto& item : items_) {
+    if (item.expr != nullptr) {
+      SIEVE_RETURN_IF_ERROR(BindExpr(item.expr.get(), child_->schema()));
+    }
+    if (item.agg != AggFn::kNone) ++num_aggs;
+  }
+
+  // Output schema mirrors the SELECT list.
+  schema_ = Schema();
+  for (const auto& item : items_) {
+    DataType type = DataType::kNull;
+    switch (item.agg) {
+      case AggFn::kNone: {
+        if (item.expr->kind() == ExprKind::kColumnRef) {
+          const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
+          if (ref.bound_index() >= 0) {
+            type = child_->schema()
+                       .column(static_cast<size_t>(ref.bound_index()))
+                       .type;
+          }
+        }
+        break;
+      }
+      case AggFn::kCount:
+      case AggFn::kCountStar:
+        type = DataType::kInt;
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        type = DataType::kDouble;
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        type = DataType::kNull;  // depends on input; resolved per value
+        break;
+    }
+    schema_.AddColumn({item.OutputName(), type});
+  }
+
+  Evaluator evaluator(&child_->schema(), ctx->hooks, ctx->metadata, ctx->stats);
+  groups_.clear();
+  group_index_.clear();
+
+  Row row;
+  uint64_t rows_seen = 0;
+  while (true) {
+    if ((++rows_seen & 1023) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    if (!has) break;
+
+    Row key;
+    key.reserve(group_by_.size());
+    for (const auto& g : group_by_) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*g, row));
+      key.push_back(std::move(v));
+    }
+    std::string fp = RowFingerprint(key);
+    auto it = group_index_.find(fp);
+    size_t group_pos;
+    if (it == group_index_.end()) {
+      group_pos = groups_.size();
+      GroupState state;
+      state.key = key;
+      state.first_row = row;
+      state.aggs.resize(num_aggs);
+      groups_.push_back(std::move(state));
+      group_index_.emplace(std::move(fp), group_pos);
+    } else {
+      group_pos = it->second;
+    }
+
+    // Update aggregate states in SELECT-list order.
+    size_t agg_pos = 0;
+    for (const auto& item : items_) {
+      if (item.agg == AggFn::kNone) continue;
+      AggState& agg = groups_[group_pos].aggs[agg_pos++];
+      if (item.agg == AggFn::kCountStar) {
+        ++agg.count;
+        continue;
+      }
+      SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*item.expr, row));
+      if (v.is_null()) continue;
+      ++agg.count;
+      agg.sum += v.AsDouble();
+      if (!agg.saw_value || v.Compare(agg.min) < 0) agg.min = v;
+      if (!agg.saw_value || v.Compare(agg.max) > 0) agg.max = v;
+      agg.saw_value = true;
+    }
+  }
+  // SQL semantics: a global aggregate (no GROUP BY) over an empty input
+  // still yields one row (COUNT(*) = 0).
+  if (group_by_.empty() && groups_.empty()) {
+    bool all_aggs = true;
+    for (const auto& item : items_) {
+      if (item.agg == AggFn::kNone) all_aggs = false;
+    }
+    if (all_aggs) {
+      GroupState state;
+      state.aggs.resize(num_aggs);
+      groups_.push_back(std::move(state));
+    }
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOperator::Next(ExecContext* ctx, Row* out) {
+  (void)ctx;
+  if (pos_ >= groups_.size()) return false;
+  const GroupState& group = groups_[pos_++];
+  out->clear();
+  out->reserve(items_.size());
+  // Group-key expressions are re-evaluated on the representative row, so
+  // arbitrary scalar expressions of the group key work.
+  Evaluator evaluator(&child_->schema(), nullptr, nullptr, nullptr);
+  size_t agg_pos = 0;
+  for (const auto& item : items_) {
+    if (item.agg == AggFn::kNone) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*item.expr, group.first_row));
+      out->push_back(std::move(v));
+      continue;
+    }
+    const AggState& agg = group.aggs[agg_pos++];
+    switch (item.agg) {
+      case AggFn::kCount:
+      case AggFn::kCountStar:
+        out->push_back(Value::Int(agg.count));
+        break;
+      case AggFn::kSum:
+        out->push_back(agg.count == 0 ? Value::Null() : Value::Double(agg.sum));
+        break;
+      case AggFn::kAvg:
+        out->push_back(agg.count == 0
+                           ? Value::Null()
+                           : Value::Double(agg.sum /
+                                           static_cast<double>(agg.count)));
+        break;
+      case AggFn::kMin:
+        out->push_back(agg.saw_value ? agg.min : Value::Null());
+        break;
+      case AggFn::kMax:
+        out->push_back(agg.saw_value ? agg.max : Value::Null());
+        break;
+      case AggFn::kNone:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string HashAggregateOperator::name() const {
+  return "HashAggregate(groups=" + std::to_string(group_by_.size()) + ")";
+}
+
+}  // namespace sieve

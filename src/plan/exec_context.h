@@ -1,0 +1,46 @@
+#ifndef SIEVE_PLAN_EXEC_CONTEXT_H_
+#define SIEVE_PLAN_EXEC_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/exec_stats.h"
+#include "common/metadata.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "expr/eval.h"
+#include "storage/catalog.h"
+
+namespace sieve {
+
+/// Fully evaluated intermediate result (CTE bodies, subquery scans).
+struct MaterializedResult {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// Per-query execution state threaded through every operator: catalog and
+/// engine hooks, query metadata (for the Δ UDF), stat counters, the timeout
+/// budget (the paper's experiments use a 30 s timeout, reported as "TO"),
+/// and the cache of materialized CTEs.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  EngineHooks* hooks = nullptr;
+  const QueryMetadata* metadata = nullptr;
+  ExecStats* stats = nullptr;
+  double timeout_seconds = 0.0;  // 0 disables the timeout
+  Timer timer;
+  std::map<std::string, MaterializedResult> ctes;
+
+  Status CheckTimeout() const {
+    if (timeout_seconds > 0.0 && timer.ElapsedSeconds() > timeout_seconds) {
+      return Status::Timeout("query exceeded timeout");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PLAN_EXEC_CONTEXT_H_

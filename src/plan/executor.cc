@@ -1,0 +1,46 @@
+#include "plan/executor.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  std::vector<std::string> header;
+  header.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) header.push_back(col.name);
+  out += Join(header, " | ");
+  out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& v : row) cells.push_back(v.ToString());
+    out += Join(cells, " | ");
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::Run(Operator* root, ExecContext* ctx) {
+  Timer timer;
+  SIEVE_RETURN_IF_ERROR(root->Open(ctx));
+  ResultSet result;
+  result.schema = root->schema();
+  Row row;
+  while (true) {
+    SIEVE_ASSIGN_OR_RETURN(bool has, root->Next(ctx, &row));
+    if (!has) break;
+    result.rows.push_back(row);
+    if (ctx->stats != nullptr) ++ctx->stats->rows_output;
+  }
+  if (ctx->stats != nullptr) result.stats = *ctx->stats;
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace sieve

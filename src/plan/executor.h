@@ -1,0 +1,32 @@
+#ifndef SIEVE_PLAN_EXECUTOR_H_
+#define SIEVE_PLAN_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/operators.h"
+
+namespace sieve {
+
+/// Fully materialized query result plus run statistics.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+  ExecStats stats;
+  double elapsed_ms = 0.0;
+
+  size_t size() const { return rows.size(); }
+
+  /// Rendered table (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Pulls a plan to completion under the ExecContext's timeout.
+class Executor {
+ public:
+  static Result<ResultSet> Run(Operator* root, ExecContext* ctx);
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PLAN_EXECUTOR_H_

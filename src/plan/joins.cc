@@ -1,0 +1,160 @@
+#include "plan/operators.h"
+
+namespace sieve {
+
+namespace {
+
+Schema ConcatSchemas(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const auto& col : right.columns()) out.AddColumn(col);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashJoinOperator
+// ---------------------------------------------------------------------------
+
+size_t HashJoinOperator::VecValueHash::operator()(
+    const std::vector<Value>& key) const {
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool HashJoinOperator::VecValueEq::operator()(
+    const std::vector<Value>& a, const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                                   std::vector<ExprPtr> left_keys,
+                                   std::vector<ExprPtr> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)) {}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = ConcatSchemas(left_->schema(), right_->schema());
+  for (auto& k : left_keys_) {
+    SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), left_->schema()));
+  }
+  for (auto& k : right_keys_) {
+    SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), right_->schema()));
+  }
+  left_eval_ = std::make_unique<Evaluator>(&left_->schema(), ctx->hooks,
+                                           ctx->metadata, ctx->stats);
+  right_eval_ = std::make_unique<Evaluator>(&right_->schema(), ctx->hooks,
+                                            ctx->metadata, ctx->stats);
+  // Build side: right input.
+  build_.clear();
+  Row row;
+  while (true) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    if (!has) break;
+    std::vector<Value> key;
+    key.reserve(right_keys_.size());
+    for (const auto& k : right_keys_) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, right_eval_->Eval(*k, row));
+      key.push_back(std::move(v));
+    }
+    build_[std::move(key)].push_back(row);
+  }
+  matches_ = nullptr;
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOperator::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Row& right_row = (*matches_)[match_pos_++];
+      *out = current_left_;
+      out->insert(out->end(), right_row.begin(), right_row.end());
+      return true;
+    }
+    SIEVE_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
+    if (!has) return false;
+    std::vector<Value> key;
+    key.reserve(left_keys_.size());
+    for (const auto& k : left_keys_) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, left_eval_->Eval(*k, current_left_));
+      key.push_back(std::move(v));
+    }
+    auto it = build_.find(key);
+    matches_ = it == build_.end() ? nullptr : &it->second;
+    match_pos_ = 0;
+  }
+}
+
+std::string HashJoinOperator::name() const {
+  std::string keys;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += left_keys_[i]->ToSql() + "=" + right_keys_[i]->ToSql();
+  }
+  return "HashJoin(" + keys + ")";
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoinOperator
+// ---------------------------------------------------------------------------
+
+NestedLoopJoinOperator::NestedLoopJoinOperator(OperatorPtr left,
+                                               OperatorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+Status NestedLoopJoinOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = ConcatSchemas(left_->schema(), right_->schema());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    if (!has) break;
+    right_rows_.push_back(row);
+  }
+  left_valid_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOperator::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      SIEVE_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
+      if (!has) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    if (right_pos_ >= right_rows_.size()) {
+      left_valid_ = false;
+      continue;
+    }
+    if ((right_pos_ & 4095) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    const Row& right_row = right_rows_[right_pos_++];
+    *out = current_left_;
+    out->insert(out->end(), right_row.begin(), right_row.end());
+    return true;
+  }
+}
+
+std::string NestedLoopJoinOperator::name() const { return "NestedLoopJoin"; }
+
+}  // namespace sieve

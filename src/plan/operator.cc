@@ -1,0 +1,297 @@
+#include "plan/operators.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+Schema QualifySchema(const Schema& schema, const std::string& qualifier) {
+  Schema out;
+  for (const auto& col : schema.columns()) {
+    std::string base = col.name;
+    size_t dot = base.rfind('.');
+    if (dot != std::string::npos) base = base.substr(dot + 1);
+    out.AddColumn(
+        {qualifier.empty() ? base : qualifier + "." + base, col.type});
+  }
+  return out;
+}
+
+uint64_t RowHash64(const Row& row) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string RowFingerprint(const Row& row) {
+  std::string out;
+  for (const Value& v : row) {
+    out += static_cast<char>(v.type());
+    out += v.ToString();
+    out += '\x1f';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FilterOperator
+// ---------------------------------------------------------------------------
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(child_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(BindExpr(predicate_.get(), child_->schema()));
+  evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
+                                           ctx->metadata, ctx->stats);
+  rows_seen_ = 0;
+  return Status::OK();
+}
+
+Result<bool> FilterOperator::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if ((++rows_seen_ & 1023) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
+    if (!has) return false;
+    SIEVE_ASSIGN_OR_RETURN(bool pass, evaluator_->EvalPredicate(*predicate_, *out));
+    if (pass) return true;
+  }
+}
+
+std::string FilterOperator::name() const {
+  return "Filter(" + predicate_->ToSql() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOperator
+// ---------------------------------------------------------------------------
+
+ProjectOperator::ProjectOperator(OperatorPtr child,
+                                 std::vector<SelectItem> items)
+    : child_(std::move(child)), items_(std::move(items)) {}
+
+Status ProjectOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(child_->Open(ctx));
+  schema_ = Schema();
+  for (auto& item : items_) {
+    SIEVE_RETURN_IF_ERROR(BindExpr(item.expr.get(), child_->schema()));
+    DataType type = DataType::kNull;
+    if (item.expr->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
+      if (ref.bound_index() >= 0) {
+        type = child_->schema().column(static_cast<size_t>(ref.bound_index())).type;
+      }
+    } else if (item.expr->kind() == ExprKind::kLiteral) {
+      type = static_cast<const LiteralExpr&>(*item.expr).value().type();
+    }
+    schema_.AddColumn({item.OutputName(), type});
+  }
+  evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
+                                           ctx->metadata, ctx->stats);
+  return Status::OK();
+}
+
+Result<bool> ProjectOperator::Next(ExecContext* ctx, Row* out) {
+  Row input;
+  SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &input));
+  if (!has) return false;
+  out->clear();
+  out->reserve(items_.size());
+  for (const auto& item : items_) {
+    SIEVE_ASSIGN_OR_RETURN(Value v, evaluator_->Eval(*item.expr, input));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string ProjectOperator::name() const {
+  std::vector<std::string> parts;
+  parts.reserve(items_.size());
+  for (const auto& item : items_) parts.push_back(item.ToSql());
+  return "Project(" + Join(parts, ", ") + ")";
+}
+
+// ---------------------------------------------------------------------------
+// UnionOperator
+// ---------------------------------------------------------------------------
+
+UnionOperator::UnionOperator(std::vector<OperatorPtr> children, bool all)
+    : children_(std::move(children)), all_(all) {}
+
+Status UnionOperator::Open(ExecContext* ctx) {
+  if (children_.empty()) {
+    return Status::Internal("UNION requires at least one child");
+  }
+  for (auto& child : children_) {
+    SIEVE_RETURN_IF_ERROR(child->Open(ctx));
+  }
+  schema_ = children_.front()->schema();
+  for (const auto& child : children_) {
+    if (child->schema().num_columns() != schema_.num_columns()) {
+      return Status::ExecutionError(
+          "UNION arms produce different column counts");
+    }
+  }
+  current_ = 0;
+  seen_.clear();
+  return Status::OK();
+}
+
+Result<bool> UnionOperator::Next(ExecContext* ctx, Row* out) {
+  while (current_ < children_.size()) {
+    SIEVE_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(ctx, out));
+    if (!has) {
+      ++current_;
+      continue;
+    }
+    if (!all_) {
+      uint64_t h = RowHash64(*out);
+      auto& bucket = seen_[h];
+      bool duplicate = false;
+      for (const Row& prev : bucket) {
+        if (prev.size() != out->size()) continue;
+        bool eq = true;
+        for (size_t i = 0; i < prev.size(); ++i) {
+          if (prev[i].Compare((*out)[i]) != 0) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(*out);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string UnionOperator::name() const {
+  return all_ ? "UnionAll" : "Union";
+}
+
+// ---------------------------------------------------------------------------
+// ExceptOperator
+// ---------------------------------------------------------------------------
+
+ExceptOperator::ExceptOperator(OperatorPtr left, OperatorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+bool ExceptOperator::Contains(
+    const std::unordered_map<uint64_t, std::vector<Row>>& set,
+    const Row& row) const {
+  auto it = set.find(RowHash64(row));
+  if (it == set.end()) return false;
+  for (const Row& prev : it->second) {
+    if (prev.size() != row.size()) continue;
+    bool eq = true;
+    for (size_t i = 0; i < prev.size(); ++i) {
+      if (prev[i].Compare(row[i]) != 0) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return true;
+  }
+  return false;
+}
+
+Status ExceptOperator::Open(ExecContext* ctx) {
+  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
+  if (left_->schema().num_columns() != right_->schema().num_columns()) {
+    return Status::ExecutionError("EXCEPT arms produce different column counts");
+  }
+  right_rows_.clear();
+  emitted_.clear();
+  Row row;
+  while (true) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    if (!has) break;
+    right_rows_[RowHash64(row)].push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<bool> ExceptOperator::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    SIEVE_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, out));
+    if (!has) return false;
+    if (Contains(right_rows_, *out)) continue;
+    if (Contains(emitted_, *out)) continue;  // EXCEPT emits distinct rows
+    emitted_[RowHash64(*out)].push_back(*out);
+    return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedScanOperator
+// ---------------------------------------------------------------------------
+
+MaterializedScanOperator::MaterializedScanOperator(std::string cache_key,
+                                                   std::string qualifier,
+                                                   OperatorPtr child)
+    : cache_key_(std::move(cache_key)),
+      qualifier_(std::move(qualifier)),
+      child_(std::move(child)) {}
+
+Status MaterializedScanOperator::Open(ExecContext* ctx) {
+  pos_ = 0;
+  // Served from the CTE cache when available.
+  if (!cache_key_.empty()) {
+    auto it = ctx->ctes.find(cache_key_);
+    if (it != ctx->ctes.end()) {
+      rows_ = &it->second.rows;
+      schema_ = QualifySchema(it->second.schema, qualifier_);
+      return Status::OK();
+    }
+  }
+  if (child_ == nullptr) {
+    return Status::Internal("materialized scan has no producer for " +
+                            cache_key_);
+  }
+  SIEVE_RETURN_IF_ERROR(child_->Open(ctx));
+  MaterializedResult result;
+  result.schema = child_->schema();
+  Row row;
+  while (true) {
+    SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    if (!has) break;
+    result.rows.push_back(row);
+  }
+  if (!cache_key_.empty()) {
+    auto [it, inserted] = ctx->ctes.emplace(cache_key_, std::move(result));
+    (void)inserted;
+    rows_ = &it->second.rows;
+    schema_ = QualifySchema(it->second.schema, qualifier_);
+  } else {
+    private_result_ = std::move(result);
+    rows_ = &private_result_.rows;
+    schema_ = QualifySchema(private_result_.schema, qualifier_);
+  }
+  return Status::OK();
+}
+
+Result<bool> MaterializedScanOperator::Next(ExecContext* ctx, Row* out) {
+  (void)ctx;
+  if (rows_ == nullptr || pos_ >= rows_->size()) return false;
+  *out = (*rows_)[pos_++];
+  return true;
+}
+
+std::string MaterializedScanOperator::name() const {
+  return "MaterializedScan(" +
+         (cache_key_.empty() ? std::string("derived") : cache_key_) + ")";
+}
+
+}  // namespace sieve

@@ -1,0 +1,315 @@
+#ifndef SIEVE_PLAN_OPERATORS_H_
+#define SIEVE_PLAN_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/eval.h"
+#include "index/bitmap.h"
+#include "parser/ast.h"
+#include "plan/exec_context.h"
+#include "storage/catalog.h"
+
+namespace sieve {
+
+/// Volcano-style physical operator. Open() prepares state; Next() produces
+/// one row at a time. Operators own their children.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Produces the next row into *out; returns false at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
+  virtual const Schema& schema() const = 0;
+  /// One-line description for EXPLAIN output.
+  virtual std::string name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Qualifies every column of `schema` with `qualifier` (stripping any
+/// existing qualifier), e.g. (id, owner) with "W" -> (W.id, W.owner).
+Schema QualifySchema(const Schema& schema, const std::string& qualifier);
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+/// Full table scan (counts tuples_scanned).
+class SeqScanOperator : public Operator {
+ public:
+  SeqScanOperator(const TableEntry* entry, std::string qualifier);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  const TableEntry* entry_;
+  std::string qualifier_;
+  Schema schema_;
+  RowId next_id_ = 0;
+};
+
+/// One contiguous key range probed on one index.
+struct IndexRange {
+  std::string column;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+};
+
+/// Index range scan over a single range (counts index_probe_rows).
+class IndexRangeScanOperator : public Operator {
+ public:
+  IndexRangeScanOperator(const TableEntry* entry, std::string qualifier,
+                         IndexRange range);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  const TableEntry* entry_;
+  std::string qualifier_;
+  IndexRange range_;
+  Schema schema_;
+  std::vector<RowId> row_ids_;
+  size_t pos_ = 0;
+};
+
+/// OR of several index ranges merged through an in-memory row-id bitmap,
+/// then fetched in row-id order — the PostgreSQL "BitmapOr + Bitmap Heap
+/// Scan" plan shape that makes many-guard queries cheap (Experiments 4, 5).
+class IndexUnionBitmapScanOperator : public Operator {
+ public:
+  IndexUnionBitmapScanOperator(const TableEntry* entry, std::string qualifier,
+                               std::vector<IndexRange> ranges);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  const TableEntry* entry_;
+  std::string qualifier_;
+  std::vector<IndexRange> ranges_;
+  Schema schema_;
+  std::vector<RowId> row_ids_;
+  size_t pos_ = 0;
+};
+
+/// Scan over a materialized result (CTE reference or derived table).
+class MaterializedScanOperator : public Operator {
+ public:
+  /// `materialize` produces the data on first Open (allows CTE sharing via
+  /// the ExecContext cache).
+  MaterializedScanOperator(std::string cache_key, std::string qualifier,
+                           OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  std::string cache_key_;  // empty -> always materialize privately
+  std::string qualifier_;
+  OperatorPtr child_;
+  Schema schema_;
+  const std::vector<Row>* rows_ = nullptr;
+  MaterializedResult private_result_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Relational operators
+// ---------------------------------------------------------------------------
+
+/// WHERE filter; binds `predicate` against the child schema at Open.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  std::unique_ptr<Evaluator> evaluator_;
+  uint64_t rows_seen_ = 0;
+};
+
+/// Projection of scalar expressions (no aggregates).
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<SelectItem> items);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SelectItem> items_;
+  Schema schema_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+/// Hash join on equi-key expressions (build = right side).
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                   std::vector<ExprPtr> left_keys,
+                   std::vector<ExprPtr> right_keys);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  struct VecValueHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct VecValueEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  Schema schema_;
+  std::unordered_map<std::vector<Value>, std::vector<Row>, VecValueHash,
+                     VecValueEq>
+      build_;
+  Row current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  std::unique_ptr<Evaluator> left_eval_;
+  std::unique_ptr<Evaluator> right_eval_;
+};
+
+/// Nested-loop cross join (right side materialized). Residual predicates are
+/// applied by a FilterOperator above.
+class NestedLoopJoinOperator : public Operator {
+ public:
+  NestedLoopJoinOperator(OperatorPtr left, OperatorPtr right);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Schema schema_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Hash aggregation implementing GROUP BY + COUNT/SUM/AVG/MIN/MAX.
+class HashAggregateOperator : public Operator {
+ public:
+  HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> group_by,
+                        std::vector<SelectItem> items);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool saw_value = false;
+    Value min;
+    Value max;
+  };
+  struct GroupState {
+    Row key;
+    Row first_row;  // representative row for group-key output expressions
+    std::vector<AggState> aggs;
+  };
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<SelectItem> items_;
+  Schema schema_;
+  std::vector<GroupState> groups_;
+  std::unordered_map<std::string, size_t> group_index_;
+  size_t pos_ = 0;
+};
+
+/// UNION / UNION ALL over any number of children (schemas must have equal
+/// arity; names follow the first child).
+class UnionOperator : public Operator {
+ public:
+  UnionOperator(std::vector<OperatorPtr> children, bool all);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  bool all_;
+  Schema schema_;
+  size_t current_ = 0;
+  // Hash-bucketed exact dedup: candidate rows compare against the rows
+  // already emitted under the same hash.
+  std::unordered_map<uint64_t, std::vector<Row>> seen_;
+};
+
+/// 64-bit hash of a full row (used by UNION dedup).
+uint64_t RowHash64(const Row& row);
+
+/// EXCEPT / MINUS: distinct rows of the left input that do not appear in the
+/// right input. Section 3.1 uses this non-monotonic operator to argue that
+/// policies must be applied to base tables *before* query operators — which
+/// the rewriter guarantees by replacing table refs with policy-filtered CTEs.
+class ExceptOperator : public Operator {
+ public:
+  ExceptOperator(OperatorPtr left, OperatorPtr right);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return left_->schema(); }
+  std::string name() const override { return "Except"; }
+
+ private:
+  bool Contains(const std::unordered_map<uint64_t, std::vector<Row>>& set,
+                const Row& row) const;
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::unordered_map<uint64_t, std::vector<Row>> right_rows_;
+  std::unordered_map<uint64_t, std::vector<Row>> emitted_;
+};
+
+/// Fingerprints a row for hashing/dedup (stable across runs).
+std::string RowFingerprint(const Row& row);
+
+}  // namespace sieve
+
+#endif  // SIEVE_PLAN_OPERATORS_H_

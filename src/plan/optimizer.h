@@ -1,0 +1,85 @@
+#ifndef SIEVE_PLAN_OPTIMIZER_H_
+#define SIEVE_PLAN_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+#include "plan/operators.h"
+#include "plan/profile.h"
+#include "storage/catalog.h"
+
+namespace sieve {
+
+/// Access path the optimizer picked for one base-table reference. This is
+/// what EXPLAIN surfaces; Sieve's strategy selector (Section 5.5) reads the
+/// chosen access kind and estimated selectivity ρ(p) from here.
+struct AccessPathInfo {
+  enum class Kind { kSeqScan, kIndexRange, kIndexUnion };
+
+  std::string table;
+  std::string qualifier;
+  Kind kind = Kind::kSeqScan;
+  std::string index_column;     // for kIndexRange / kIndexUnion (primary)
+  size_t num_ranges = 0;        // for kIndexUnion
+  double selectivity = 1.0;     // estimated fraction of the table fetched
+  double estimated_rows = 0.0;  // selectivity * |table|
+
+  std::string ToString() const;
+};
+
+/// High-level view of the plan, one entry per base-table access.
+struct ExplainInfo {
+  std::vector<AccessPathInfo> tables;
+
+  /// Access info for a given table reference (by alias or table name);
+  /// nullptr when absent.
+  const AccessPathInfo* Find(const std::string& name) const;
+
+  std::string ToString() const;
+};
+
+/// A fully planned query.
+struct PlannedQuery {
+  OperatorPtr root;
+  ExplainInfo explain;
+};
+
+/// Rule+cost based planner: resolves CTEs/derived tables, chooses per-table
+/// access paths from histograms (honoring index hints per the engine
+/// profile), extracts hash-join keys from WHERE equi-conjuncts, and stacks
+/// filter/aggregate/project/union operators.
+class Optimizer {
+ public:
+  Optimizer(Catalog* catalog, const EngineProfile* profile)
+      : catalog_(catalog), profile_(profile) {}
+
+  Result<PlannedQuery> Plan(const SelectStmt& stmt);
+
+  /// Estimated selectivity of a single predicate over `table` using the
+  /// index histogram on the predicate's column; 1.0 when not estimable.
+  /// This is ρ(pred) from the paper's cost model.
+  double EstimatePredicateSelectivity(const std::string& table,
+                                      const Expr& predicate) const;
+
+ private:
+  using CteScope = std::map<std::string, SelectStmtPtr>;
+
+  Result<OperatorPtr> PlanStmt(const SelectStmt& stmt, const CteScope& scope,
+                               ExplainInfo* explain);
+  Result<OperatorPtr> PlanCore(const SelectStmt& stmt, const CteScope& scope,
+                               ExplainInfo* explain);
+  Result<OperatorPtr> PlanTableAccess(const TableRef& ref,
+                                      const SelectStmt& stmt,
+                                      const CteScope& scope,
+                                      ExplainInfo* explain);
+
+  Catalog* catalog_;
+  const EngineProfile* profile_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PLAN_OPTIMIZER_H_

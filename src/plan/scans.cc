@@ -1,0 +1,155 @@
+#include "plan/operators.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+namespace {
+
+// Collects row ids matching `range` through the index on range.column.
+Result<std::vector<RowId>> ProbeIndex(const TableEntry* entry,
+                                      const IndexRange& range) {
+  const Index* index = entry->indexes.Find(range.column);
+  if (index == nullptr) {
+    return Status::ExecutionError("no index on column " + range.column +
+                                  " of table " + entry->table->name());
+  }
+  return index->tree().LookupRange(range.lo, range.lo_inclusive, range.hi,
+                                   range.hi_inclusive);
+}
+
+std::string RangeToString(const IndexRange& r) {
+  std::string out = r.column + "[";
+  out += r.lo.has_value() ? (r.lo_inclusive ? "[" : "(") + r.lo->ToString()
+                          : std::string("(-inf");
+  out += " .. ";
+  out += r.hi.has_value() ? r.hi->ToString() + (r.hi_inclusive ? "]" : ")")
+                          : std::string("+inf)");
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SeqScanOperator
+// ---------------------------------------------------------------------------
+
+SeqScanOperator::SeqScanOperator(const TableEntry* entry, std::string qualifier)
+    : entry_(entry), qualifier_(std::move(qualifier)) {
+  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+}
+
+Status SeqScanOperator::Open(ExecContext* ctx) {
+  (void)ctx;
+  next_id_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOperator::Next(ExecContext* ctx, Row* out) {
+  const Table& table = *entry_->table;
+  while (static_cast<size_t>(next_id_) < table.num_slots()) {
+    RowId id = next_id_++;
+    if ((id & 4095) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    if (!table.IsLive(id)) continue;
+    *out = table.Get(id);
+    if (ctx->stats != nullptr) ++ctx->stats->tuples_scanned;
+    return true;
+  }
+  return false;
+}
+
+std::string SeqScanOperator::name() const {
+  return "SeqScan(" + entry_->table->name() +
+         (qualifier_.empty() ? "" : " AS " + qualifier_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// IndexRangeScanOperator
+// ---------------------------------------------------------------------------
+
+IndexRangeScanOperator::IndexRangeScanOperator(const TableEntry* entry,
+                                               std::string qualifier,
+                                               IndexRange range)
+    : entry_(entry), qualifier_(std::move(qualifier)), range_(std::move(range)) {
+  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+}
+
+Status IndexRangeScanOperator::Open(ExecContext* ctx) {
+  (void)ctx;
+  pos_ = 0;
+  SIEVE_ASSIGN_OR_RETURN(row_ids_, ProbeIndex(entry_, range_));
+  return Status::OK();
+}
+
+Result<bool> IndexRangeScanOperator::Next(ExecContext* ctx, Row* out) {
+  const Table& table = *entry_->table;
+  while (pos_ < row_ids_.size()) {
+    if ((pos_ & 4095) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    RowId id = row_ids_[pos_++];
+    if (!table.IsLive(id)) continue;
+    *out = table.Get(id);
+    if (ctx->stats != nullptr) ++ctx->stats->index_probe_rows;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexRangeScanOperator::name() const {
+  return "IndexRangeScan(" + entry_->table->name() + " " +
+         RangeToString(range_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// IndexUnionBitmapScanOperator
+// ---------------------------------------------------------------------------
+
+IndexUnionBitmapScanOperator::IndexUnionBitmapScanOperator(
+    const TableEntry* entry, std::string qualifier,
+    std::vector<IndexRange> ranges)
+    : entry_(entry),
+      qualifier_(std::move(qualifier)),
+      ranges_(std::move(ranges)) {
+  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+}
+
+Status IndexUnionBitmapScanOperator::Open(ExecContext* ctx) {
+  (void)ctx;
+  pos_ = 0;
+  Bitmap bitmap(entry_->table->num_slots());
+  for (const IndexRange& range : ranges_) {
+    SIEVE_ASSIGN_OR_RETURN(std::vector<RowId> ids, ProbeIndex(entry_, range));
+    for (RowId id : ids) bitmap.Set(id);
+  }
+  row_ids_ = bitmap.ToVector();
+  return Status::OK();
+}
+
+Result<bool> IndexUnionBitmapScanOperator::Next(ExecContext* ctx, Row* out) {
+  const Table& table = *entry_->table;
+  while (pos_ < row_ids_.size()) {
+    if ((pos_ & 4095) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    RowId id = row_ids_[pos_++];
+    if (!table.IsLive(id)) continue;
+    *out = table.Get(id);
+    if (ctx->stats != nullptr) ++ctx->stats->index_probe_rows;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexUnionBitmapScanOperator::name() const {
+  std::vector<std::string> parts;
+  parts.reserve(ranges_.size());
+  for (const auto& r : ranges_) parts.push_back(RangeToString(r));
+  return "IndexUnionBitmapScan(" + entry_->table->name() + " " +
+         Join(parts, " OR ") + ")";
+}
+
+}  // namespace sieve

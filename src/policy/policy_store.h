@@ -1,0 +1,76 @@
+#ifndef SIEVE_POLICY_POLICY_STORE_H_
+#define SIEVE_POLICY_POLICY_STORE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "policy/policy.h"
+
+namespace sieve {
+
+/// Persistent policy corpus. Policies live both in memory (the working set
+/// used by guard generation and the Δ operator) and in two catalog tables,
+/// exactly as Section 5.1 describes:
+///   rP  (id, owner, querier, associated_table, purpose, action, inserted_at)
+///   rOC (id, policy_id, attr, op, val)
+/// Range conditions persist as two rOC rows (>= lo, <= hi); derived values
+/// persist their SQL text in `val`.
+class PolicyStore {
+ public:
+  static constexpr const char* kPolicyTable = "rP";
+  static constexpr const char* kConditionTable = "rOC";
+
+  explicit PolicyStore(Database* db) : db_(db) {}
+
+  /// Creates rP / rOC (idempotent).
+  Status Init();
+
+  /// Assigns an id, persists the policy and keeps it in memory.
+  Result<int64_t> AddPolicy(Policy policy);
+
+  /// Drops a policy by id from memory and marks its rows deleted.
+  Status RemovePolicy(int64_t id);
+
+  /// Reloads the in-memory corpus from rP / rOC (round-trip check and
+  /// recovery path).
+  Status LoadFromTables();
+
+  size_t size() const { return policies_.size(); }
+  /// Stable container: references remain valid across AddPolicy calls
+  /// (the Δ cache and guard partitions rely on this).
+  const std::deque<Policy>& policies() const { return policies_; }
+
+  const Policy* FindPolicy(int64_t id) const;
+
+  /// P_QM: policies relevant to query metadata `md` on `table`
+  /// (Section 3.2, "Reducing Number of Policies").
+  std::vector<const Policy*> FilterByMetadata(const QueryMetadata& md,
+                                              const std::string& table,
+                                              const GroupResolver* resolver) const;
+
+  /// All policies for an exact (querier, purpose, table) key, without group
+  /// expansion (used by guard persistence bookkeeping).
+  std::vector<const Policy*> PoliciesForQuerier(const std::string& querier,
+                                                const std::string& purpose,
+                                                const std::string& table) const;
+
+  /// Distinct (querier, purpose) pairs appearing on `table`.
+  std::vector<QueryMetadata> DistinctQueriers(const std::string& table) const;
+
+ private:
+  Status PersistPolicy(const Policy& policy);
+
+  Database* db_;
+  std::deque<Policy> policies_;
+  std::unordered_map<int64_t, size_t> by_id_;
+  int64_t next_id_ = 1;
+  int64_t next_oc_id_ = 1;
+  int64_t logical_clock_ = 1;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_POLICY_POLICY_STORE_H_

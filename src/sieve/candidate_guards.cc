@@ -1,0 +1,129 @@
+#include "sieve/candidate_guards.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+namespace {
+
+// Interval helpers over Value (closed intervals).
+bool Overlaps(const CandidateGuard& a, const CandidateGuard& b) {
+  return a.hi.Compare(b.lo) >= 0 && b.hi.Compare(a.lo) >= 0;
+}
+
+Value MinV(const Value& a, const Value& b) { return a.Compare(b) <= 0 ? a : b; }
+Value MaxV(const Value& a, const Value& b) { return a.Compare(b) >= 0 ? a : b; }
+
+double RangeRho(const Index& index, const Value& lo, const Value& hi) {
+  if (lo.Compare(hi) == 0) return index.EstimateEqSelectivity(lo);
+  return index.EstimateRangeSelectivity(lo, true, hi, true);
+}
+
+}  // namespace
+
+bool CandidateGuardGenerator::MergeBeneficial(const CandidateGuard& x,
+                                              const CandidateGuard& y,
+                                              const Index& index) const {
+  if (!Overlaps(x, y)) return false;  // Theorem 1: disjoint never merges
+  // ρ(x ∩ y) / ρ(x ∪ y) > ce / (cr + ce)   (Eq. 8)
+  Value ilo = MaxV(x.lo, y.lo);
+  Value ihi = MinV(x.hi, y.hi);
+  Value ulo = MinV(x.lo, y.lo);
+  Value uhi = MaxV(x.hi, y.hi);
+  double inter = RangeRho(index, ilo, ihi);
+  double uni = RangeRho(index, ulo, uhi);
+  if (uni <= 0.0) return true;  // both empty: merging costs nothing
+  return inter / uni > cost_->MergeThreshold();
+}
+
+std::vector<CandidateGuard> CandidateGuardGenerator::Generate(
+    const std::vector<const Policy*>& policies,
+    const std::string& table) const {
+  std::vector<CandidateGuard> out;
+  const TableEntry* entry = db_->catalog().Find(table);
+  if (entry == nullptr) return out;
+
+  // Step 1: collect interval candidates per indexed attribute.
+  // Key: attr -> list of (interval, policy id).
+  std::map<std::string, std::vector<CandidateGuard>> per_attr;
+  for (const Policy* policy : policies) {
+    for (const auto& oc : policy->object_conditions) {
+      Value lo, hi;
+      if (!oc.AsInterval(&lo, &hi)) continue;
+      const Index* index = entry->indexes.Find(oc.attr);
+      if (index == nullptr) continue;
+      CandidateGuard cand;
+      cand.attr = ToLower(oc.attr);
+      cand.lo = std::move(lo);
+      cand.hi = std::move(hi);
+      cand.policy_ids.push_back(policy->id);
+      per_attr[cand.attr].push_back(std::move(cand));
+    }
+  }
+
+  for (auto& [attr, cands] : per_attr) {
+    const Index* index = entry->indexes.Find(attr);
+
+    // Step 2: coalesce identical intervals (e.g. owner = u, or the same
+    // wifiAP value across many policies) — these group policies "for free".
+    std::sort(cands.begin(), cands.end(),
+              [](const CandidateGuard& a, const CandidateGuard& b) {
+                int c = a.lo.Compare(b.lo);
+                if (c != 0) return c < 0;
+                return a.hi.Compare(b.hi) < 0;
+              });
+    std::vector<CandidateGuard> uniq;
+    for (auto& cand : cands) {
+      if (!uniq.empty() && uniq.back().lo.Compare(cand.lo) == 0 &&
+          uniq.back().hi.Compare(cand.hi) == 0) {
+        uniq.back().policy_ids.push_back(cand.policy_ids.front());
+        continue;
+      }
+      uniq.push_back(std::move(cand));
+    }
+    for (auto& cand : uniq) {
+      cand.selectivity = RangeRho(*index, cand.lo, cand.hi);
+    }
+
+    // Step 3: Theorem 1 sweep — candidates are sorted by left endpoint; try
+    // to extend each candidate with its successors while the merge stays
+    // beneficial; stop at the first disjoint successor (Corollary 1.2).
+    size_t base_count = uniq.size();
+    for (size_t i = 0; i < base_count; ++i) {
+      CandidateGuard acc = uniq[i];
+      bool merged_any = false;
+      for (size_t j = i + 1; j < base_count; ++j) {
+        const CandidateGuard& next = uniq[j];
+        if (!Overlaps(acc, next)) break;  // Corollary 1.1/1.2 cutoff
+        if (!MergeBeneficial(acc, next, *index)) continue;
+        CandidateGuard merged;
+        merged.attr = acc.attr;
+        merged.lo = MinV(acc.lo, next.lo);
+        merged.hi = MaxV(acc.hi, next.hi);
+        merged.policy_ids = acc.policy_ids;
+        merged.policy_ids.insert(merged.policy_ids.end(),
+                                 next.policy_ids.begin(),
+                                 next.policy_ids.end());
+        merged.selectivity = RangeRho(*index, merged.lo, merged.hi);
+        acc = std::move(merged);
+        merged_any = true;
+      }
+      if (merged_any) {
+        // Dedup policy ids accumulated across merges.
+        std::sort(acc.policy_ids.begin(), acc.policy_ids.end());
+        acc.policy_ids.erase(
+            std::unique(acc.policy_ids.begin(), acc.policy_ids.end()),
+            acc.policy_ids.end());
+        uniq.push_back(std::move(acc));
+      }
+    }
+
+    for (auto& cand : uniq) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace sieve

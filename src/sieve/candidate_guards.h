@@ -1,0 +1,46 @@
+#ifndef SIEVE_SIEVE_CANDIDATE_GUARDS_H_
+#define SIEVE_SIEVE_CANDIDATE_GUARDS_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "policy/policy.h"
+#include "sieve/cost_model.h"
+#include "sieve/guard.h"
+
+namespace sieve {
+
+/// Generates the candidate guard set CG for a policy set (Section 4.1):
+///   1. every object condition on an indexed attribute with a constant value
+///      becomes a candidate (oc_owner guarantees at least one per policy);
+///   2. candidates with identical intervals on the same attribute are
+///      coalesced (their policy partitions merge);
+///   3. overlapping range candidates on the same attribute are merged when
+///      Theorem 1's benefit test ρ(x∩y)/ρ(x∪y) > ce/(cr+ce) passes, sweeping
+///      candidates in ascending left-endpoint order and stopping per
+///      Corollaries 1.1/1.2.
+class CandidateGuardGenerator {
+ public:
+  CandidateGuardGenerator(const Database* db, const CostModel* cost)
+      : db_(db), cost_(cost) {}
+
+  /// Candidates for `policies` (all defined on `table`). Policies without
+  /// any indexable condition are skipped (the paper's model guarantees the
+  /// indexed oc_owner, so this does not occur for well-formed corpora).
+  std::vector<CandidateGuard> Generate(
+      const std::vector<const Policy*>& policies,
+      const std::string& table) const;
+
+  /// Theorem 1 benefit test for merging two overlapping interval candidates
+  /// on the same indexed attribute. Exposed for tests.
+  bool MergeBeneficial(const CandidateGuard& x, const CandidateGuard& y,
+                       const Index& index) const;
+
+ private:
+  const Database* db_;
+  const CostModel* cost_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_CANDIDATE_GUARDS_H_

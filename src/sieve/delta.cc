@@ -1,0 +1,65 @@
+#include "sieve/delta.h"
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+
+namespace sieve {
+
+namespace {
+
+// Index of the owner column in `schema`, matching by bare-name suffix
+// ("W.owner" matches "owner"). Returns -1 when absent.
+int FindOwnerColumn(const Schema& schema) {
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const std::string& name = schema.column(i).name;
+    size_t dot = name.rfind('.');
+    std::string base = dot == std::string::npos ? name : name.substr(dot + 1);
+    if (EqualsIgnoreCase(base, "owner")) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status RegisterDeltaUdf(Database* db, GuardStore* guards) {
+  return db->udfs().Register(
+      kDeltaUdfName,
+      [db, guards](const std::vector<Value>& args,
+                   UdfContext& ctx) -> Result<Value> {
+        if (args.size() != 1 || args[0].type() != DataType::kInt) {
+          return Status::InvalidArgument(
+              "delta() expects a single integer guard id");
+        }
+        if (ctx.schema == nullptr || ctx.row == nullptr) {
+          return Status::ExecutionError("delta() invoked without a tuple");
+        }
+        SIEVE_ASSIGN_OR_RETURN(const GuardStore::DeltaPartition* partition,
+                               guards->GetDeltaPartition(args[0].AsInt()));
+
+        // Context filter: only policies owned by the tuple's owner can allow
+        // the tuple (every policy carries oc_owner).
+        int owner_idx = FindOwnerColumn(*ctx.schema);
+        if (owner_idx < 0) {
+          return Status::ExecutionError(
+              "delta(): tuple schema has no owner attribute");
+        }
+        const Value& owner = (*ctx.row)[static_cast<size_t>(owner_idx)];
+        auto it = partition->by_owner.find(owner.ToString());
+        if (it == partition->by_owner.end()) return Value::Bool(false);
+
+        Evaluator evaluator(ctx.schema, db, ctx.metadata, ctx.stats);
+        for (const GuardStore::DeltaPolicyEntry& entry : it->second) {
+          if (ctx.stats != nullptr) {
+            ++ctx.stats->udf_policy_checks;
+            ++ctx.stats->policy_evals;
+          }
+          SIEVE_ASSIGN_OR_RETURN(
+              bool match,
+              evaluator.EvalPredicate(*entry.object_expr, *ctx.row));
+          if (match) return Value::Bool(true);
+        }
+        return Value::Bool(false);
+      });
+}
+
+}  // namespace sieve

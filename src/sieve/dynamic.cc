@@ -1,0 +1,64 @@
+#include "sieve/dynamic.h"
+
+#include <cmath>
+
+namespace sieve {
+
+double DynamicPolicyManager::QueriesPerInsert() const {
+  if (inserts_seen_ <= 0) return 1.0;
+  double r = static_cast<double>(queries_seen_) /
+             static_cast<double>(inserts_seen_);
+  return r > 0 ? r : 1.0;
+}
+
+Result<int64_t> DynamicPolicyManager::InsertPolicy(Policy policy) {
+  Key key{policy.querier, policy.purpose, policy.table_name};
+  QueryMetadata md{policy.querier, policy.purpose};
+  std::string table = policy.table_name;
+
+  SIEVE_ASSIGN_OR_RETURN(int64_t id, policies_->AddPolicy(std::move(policy)));
+  ++inserts_seen_;
+  int64_t pending = ++pending_[key];
+  guards_->MarkOutdated(key.querier, key.purpose, key.table);
+
+  if (mode_ == RegenerationMode::kEagerEveryK) {
+    double k = CurrentOptimalK(key.querier, key.purpose, key.table);
+    if (static_cast<double>(pending) >= k) {
+      SIEVE_ASSIGN_OR_RETURN(GuardedExpression ge, builder_.Build(md, table));
+      auto put = guards_->Put(std::move(ge));
+      if (!put.ok()) return put.status();
+      pending_[key] = 0;
+    }
+  }
+  return id;
+}
+
+double DynamicPolicyManager::CurrentOptimalK(const std::string& querier,
+                                             const std::string& purpose,
+                                             const std::string& table) const {
+  const GuardedExpression* ge = guards_->Get(querier, purpose, table);
+  if (ge == nullptr || ge->guards.empty()) return 1.0;
+  // ρ(oc_G): use the mean per-guard cardinality in rows. The derivation in
+  // Section 6 assumes a representative guard selectivity.
+  double mean_rho = ge->TotalSelectivity() /
+                    static_cast<double>(ge->guards.size());
+  // Convert to rows: the paper's ρ counts tuples.
+  // We do not know the table size here without the catalog; the guarded
+  // expression's cardinality semantics store fractions, so scale by an
+  // approximate table size derived from generation cost bookkeeping.
+  // Callers that need exact k pass through CostModel::OptimalRegenerationK.
+  double regen_cost_s = ge->generation_ms / 1e3;
+  if (regen_cost_s <= 0) regen_cost_s = 1e-3;
+  double k = cost_->OptimalRegenerationK(mean_rho <= 0 ? 1.0 : mean_rho * 1e5,
+                                         regen_cost_s, QueriesPerInsert());
+  return k < 1.0 ? 1.0 : k;
+}
+
+int64_t DynamicPolicyManager::PendingInsertions(const std::string& querier,
+                                                const std::string& purpose,
+                                                const std::string& table) const {
+  auto it = pending_.find(Key{querier, purpose, table});
+  return it == pending_.end() ? 0 : it->second;
+}
+
+}  // namespace sieve

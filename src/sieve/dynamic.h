@@ -1,0 +1,81 @@
+#ifndef SIEVE_SIEVE_DYNAMIC_H_
+#define SIEVE_SIEVE_DYNAMIC_H_
+
+#include <map>
+#include <string>
+
+#include "policy/policy_store.h"
+#include "sieve/cost_model.h"
+#include "sieve/guard_selection.h"
+#include "sieve/guard_store.h"
+
+namespace sieve {
+
+/// Regeneration policy for dynamic policy corpora (Section 6).
+enum class RegenerationMode {
+  /// Flip the outdated flag on insert; the rewriter regenerates lazily at
+  /// query time (the paper's trigger-based default).
+  kLazy,
+  /// Regenerate immediately after every k-th insertion for the affected
+  /// querier key, with k from Eq. 19 (Theorem 2: regenerate right at k).
+  kEagerEveryK,
+};
+
+/// Handles policy insertions in dynamic scenarios: marks affected guarded
+/// expressions outdated and, in eager mode, regenerates after the optimal
+/// number of insertions k* = sqrt(4·C_G / (ρ(oc_G)·α·ce·r_pq)).
+class DynamicPolicyManager {
+ public:
+  DynamicPolicyManager(Database* db, PolicyStore* policies, GuardStore* guards,
+                       const CostModel* cost, const GroupResolver* resolver)
+      : policies_(policies),
+        guards_(guards),
+        cost_(cost),
+        builder_(db, policies, cost, resolver) {}
+
+  void set_mode(RegenerationMode mode) { mode_ = mode; }
+  RegenerationMode mode() const { return mode_; }
+
+  /// r_pq: observed queries per policy insertion, used by Eq. 19. Defaults
+  /// to 1 until told otherwise (call ObserveQuery per executed query).
+  void ObserveQuery() { ++queries_seen_; }
+
+  /// Inserts the policy, bumps the affected key's counter and applies the
+  /// regeneration mode. Returns the policy id.
+  Result<int64_t> InsertPolicy(Policy policy);
+
+  /// Eq. 19's k* for a key, from that key's current guarded expression
+  /// (ρ(oc_G) and measured generation cost) and the observed r_pq.
+  double CurrentOptimalK(const std::string& querier, const std::string& purpose,
+                         const std::string& table) const;
+
+  /// Insertions since the last regeneration for a key.
+  int64_t PendingInsertions(const std::string& querier,
+                            const std::string& purpose,
+                            const std::string& table) const;
+
+ private:
+  struct Key {
+    std::string querier, purpose, table;
+    bool operator<(const Key& other) const {
+      if (querier != other.querier) return querier < other.querier;
+      if (purpose != other.purpose) return purpose < other.purpose;
+      return table < other.table;
+    }
+  };
+
+  double QueriesPerInsert() const;
+
+  PolicyStore* policies_;
+  GuardStore* guards_;
+  const CostModel* cost_;
+  GuardedExpressionBuilder builder_;
+  RegenerationMode mode_ = RegenerationMode::kLazy;
+  std::map<Key, int64_t> pending_;
+  int64_t inserts_seen_ = 0;
+  int64_t queries_seen_ = 0;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_DYNAMIC_H_

@@ -1,0 +1,20 @@
+#include "sieve/guard.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+ExprPtr CandidateGuard::ToExpr() const {
+  if (IsEquality()) {
+    return MakeColumnCompare(attr, CompareOp::kEq, lo);
+  }
+  return MakeBetween(attr, lo, hi);
+}
+
+std::string CandidateGuard::ToString() const {
+  return StrFormat("guard{%s in [%s..%s] |P|=%zu rho=%.4f}", attr.c_str(),
+                   lo.ToString().c_str(), hi.ToString().c_str(),
+                   policy_ids.size(), selectivity);
+}
+
+}  // namespace sieve

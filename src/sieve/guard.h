@@ -1,0 +1,68 @@
+#ifndef SIEVE_SIEVE_GUARD_H_
+#define SIEVE_SIEVE_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "expr/expr.h"
+
+namespace sieve {
+
+/// A candidate guard (Section 4.1): a closed interval on one indexed
+/// attribute, together with the ids of the policies whose object condition
+/// on that attribute is implied by the interval (the policy partition if the
+/// candidate is selected).
+struct CandidateGuard {
+  std::string attr;
+  Value lo;
+  Value hi;
+  std::vector<int64_t> policy_ids;
+  /// ρ(oc_g): estimated fraction of the table's rows matching the guard.
+  double selectivity = 0.0;
+
+  bool IsEquality() const { return lo.Compare(hi) == 0; }
+
+  /// attr = v or attr BETWEEN lo AND hi.
+  ExprPtr ToExpr() const;
+
+  std::string ToString() const;
+};
+
+/// A selected guard Gi = oc_g ∧ P_Gi with its chosen partition strategy.
+struct Guard {
+  int64_t id = -1;  ///< key in rGG; the Δ UDF receives this id
+  CandidateGuard guard;
+  /// True when the partition is evaluated through the Δ operator instead of
+  /// inlining its DNF (Section 5.4).
+  bool use_delta = false;
+};
+
+/// The guarded policy expression G(P) = G1 ∨ … ∨ Gn for one
+/// (querier, purpose, table) key (Section 3.2).
+struct GuardedExpression {
+  int64_t id = -1;  ///< key in rGE
+  std::string querier;
+  std::string purpose;
+  std::string table_name;
+  std::vector<Guard> guards;
+  double generation_ms = 0.0;  ///< time spent generating (Figure 2's metric)
+
+  size_t TotalPolicies() const {
+    size_t n = 0;
+    for (const auto& g : guards) n += g.guard.policy_ids.size();
+    return n;
+  }
+
+  /// Σ ρ(Gi): total estimated fraction of the table read through guards.
+  double TotalSelectivity() const {
+    double s = 0.0;
+    for (const auto& g : guards) s += g.guard.selectivity;
+    return s;
+  }
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_GUARD_H_

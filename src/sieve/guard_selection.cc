@@ -1,0 +1,89 @@
+#include "sieve/guard_selection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace sieve {
+
+std::vector<CandidateGuard> GuardSelector::Select(
+    std::vector<CandidateGuard> candidates, double table_rows) const {
+  std::vector<CandidateGuard> selected;
+
+  // The candidate pool is modest (one candidate per distinct condition plus
+  // merges), so a recompute-and-scan loop is simpler than a lazy heap and
+  // has the same output.
+  while (true) {
+    double best_utility = -1.0;
+    size_t best_idx = SIZE_MAX;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const CandidateGuard& cand = candidates[i];
+      if (cand.policy_ids.empty()) continue;
+      double utility = cost_->GuardUtility(
+          table_rows, cand.selectivity * table_rows, cand.policy_ids.size());
+      if (utility > best_utility) {
+        best_utility = utility;
+        best_idx = i;
+      }
+    }
+    if (best_idx == SIZE_MAX) break;
+
+    CandidateGuard winner = std::move(candidates[best_idx]);
+    candidates.erase(candidates.begin() + static_cast<long>(best_idx));
+
+    // Remove the winner's policies from every remaining candidate so each
+    // policy is covered exactly once.
+    std::unordered_set<int64_t> covered(winner.policy_ids.begin(),
+                                        winner.policy_ids.end());
+    for (auto& cand : candidates) {
+      auto last = std::remove_if(
+          cand.policy_ids.begin(), cand.policy_ids.end(),
+          [&covered](int64_t id) { return covered.count(id) > 0; });
+      cand.policy_ids.erase(last, cand.policy_ids.end());
+    }
+    selected.push_back(std::move(winner));
+  }
+  return selected;
+}
+
+Result<GuardedExpression> GuardedExpressionBuilder::Build(
+    const QueryMetadata& md, const std::string& table) const {
+  std::vector<const Policy*> relevant =
+      policies_->FilterByMetadata(md, table, resolver_);
+  return BuildFromPolicies(relevant, md, table);
+}
+
+Result<GuardedExpression> GuardedExpressionBuilder::BuildFromPolicies(
+    const std::vector<const Policy*>& policies, const QueryMetadata& md,
+    const std::string& table) const {
+  Timer timer;
+  GuardedExpression ge;
+  ge.querier = md.querier;
+  ge.purpose = md.purpose;
+  ge.table_name = table;
+
+  const TableEntry* entry = db_->catalog().Find(table);
+  if (entry == nullptr) {
+    return Status::NotFound("no such table: " + table);
+  }
+  double table_rows = static_cast<double>(entry->table->size());
+
+  CandidateGuardGenerator generator(db_, cost_);
+  std::vector<CandidateGuard> candidates = generator.Generate(policies, table);
+  GuardSelector selector(cost_);
+  std::vector<CandidateGuard> cover =
+      selector.Select(std::move(candidates), table_rows);
+
+  ge.guards.reserve(cover.size());
+  for (auto& cand : cover) {
+    Guard guard;
+    guard.guard = std::move(cand);
+    guard.use_delta = cost_->PreferDelta(guard.guard.policy_ids.size());
+    ge.guards.push_back(std::move(guard));
+  }
+  ge.generation_ms = timer.ElapsedMillis();
+  return ge;
+}
+
+}  // namespace sieve

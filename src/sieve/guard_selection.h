@@ -1,0 +1,63 @@
+#ifndef SIEVE_SIEVE_GUARD_SELECTION_H_
+#define SIEVE_SIEVE_GUARD_SELECTION_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "policy/policy_store.h"
+#include "sieve/candidate_guards.h"
+#include "sieve/cost_model.h"
+#include "sieve/guard.h"
+
+namespace sieve {
+
+/// Greedy weighted-set-cover selection of guards (Algorithm 1): candidates
+/// are ranked by utility = benefit / read_cost; the top candidate is taken,
+/// its policies are removed from all other candidates, utilities are
+/// recomputed, and the loop repeats until every policy is covered exactly
+/// once.
+class GuardSelector {
+ public:
+  explicit GuardSelector(const CostModel* cost) : cost_(cost) {}
+
+  /// Selects a cover from `candidates` for a table with `table_rows` rows.
+  /// Each returned guard's partition is disjoint from every other's, and the
+  /// union of partitions equals the union of candidate policy sets.
+  std::vector<CandidateGuard> Select(std::vector<CandidateGuard> candidates,
+                                     double table_rows) const;
+
+ private:
+  const CostModel* cost_;
+};
+
+/// One-stop guard generation for a (querier, purpose, table) key:
+/// metadata filter -> candidate generation -> Algorithm 1 selection ->
+/// inline-vs-Δ choice per guard. This is the routine whose latency Figure 2
+/// reports.
+class GuardedExpressionBuilder {
+ public:
+  GuardedExpressionBuilder(Database* db, const PolicyStore* policies,
+                           const CostModel* cost,
+                           const GroupResolver* resolver)
+      : db_(db), policies_(policies), cost_(cost), resolver_(resolver) {}
+
+  /// Builds G(P_QM) for the given metadata and table.
+  Result<GuardedExpression> Build(const QueryMetadata& md,
+                                  const std::string& table) const;
+
+  /// Builds G(P) from an explicit policy list (used by benches that sweep
+  /// policy-set sizes).
+  Result<GuardedExpression> BuildFromPolicies(
+      const std::vector<const Policy*>& policies, const QueryMetadata& md,
+      const std::string& table) const;
+
+ private:
+  Database* db_;
+  const PolicyStore* policies_;
+  const CostModel* cost_;
+  const GroupResolver* resolver_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_GUARD_SELECTION_H_

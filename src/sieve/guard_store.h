@@ -1,0 +1,89 @@
+#ifndef SIEVE_SIEVE_GUARD_STORE_H_
+#define SIEVE_SIEVE_GUARD_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "policy/policy_store.h"
+#include "sieve/guard.h"
+
+namespace sieve {
+
+/// Persistence and caching of guarded policy expressions (Section 5.1):
+///   rGE (id, querier, associated_table, purpose, action, outdated,
+///        ts_inserted_at)
+///   rGG (id, guard_expression_id, attr, op, val)        — the guards
+///   rGP (guard_id, policy_id)                            — the partitions
+/// The in-memory map is authoritative at query time; the `outdated` flag
+/// implements the paper's lazy regeneration: policy inserts only flip the
+/// flag, and the guarded expression is rebuilt when its querier next poses
+/// a query.
+class GuardStore {
+ public:
+  GuardStore(Database* db, const PolicyStore* policies)
+      : db_(db), policies_(policies) {}
+
+  /// Creates rGE / rGG / rGP (idempotent).
+  Status Init();
+
+  /// Stores a freshly generated guarded expression (assigning guard ids),
+  /// persists it, clears the outdated flag and invalidates Δ caches.
+  Result<int64_t> Put(GuardedExpression ge);
+
+  /// The cached guarded expression for a key; nullptr when never generated.
+  const GuardedExpression* Get(const std::string& querier,
+                               const std::string& purpose,
+                               const std::string& table) const;
+
+  bool IsOutdated(const std::string& querier, const std::string& purpose,
+                  const std::string& table) const;
+
+  /// Flips the outdated flag (called on policy insertions for the key).
+  void MarkOutdated(const std::string& querier, const std::string& purpose,
+                    const std::string& table);
+
+  /// Guard lookup by id (the Δ UDF's entry point).
+  const Guard* FindGuard(int64_t guard_id) const;
+
+  /// Policies of a guard's partition grouped by owner value — the context
+  /// filter the Δ operator applies before evaluating object conditions.
+  struct DeltaPolicyEntry {
+    int64_t policy_id;
+    ExprPtr object_expr;  // self-contained clone; survives policy mutations
+  };
+  struct DeltaPartition {
+    std::unordered_map<std::string, std::vector<DeltaPolicyEntry>> by_owner;
+  };
+  Result<const DeltaPartition*> GetDeltaPartition(int64_t guard_id);
+
+  size_t size() const { return memory_.size(); }
+
+ private:
+  struct Key {
+    std::string querier, purpose, table;
+    bool operator<(const Key& other) const;
+  };
+  struct Entry {
+    GuardedExpression ge;
+    bool outdated = false;
+  };
+
+  Status Persist(const GuardedExpression& ge);
+
+  Database* db_;
+  const PolicyStore* policies_;
+  std::map<Key, Entry> memory_;
+  std::unordered_map<int64_t, Key> guard_owner_;  // guard id -> GE key
+  std::unordered_map<int64_t, DeltaPartition> delta_cache_;
+  int64_t next_ge_id_ = 1;
+  int64_t next_guard_id_ = 1;
+  int64_t next_gg_row_id_ = 1;
+  int64_t logical_clock_ = 1;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_GUARD_STORE_H_

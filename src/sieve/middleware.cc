@@ -1,0 +1,99 @@
+#include "sieve/middleware.h"
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+#include "sieve/delta.h"
+
+namespace sieve {
+
+Status SieveMiddleware::Init() {
+  SIEVE_RETURN_IF_ERROR(policies_.Init());
+  SIEVE_RETURN_IF_ERROR(guards_.Init());
+  if (!db_->udfs().Contains(kDeltaUdfName)) {
+    SIEVE_RETURN_IF_ERROR(RegisterDeltaUdf(db_, &guards_));
+  }
+  if (options_.calibrate_cost_model) {
+    SIEVE_ASSIGN_OR_RETURN(CostParams params, CostModel::Calibrate(db_));
+    cost_.set_params(params);
+  }
+  dynamics_.set_mode(options_.regeneration_mode);
+  return Status::OK();
+}
+
+Result<int64_t> SieveMiddleware::AddPolicy(Policy policy) {
+  return dynamics_.InsertPolicy(std::move(policy));
+}
+
+Result<RewriteResult> SieveMiddleware::Rewrite(const std::string& sql,
+                                               const QueryMetadata& md) {
+  return rewriter_.RewriteSql(sql, md);
+}
+
+Result<ResultSet> SieveMiddleware::Execute(const std::string& sql,
+                                           const QueryMetadata& md) {
+  dynamics_.ObserveQuery();
+  SIEVE_ASSIGN_OR_RETURN(RewriteResult rewrite, rewriter_.RewriteSql(sql, md));
+  return db_->ExecuteStmt(*rewrite.stmt, &md, options_.timeout_seconds);
+}
+
+Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
+                                                    const QueryMetadata& md) {
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
+  SelectStmtPtr rewritten = stmt->Clone();
+
+  // Collect protected tables referenced by the query.
+  std::vector<std::string> tables;
+  for (const SelectStmt* arm = rewritten.get(); arm != nullptr;
+       arm = arm->union_next.get()) {
+    for (const auto& ref : arm->from) {
+      if (ref.subquery != nullptr) continue;
+      bool has_policy = false;
+      for (const Policy& p : policies_.policies()) {
+        if (EqualsIgnoreCase(p.table_name, ref.table_name)) {
+          has_policy = true;
+          break;
+        }
+      }
+      if (!has_policy) continue;
+      bool seen = false;
+      for (const auto& t : tables) {
+        if (EqualsIgnoreCase(t, ref.table_name)) seen = true;
+      }
+      if (!seen) tables.push_back(ref.table_name);
+    }
+  }
+
+  for (const std::string& table : tables) {
+    std::vector<const Policy*> relevant =
+        policies_.FilterByMetadata(md, table, resolver_);
+    auto cte_body = std::make_shared<SelectStmt>();
+    cte_body->select_star = true;
+    TableRef base;
+    base.table_name = table;
+    cte_body->from.push_back(base);
+    if (relevant.empty()) {
+      cte_body->where = MakeLiteral(Value::Bool(false));
+    } else {
+      std::vector<ExprPtr> policy_exprs;
+      policy_exprs.reserve(relevant.size());
+      for (const Policy* p : relevant) policy_exprs.push_back(p->ObjectExpr());
+      cte_body->where = MakeOr(std::move(policy_exprs));
+    }
+    std::string cte_name = "sieve_ref_" + ToLower(table);
+    rewritten->ctes.push_back({cte_name, cte_body});
+    for (SelectStmt* arm = rewritten.get(); arm != nullptr;
+         arm = arm->union_next.get()) {
+      for (auto& ref : arm->from) {
+        if (ref.subquery == nullptr &&
+            EqualsIgnoreCase(ref.table_name, table)) {
+          if (ref.alias.empty()) ref.alias = ref.table_name;
+          ref.table_name = cte_name;
+          ref.hint = IndexHint{};
+        }
+      }
+    }
+  }
+  return db_->ExecuteStmt(*rewritten, &md, options_.timeout_seconds);
+}
+
+}  // namespace sieve

@@ -1,0 +1,85 @@
+#ifndef SIEVE_SIEVE_MIDDLEWARE_H_
+#define SIEVE_SIEVE_MIDDLEWARE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "policy/policy_store.h"
+#include "sieve/cost_model.h"
+#include "sieve/dynamic.h"
+#include "sieve/guard_store.h"
+#include "sieve/rewriter.h"
+
+namespace sieve {
+
+/// Tuning knobs of the middleware.
+struct SieveOptions {
+  /// Query timeout in seconds (the paper's experiments use 30 s; 0 = none).
+  double timeout_seconds = 30.0;
+  /// Run cost-model calibration micro-benchmarks at Init (otherwise the
+  /// compiled-in defaults are used).
+  bool calibrate_cost_model = false;
+  /// Regeneration mode for dynamic policy insertions.
+  RegenerationMode regeneration_mode = RegenerationMode::kLazy;
+};
+
+/// The Sieve middleware facade (Section 5): intercepts queries, rewrites
+/// them into policy-compliant queries using guarded expressions and the Δ
+/// operator, and submits them to the underlying engine. One instance per
+/// Database.
+class SieveMiddleware {
+ public:
+  SieveMiddleware(Database* db, const GroupResolver* resolver,
+                  SieveOptions options = {})
+      : db_(db),
+        resolver_(resolver),
+        options_(options),
+        policies_(db),
+        guards_(db, &policies_),
+        rewriter_(db, &policies_, &guards_, &cost_, resolver),
+        dynamics_(db, &policies_, &guards_, &cost_, resolver) {}
+
+  /// Creates the policy/guard catalog tables, registers the Δ UDF and
+  /// (optionally) calibrates the cost model.
+  Status Init();
+
+  /// Adds a policy through the dynamic manager (marks guards outdated /
+  /// regenerates per the configured mode).
+  Result<int64_t> AddPolicy(Policy policy);
+
+  /// Rewrites without executing (inspection, tests, benches).
+  Result<RewriteResult> Rewrite(const std::string& sql,
+                                const QueryMetadata& md);
+
+  /// Full middleware path: rewrite + execute under the timeout.
+  Result<ResultSet> Execute(const std::string& sql, const QueryMetadata& md);
+
+  /// Reference enforcement: appends the plain DNF of the querier's policies
+  /// (no guards, no Δ, no hints) — the textbook query-rewrite semantics used
+  /// as the correctness oracle in tests.
+  Result<ResultSet> ExecuteReference(const std::string& sql,
+                                     const QueryMetadata& md);
+
+  Database& db() { return *db_; }
+  PolicyStore& policies() { return policies_; }
+  GuardStore& guards() { return guards_; }
+  CostModel& cost_model() { return cost_; }
+  QueryRewriter& rewriter() { return rewriter_; }
+  DynamicPolicyManager& dynamics() { return dynamics_; }
+  const SieveOptions& options() const { return options_; }
+
+ private:
+  Database* db_;
+  const GroupResolver* resolver_;
+  SieveOptions options_;
+  CostModel cost_;
+  PolicyStore policies_;
+  GuardStore guards_;
+  QueryRewriter rewriter_;
+  DynamicPolicyManager dynamics_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_MIDDLEWARE_H_

@@ -1,0 +1,394 @@
+#include "sieve/rewriter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+#include "sieve/delta.h"
+
+namespace sieve {
+
+const char* AccessStrategyName(AccessStrategy s) {
+  switch (s) {
+    case AccessStrategy::kLinearScan:
+      return "LinearScan";
+    case AccessStrategy::kIndexQuery:
+      return "IndexQuery";
+    case AccessStrategy::kIndexGuards:
+      return "IndexGuards";
+  }
+  return "?";
+}
+
+std::string TableRewriteInfo::ToString() const {
+  return StrFormat(
+      "table=%s strategy=%s policies=%zu guards=%zu delta=%zu "
+      "cost{lin=%.3g, idxq=%.3g, idxg=%.3g}%s",
+      table.c_str(), AccessStrategyName(strategy), num_policies, num_guards,
+      num_delta_guards, cost_linear, cost_index_query, cost_index_guards,
+      regenerated_guards ? " (guards regenerated)" : "");
+}
+
+ExprPtr QueryRewriter::GuardArmExpr(const Guard& guard, bool use_delta) const {
+  std::vector<ExprPtr> conj;
+  conj.push_back(guard.guard.ToExpr());
+  if (use_delta) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(Value::Int(guard.id)));
+    conj.push_back(MakeCompare(
+        CompareOp::kEq,
+        std::make_shared<UdfCallExpr>(kDeltaUdfName, std::move(args)),
+        MakeLiteral(Value::Bool(true))));
+  } else {
+    std::vector<ExprPtr> policy_exprs;
+    policy_exprs.reserve(guard.guard.policy_ids.size());
+    for (int64_t pid : guard.guard.policy_ids) {
+      const Policy* policy = policies_->FindPolicy(pid);
+      if (policy == nullptr) continue;
+      policy_exprs.push_back(policy->ObjectExpr());
+    }
+    conj.push_back(MakeOr(std::move(policy_exprs)));
+  }
+  return MakeAnd(std::move(conj));
+}
+
+Result<const GuardedExpression*> QueryRewriter::EnsureGuards(
+    const QueryMetadata& md, const std::string& table,
+    TableRewriteInfo* info) {
+  if (!guards_->IsOutdated(md.querier, md.purpose, table)) {
+    return guards_->Get(md.querier, md.purpose, table);
+  }
+  // Regenerate at query time — the paper's trigger-on-outdated behaviour.
+  SIEVE_ASSIGN_OR_RETURN(GuardedExpression ge, builder_.Build(md, table));
+  info->regenerated_guards = true;
+  info->guard_generation_ms = ge.generation_ms;
+  auto put = guards_->Put(std::move(ge));
+  if (!put.ok()) return put.status();
+  return guards_->Get(md.querier, md.purpose, table);
+}
+
+std::vector<ExprPtr> QueryRewriter::TableLocalConjuncts(
+    const SelectStmt& query, const std::string& table) const {
+  std::vector<ExprPtr> out;
+  if (query.where == nullptr) return out;
+  const TableEntry* entry = db_->catalog().Find(table);
+  if (entry == nullptr) return out;
+
+  // Qualified schema as the query sees this table.
+  std::string qualifier = table;
+  for (const auto& ref : query.from) {
+    if (EqualsIgnoreCase(ref.table_name, table)) {
+      qualifier = ref.EffectiveName();
+      break;
+    }
+  }
+  Schema qualified = QualifySchema(entry->table->schema(), qualifier);
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(query.where, &conjuncts);
+  for (const auto& conjunct : conjuncts) {
+    ExprPtr probe = conjunct->Clone();
+    if (BindExpr(probe.get(), qualified).ok()) {
+      // Strip the query's alias qualifier: inside the WITH body the table
+      // appears under its own name.
+      out.push_back(std::move(probe));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Removes alias qualifiers from every column reference so the conjunct can
+// bind inside the WITH body, where the table appears under its own name.
+void StripQualifiersInPlace(Expr* e) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      auto* ref = static_cast<ColumnRefExpr*>(e);
+      if (!ref->qualifier().empty()) {
+        // Rebuild without a qualifier by assigning through a fresh node.
+        *ref = ColumnRefExpr("", ref->name());
+      }
+      return;
+    }
+    case ExprKind::kComparison: {
+      auto* c = static_cast<ComparisonExpr*>(e);
+      StripQualifiersInPlace(c->mutable_left().get());
+      StripQualifiersInPlace(c->mutable_right().get());
+      return;
+    }
+    case ExprKind::kBetween: {
+      auto* b = static_cast<BetweenExpr*>(e);
+      StripQualifiersInPlace(b->mutable_input().get());
+      StripQualifiersInPlace(b->mutable_lo().get());
+      StripQualifiersInPlace(b->mutable_hi().get());
+      return;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e);
+      StripQualifiersInPlace(in->mutable_input().get());
+      for (auto& item : in->mutable_items()) StripQualifiersInPlace(item.get());
+      return;
+    }
+    case ExprKind::kAnd:
+      for (auto& c : static_cast<AndExpr*>(e)->mutable_children()) {
+        StripQualifiersInPlace(c.get());
+      }
+      return;
+    case ExprKind::kOr:
+      for (auto& c : static_cast<OrExpr*>(e)->mutable_children()) {
+        StripQualifiersInPlace(c.get());
+      }
+      return;
+    case ExprKind::kNot:
+      StripQualifiersInPlace(static_cast<NotExpr*>(e)->mutable_child().get());
+      return;
+    case ExprKind::kUdfCall:
+      for (auto& a : static_cast<UdfCallExpr*>(e)->mutable_args()) {
+        StripQualifiersInPlace(a.get());
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+ExprPtr StripBinding(const ExprPtr& e) {
+  ExprPtr clone = e->Clone();
+  StripQualifiersInPlace(clone.get());
+  return clone;
+}
+
+// Replaces references to `table` with the CTE `cte_name` in every UNION arm.
+void ReplaceTableRefs(SelectStmt* stmt, const std::string& table,
+                      const std::string& cte_name) {
+  for (SelectStmt* arm = stmt; arm != nullptr; arm = arm->union_next.get()) {
+    for (auto& ref : arm->from) {
+      if (ref.subquery != nullptr) {
+        ReplaceTableRefs(ref.subquery.get(), table, cte_name);
+        continue;
+      }
+      if (EqualsIgnoreCase(ref.table_name, table)) {
+        if (ref.alias.empty()) ref.alias = ref.table_name;
+        ref.table_name = cte_name;
+        ref.hint = IndexHint{};  // hints do not apply to derived tables
+      }
+    }
+  }
+}
+
+// Collects distinct base-table names referenced anywhere in the statement.
+void CollectTables(const SelectStmt& stmt, std::vector<std::string>* out) {
+  for (const SelectStmt* arm = &stmt; arm != nullptr;
+       arm = arm->union_next.get()) {
+    for (const auto& ref : arm->from) {
+      if (ref.subquery != nullptr) {
+        CollectTables(*ref.subquery, out);
+        continue;
+      }
+      bool seen = false;
+      for (const auto& t : *out) {
+        if (EqualsIgnoreCase(t, ref.table_name)) seen = true;
+      }
+      if (!seen) out->push_back(ref.table_name);
+    }
+    for (const auto& cte : arm->ctes) CollectTables(*cte.query, out);
+  }
+}
+
+}  // namespace
+
+Result<RewriteResult> QueryRewriter::RewriteSql(const std::string& sql,
+                                                const QueryMetadata& md) {
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
+  return Rewrite(*stmt, md);
+}
+
+Result<RewriteResult> QueryRewriter::Rewrite(const SelectStmt& query,
+                                             const QueryMetadata& md) {
+  RewriteResult result;
+  result.stmt = query.Clone();
+
+  std::vector<std::string> tables;
+  CollectTables(query, &tables);
+
+  const double cr_seq = cost_->params().cr_seq;
+  const double cr_random = cost_->params().cr_random;
+  const bool mysql_like = db_->profile().honor_index_hints;
+
+  for (const std::string& table : tables) {
+    // A table is protected iff any policy (for any querier) targets it.
+    bool protected_table = false;
+    for (const Policy& p : policies_->policies()) {
+      if (EqualsIgnoreCase(p.table_name, table)) {
+        protected_table = true;
+        break;
+      }
+    }
+    if (!protected_table) continue;
+
+    const TableEntry* entry = db_->catalog().Find(table);
+    if (entry == nullptr) continue;
+    const double n = static_cast<double>(entry->table->size());
+    const std::string cte_name = "sieve_" + ToLower(table);
+
+    TableRewriteInfo info;
+    info.table = table;
+
+    std::vector<const Policy*> relevant =
+        policies_->FilterByMetadata(md, table, resolver_);
+    info.num_policies = relevant.size();
+
+    auto cte_body = std::make_shared<SelectStmt>();
+    cte_body->select_star = true;
+    TableRef base;
+    base.table_name = table;
+    cte_body->from.push_back(base);
+
+    if (relevant.empty()) {
+      // Default-deny: no policy allows this querier anything on the table.
+      result.default_denied = true;
+      cte_body->where = MakeLiteral(Value::Bool(false));
+      result.stmt->ctes.push_back({cte_name, cte_body});
+      ReplaceTableRefs(result.stmt.get(), table, cte_name);
+      result.tables.push_back(std::move(info));
+      continue;
+    }
+
+    SIEVE_ASSIGN_OR_RETURN(const GuardedExpression* ge,
+                           EnsureGuards(md, table, &info));
+    info.num_guards = ge->guards.size();
+
+    if (ge->guards.empty()) {
+      // No indexable condition on any policy: fall back to a plain policy
+      // filter (equivalent to BaselineP for this table).
+      std::vector<ExprPtr> policy_exprs;
+      policy_exprs.reserve(relevant.size());
+      for (const Policy* p : relevant) policy_exprs.push_back(p->ObjectExpr());
+      cte_body->where = MakeOr(std::move(policy_exprs));
+      info.strategy = AccessStrategy::kLinearScan;
+      result.stmt->ctes.push_back({cte_name, cte_body});
+      ReplaceTableRefs(result.stmt.get(), table, cte_name);
+      result.tables.push_back(std::move(info));
+      continue;
+    }
+
+    // ---- Strategy selection (Section 5.5) ----
+    info.cost_linear = n * cr_seq;
+    info.cost_index_guards = ge->TotalSelectivity() * n * cr_random;
+    info.cost_index_query = std::numeric_limits<double>::infinity();
+    std::string query_index_column;
+    {
+      auto explain = db_->ExplainStmt(query);
+      if (explain.ok()) {
+        for (const auto& path : explain->tables) {
+          if (!EqualsIgnoreCase(path.table, table)) continue;
+          if (path.kind != AccessPathInfo::Kind::kSeqScan) {
+            info.cost_index_query = path.selectivity * n * cr_random;
+            query_index_column = path.index_column;
+          }
+          break;
+        }
+      }
+    }
+    AccessStrategy strategy = AccessStrategy::kIndexGuards;
+    double best = info.cost_index_guards;
+    if (info.cost_index_query < best) {
+      strategy = AccessStrategy::kIndexQuery;
+      best = info.cost_index_query;
+    }
+    if (info.cost_linear < best) {
+      strategy = AccessStrategy::kLinearScan;
+    }
+    info.strategy = strategy;
+
+    // ---- Build guard arms ----
+    std::vector<ExprPtr> local = TableLocalConjuncts(query, table);
+    std::vector<ExprPtr> arms;
+    arms.reserve(ge->guards.size());
+    for (const Guard& guard : ge->guards) {
+      bool use_delta = guard.use_delta;
+      if (use_delta) ++info.num_delta_guards;
+      arms.push_back(GuardArmExpr(guard, use_delta));
+    }
+
+    if (strategy == AccessStrategy::kIndexGuards && mysql_like) {
+      // One UNION arm per guard, each forcing the guard's index
+      // (Section 5.3's MySQL rewrite). Query-local predicates ride along in
+      // every arm (Section 5.5).
+      SelectStmtPtr head;
+      SelectStmt* tail = nullptr;
+      for (size_t i = 0; i < ge->guards.size(); ++i) {
+        auto arm_stmt = std::make_shared<SelectStmt>();
+        arm_stmt->select_star = true;
+        TableRef ref;
+        ref.table_name = table;
+        ref.hint.kind = IndexHint::Kind::kForceIndex;
+        ref.hint.columns.push_back(ge->guards[i].guard.attr);
+        arm_stmt->from.push_back(ref);
+        std::vector<ExprPtr> conj;
+        conj.push_back(arms[i]);
+        for (const auto& c : local) conj.push_back(StripBinding(c));
+        arm_stmt->where = MakeAnd(std::move(conj));
+        if (head == nullptr) {
+          head = arm_stmt;
+        } else {
+          tail->union_next = arm_stmt;
+          tail->union_all = false;  // UNION dedups rows hit by two guards
+        }
+        tail = arm_stmt.get();
+      }
+      cte_body = head;
+    } else {
+      // Single SELECT. For PostgreSQL-like engines the top-level OR of
+      // indexable guard arms is what triggers the bitmap-OR plan; pushing
+      // the query-local predicates *into* each arm keeps that shape.
+      std::vector<ExprPtr> or_arms;
+      or_arms.reserve(arms.size());
+      for (auto& arm : arms) {
+        if (strategy == AccessStrategy::kIndexGuards && !local.empty()) {
+          std::vector<ExprPtr> conj;
+          conj.push_back(arm);
+          for (const auto& c : local) conj.push_back(StripBinding(c));
+          or_arms.push_back(MakeAnd(std::move(conj)));
+        } else {
+          or_arms.push_back(arm);
+        }
+      }
+      ExprPtr guards_or = MakeOr(std::move(or_arms));
+
+      TableRef& ref = cte_body->from.front();
+      if (strategy == AccessStrategy::kIndexQuery) {
+        // Index on the query predicate; guards become residual filters.
+        std::vector<ExprPtr> conj;
+        for (const auto& c : local) conj.push_back(StripBinding(c));
+        conj.push_back(std::move(guards_or));
+        cte_body->where = MakeAnd(std::move(conj));
+        if (mysql_like && !query_index_column.empty()) {
+          ref.hint.kind = IndexHint::Kind::kForceIndex;
+          ref.hint.columns.push_back(query_index_column);
+        }
+      } else if (strategy == AccessStrategy::kLinearScan) {
+        std::vector<ExprPtr> conj;
+        for (const auto& c : local) conj.push_back(StripBinding(c));
+        conj.push_back(std::move(guards_or));
+        cte_body->where = MakeAnd(std::move(conj));
+        if (mysql_like) {
+          ref.hint.kind = IndexHint::Kind::kIgnoreAllIndexes;
+        }
+      } else {
+        cte_body->where = std::move(guards_or);
+      }
+    }
+
+    result.stmt->ctes.push_back({cte_name, cte_body});
+    ReplaceTableRefs(result.stmt.get(), table, cte_name);
+    result.tables.push_back(std::move(info));
+  }
+
+  result.sql = result.stmt->ToSql();
+  return result;
+}
+
+}  // namespace sieve

@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+Status Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto entry = std::make_unique<TableEntry>();
+  entry->table = std::make_unique<Table>(name, std::move(schema));
+  tables_.emplace_back(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      tables_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+TableEntry* Catalog::Find(const std::string& name) {
+  for (auto& [table_name, entry] : tables_) {
+    if (EqualsIgnoreCase(table_name, name)) return entry.get();
+  }
+  return nullptr;
+}
+
+const TableEntry* Catalog::Find(const std::string& name) const {
+  for (const auto& [table_name, entry] : tables_) {
+    if (EqualsIgnoreCase(table_name, name)) return entry.get();
+  }
+  return nullptr;
+}
+
+Result<TableEntry*> Catalog::Get(const std::string& name) {
+  TableEntry* entry = Find(name);
+  if (entry == nullptr) return Status::NotFound("no such table: " + name);
+  return entry;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [table_name, entry] : tables_) out.push_back(table_name);
+  return out;
+}
+
+}  // namespace sieve

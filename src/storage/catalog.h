@@ -1,0 +1,45 @@
+#ifndef SIEVE_STORAGE_CATALOG_H_
+#define SIEVE_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace sieve {
+
+/// A table together with its secondary indexes.
+struct TableEntry {
+  std::unique_ptr<Table> table;
+  IndexManager indexes;
+};
+
+/// Name -> table registry for one database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  TableEntry* Find(const std::string& name);
+  const TableEntry* Find(const std::string& name) const;
+
+  Result<TableEntry*> Get(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<TableEntry>>> tables_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_STORAGE_CATALOG_H_

@@ -1,0 +1,45 @@
+#ifndef SIEVE_STORAGE_SCHEMA_H_
+#define SIEVE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sieve {
+
+/// Definition of a single column: name and logical type.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// Ordered list of columns of a relation. Column lookup is by
+/// case-insensitive name; offsets are stable.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the offset of `name` or -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a column (used when deriving joined/projected schemas).
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_STORAGE_SCHEMA_H_

@@ -1,0 +1,31 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+Result<RowId> Table::Insert(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu of table %s",
+                  row.size(), schema_.num_columns(), name_.c_str()));
+  }
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+Status Table::Delete(RowId id) {
+  if (id < 0 || static_cast<size_t>(id) >= rows_.size()) {
+    return Status::NotFound(StrFormat("row id %lld out of range in table %s",
+                                      static_cast<long long>(id),
+                                      name_.c_str()));
+  }
+  if (!deleted_[static_cast<size_t>(id)]) {
+    deleted_[static_cast<size_t>(id)] = true;
+    ++num_deleted_;
+  }
+  return Status::OK();
+}
+
+}  // namespace sieve

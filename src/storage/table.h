@@ -1,0 +1,63 @@
+#ifndef SIEVE_STORAGE_TABLE_H_
+#define SIEVE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace sieve {
+
+using Row = std::vector<Value>;
+using RowId = int64_t;
+
+/// In-memory row store for one relation. Rows are append-only with tombstone
+/// deletion; RowIds are stable (positional), which secondary indexes rely on.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return rows_.size() - num_deleted_; }
+  /// Number of row slots including tombstones (max RowId + 1).
+  size_t num_slots() const { return rows_.size(); }
+
+  /// Appends a row; returns its RowId. The row arity must match the schema.
+  Result<RowId> Insert(Row row);
+
+  /// Marks a row deleted. Idempotent.
+  Status Delete(RowId id);
+
+  bool IsLive(RowId id) const {
+    return id >= 0 && static_cast<size_t>(id) < rows_.size() &&
+           !deleted_[static_cast<size_t>(id)];
+  }
+
+  const Row& Get(RowId id) const { return rows_[static_cast<size_t>(id)]; }
+
+  /// Invokes fn(row_id, row) for every live row.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!deleted_[i]) fn(static_cast<RowId>(i), rows_[i]);
+    }
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  size_t num_deleted_ = 0;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_STORAGE_TABLE_H_

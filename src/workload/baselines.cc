@@ -1,0 +1,257 @@
+#include "workload/baselines.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+#include "parser/parser.h"
+
+namespace sieve {
+
+const char* BaselineName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kP:
+      return "BaselineP";
+    case BaselineKind::kI:
+      return "BaselineI";
+    case BaselineKind::kU:
+      return "BaselineU";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr char kPolicyCheckUdf[] = "policy_check";
+
+// Finds the owner column (by bare-name suffix) in a qualified schema.
+int FindOwnerColumn(const Schema& schema) {
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const std::string& name = schema.column(i).name;
+    size_t dot = name.rfind('.');
+    std::string base = dot == std::string::npos ? name : name.substr(dot + 1);
+    if (EqualsIgnoreCase(base, "owner")) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Cache of owner -> pre-built policy expressions for one (querier, purpose,
+// table) key; BaselineU's UDF rebuilds it whenever the key changes.
+struct PolicyCheckCache {
+  std::string key;
+  std::unordered_map<std::string, std::vector<ExprPtr>> by_owner;
+};
+
+void ReplaceRefs(SelectStmt* stmt, const std::string& table,
+                 const std::string& cte_name) {
+  for (SelectStmt* arm = stmt; arm != nullptr; arm = arm->union_next.get()) {
+    for (auto& ref : arm->from) {
+      if (ref.subquery != nullptr) {
+        ReplaceRefs(ref.subquery.get(), table, cte_name);
+        continue;
+      }
+      if (EqualsIgnoreCase(ref.table_name, table)) {
+        if (ref.alias.empty()) ref.alias = ref.table_name;
+        ref.table_name = cte_name;
+        ref.hint = IndexHint{};
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status Baselines::Init() {
+  if (db_->udfs().Contains(kPolicyCheckUdf)) return Status::OK();
+  auto cache = std::make_shared<PolicyCheckCache>();
+  PolicyStore* policies = policies_;
+  const GroupResolver* resolver = resolver_;
+  return db_->udfs().Register(
+      kPolicyCheckUdf,
+      [cache, policies, resolver](const std::vector<Value>& args,
+                                  UdfContext& ctx) -> Result<Value> {
+        if (args.size() != 1 || args[0].type() != DataType::kString) {
+          return Status::InvalidArgument(
+              "policy_check() expects the protected table name");
+        }
+        if (ctx.metadata == nullptr) {
+          return Status::ExecutionError(
+              "policy_check() requires query metadata");
+        }
+        const std::string& table = args[0].AsString();
+        std::string key =
+            ctx.metadata->querier + "|" + ctx.metadata->purpose + "|" + table;
+        if (cache->key != key) {
+          cache->key = key;
+          cache->by_owner.clear();
+          for (const Policy* p :
+               policies->FilterByMetadata(*ctx.metadata, table, resolver)) {
+            cache->by_owner[p->owner.ToString()].push_back(p->ObjectExpr());
+          }
+        }
+        int owner_idx = FindOwnerColumn(*ctx.schema);
+        if (owner_idx < 0) {
+          return Status::ExecutionError(
+              "policy_check(): no owner attribute in tuple");
+        }
+        const Value& owner = (*ctx.row)[static_cast<size_t>(owner_idx)];
+        auto it = cache->by_owner.find(owner.ToString());
+        if (it == cache->by_owner.end()) return Value::Bool(false);
+        Evaluator evaluator(ctx.schema, ctx.db, ctx.metadata, ctx.stats);
+        for (const ExprPtr& expr : it->second) {
+          if (ctx.stats != nullptr) {
+            ++ctx.stats->policy_evals;
+            ++ctx.stats->udf_policy_checks;
+          }
+          SIEVE_ASSIGN_OR_RETURN(bool match,
+                                 evaluator.EvalPredicate(*expr, *ctx.row));
+          if (match) return Value::Bool(true);
+        }
+        return Value::Bool(false);
+      });
+}
+
+std::vector<std::string> Baselines::ProtectedTables(
+    const SelectStmt& query) const {
+  std::vector<std::string> out;
+  for (const SelectStmt* arm = &query; arm != nullptr;
+       arm = arm->union_next.get()) {
+    for (const auto& ref : arm->from) {
+      if (ref.subquery != nullptr) continue;
+      bool has_policy = false;
+      for (const Policy& p : policies_->policies()) {
+        if (EqualsIgnoreCase(p.table_name, ref.table_name)) {
+          has_policy = true;
+          break;
+        }
+      }
+      if (!has_policy) continue;
+      bool seen = false;
+      for (const auto& t : out) {
+        if (EqualsIgnoreCase(t, ref.table_name)) seen = true;
+      }
+      if (!seen) out.push_back(ref.table_name);
+    }
+  }
+  return out;
+}
+
+Result<SelectStmtPtr> Baselines::RewriteP(const SelectStmt& query,
+                                          const QueryMetadata& md) {
+  SelectStmtPtr out = query.Clone();
+  for (const std::string& table : ProtectedTables(query)) {
+    std::vector<const Policy*> relevant =
+        policies_->FilterByMetadata(md, table, resolver_);
+    ExprPtr policy_filter;
+    if (relevant.empty()) {
+      policy_filter = MakeLiteral(Value::Bool(false));
+    } else {
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(relevant.size());
+      for (const Policy* p : relevant) exprs.push_back(p->ObjectExpr());
+      policy_filter = MakeOr(std::move(exprs));
+    }
+    // <query predicate> AND (P1 OR ... OR Pn), appended to the WHERE clause.
+    if (out->where == nullptr) {
+      out->where = std::move(policy_filter);
+    } else {
+      std::vector<ExprPtr> conj;
+      conj.push_back(out->where);
+      conj.push_back(std::move(policy_filter));
+      out->where = MakeAnd(std::move(conj));
+    }
+  }
+  return out;
+}
+
+Result<SelectStmtPtr> Baselines::RewriteI(const SelectStmt& query,
+                                          const QueryMetadata& md) {
+  SelectStmtPtr out = query.Clone();
+  for (const std::string& table : ProtectedTables(query)) {
+    std::vector<const Policy*> relevant =
+        policies_->FilterByMetadata(md, table, resolver_);
+    std::string cte_name = "bi_" + ToLower(table);
+
+    SelectStmtPtr body;
+    if (relevant.empty()) {
+      body = std::make_shared<SelectStmt>();
+      body->select_star = true;
+      TableRef ref;
+      ref.table_name = table;
+      body->from.push_back(ref);
+      body->where = MakeLiteral(Value::Bool(false));
+    } else {
+      SelectStmt* tail = nullptr;
+      for (const Policy* p : relevant) {
+        auto arm = std::make_shared<SelectStmt>();
+        arm->select_star = true;
+        TableRef ref;
+        ref.table_name = table;
+        // Index scan per policy, forced on the owner index (every policy
+        // carries the indexed oc_owner).
+        ref.hint.kind = IndexHint::Kind::kForceIndex;
+        ref.hint.columns.push_back("owner");
+        arm->from.push_back(ref);
+        arm->where = p->ObjectExpr();
+        if (body == nullptr) {
+          body = arm;
+        } else {
+          tail->union_next = arm;
+          tail->union_all = false;  // UNION combines per-policy results
+        }
+        tail = arm.get();
+      }
+    }
+    out->ctes.push_back({cte_name, body});
+    ReplaceRefs(out.get(), table, cte_name);
+  }
+  return out;
+}
+
+Result<SelectStmtPtr> Baselines::RewriteU(const SelectStmt& query,
+                                          const QueryMetadata& md) {
+  (void)md;  // metadata flows to the UDF through the execution context
+  SelectStmtPtr out = query.Clone();
+  for (const std::string& table : ProtectedTables(query)) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(Value::String(table)));
+    ExprPtr call = MakeCompare(
+        CompareOp::kEq,
+        std::make_shared<UdfCallExpr>(kPolicyCheckUdf, std::move(args)),
+        MakeLiteral(Value::Bool(true)));
+    if (out->where == nullptr) {
+      out->where = std::move(call);
+    } else {
+      std::vector<ExprPtr> conj;
+      conj.push_back(out->where);
+      conj.push_back(std::move(call));
+      out->where = MakeAnd(std::move(conj));
+    }
+  }
+  return out;
+}
+
+Result<SelectStmtPtr> Baselines::Rewrite(BaselineKind kind,
+                                         const SelectStmt& query,
+                                         const QueryMetadata& md) {
+  switch (kind) {
+    case BaselineKind::kP:
+      return RewriteP(query, md);
+    case BaselineKind::kI:
+      return RewriteI(query, md);
+    case BaselineKind::kU:
+      return RewriteU(query, md);
+  }
+  return Status::Internal("unknown baseline kind");
+}
+
+Result<ResultSet> Baselines::Execute(BaselineKind kind, const std::string& sql,
+                                     const QueryMetadata& md,
+                                     double timeout_seconds) {
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr rewritten, Rewrite(kind, *stmt, md));
+  return db_->ExecuteStmt(*rewritten, &md, timeout_seconds);
+}
+
+}  // namespace sieve

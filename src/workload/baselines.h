@@ -1,0 +1,56 @@
+#ifndef SIEVE_WORKLOAD_BASELINES_H_
+#define SIEVE_WORKLOAD_BASELINES_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "parser/ast.h"
+#include "policy/policy_store.h"
+
+namespace sieve {
+
+/// The three access-control baselines of Experiment 3 (Section 7.2):
+///   kP — traditional query rewrite: the querier's policies are appended to
+///        the query WHERE clause as one big DNF;
+///   kI — one index scan per policy, forced via index hints, UNIONed;
+///   kU — a per-tuple UDF evaluates the querier's policies (filters them by
+///        tuple owner first, like Δ, but with no guards in front).
+enum class BaselineKind { kP, kI, kU };
+
+const char* BaselineName(BaselineKind kind);
+
+/// Rewrites queries per baseline and executes them on the engine.
+class Baselines {
+ public:
+  Baselines(Database* db, PolicyStore* policies, const GroupResolver* resolver)
+      : db_(db), policies_(policies), resolver_(resolver) {}
+
+  /// Registers the policy-check UDF used by BaselineU.
+  Status Init();
+
+  Result<SelectStmtPtr> Rewrite(BaselineKind kind, const SelectStmt& query,
+                                const QueryMetadata& md);
+
+  /// Parse + rewrite + execute with a timeout (seconds; 0 = none).
+  Result<ResultSet> Execute(BaselineKind kind, const std::string& sql,
+                            const QueryMetadata& md, double timeout_seconds);
+
+ private:
+  Result<SelectStmtPtr> RewriteP(const SelectStmt& query,
+                                 const QueryMetadata& md);
+  Result<SelectStmtPtr> RewriteI(const SelectStmt& query,
+                                 const QueryMetadata& md);
+  Result<SelectStmtPtr> RewriteU(const SelectStmt& query,
+                                 const QueryMetadata& md);
+
+  /// Protected tables referenced by the query (tables with any policy).
+  std::vector<std::string> ProtectedTables(const SelectStmt& query) const;
+
+  Database* db_;
+  PolicyStore* policies_;
+  const GroupResolver* resolver_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_BASELINES_H_

@@ -1,0 +1,174 @@
+#include "workload/mall.h"
+
+#include <algorithm>
+
+namespace sieve {
+
+namespace {
+constexpr char kTable[] = "WiFi_Connectivity";
+const char* kShopTypes[] = {"arcade",  "movies", "food",
+                            "fashion", "tech",   "grocery"};
+}  // namespace
+
+Result<MallDataset> MallGenerator::Populate(Database* db) const {
+  MallDataset ds;
+  ds.config = config_;
+  Rng rng(config_.seed);
+
+  SIEVE_ASSIGN_OR_RETURN(Value start, Value::ParseDate(config_.start_date));
+  ds.first_day = start.raw();
+
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Shops", Schema({{"id", DataType::kInt},
+                       {"name", DataType::kString},
+                       {"type", DataType::kString}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Mall_Users", Schema({{"id", DataType::kInt},
+                            {"device", DataType::kString},
+                            {"interest", DataType::kString}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      kTable, Schema({{"id", DataType::kInt},
+                      {"shop_id", DataType::kInt},
+                      {"owner", DataType::kInt},
+                      {"obs_time", DataType::kTime},
+                      {"obs_date", DataType::kDate}})));
+
+  ds.shop_types.resize(static_cast<size_t>(config_.num_shops));
+  for (int s = 0; s < config_.num_shops; ++s) {
+    ds.shop_types[static_cast<size_t>(s)] = kShopTypes[s % 6];
+    Row shop{Value::Int(s), Value::String(MallDataset::ShopName(s)),
+             Value::String(ds.shop_types[static_cast<size_t>(s)])};
+    auto st = db->Insert("Shops", std::move(shop));
+    if (!st.ok()) return st.status();
+  }
+
+  ds.regular.resize(static_cast<size_t>(config_.num_customers));
+  ds.favourite_shop.resize(static_cast<size_t>(config_.num_customers));
+  ds.interests.resize(static_cast<size_t>(config_.num_customers));
+  for (int c = 0; c < config_.num_customers; ++c) {
+    ds.regular[static_cast<size_t>(c)] = rng.Chance(0.45);
+    ds.favourite_shop[static_cast<size_t>(c)] =
+        static_cast<int>(rng.Skewed(config_.num_shops, 0.7));
+    ds.interests[static_cast<size_t>(c)] =
+        rng.Chance(0.5) ? kShopTypes[rng.Uniform(0, 5)] : "";
+    Row user{Value::Int(c), Value::String("cust_" + std::to_string(c)),
+             Value::String(ds.interests[static_cast<size_t>(c)])};
+    auto st = db->Insert("Mall_Users", std::move(user));
+    if (!st.ok()) return st.status();
+  }
+
+  // Weekly sale days (e.g. Saturdays).
+  for (int64_t day = 5; day < config_.num_days; day += 7) {
+    ds.sale_days.push_back(day);
+  }
+
+  int64_t event_id = 0;
+  for (int e = 0; e < config_.target_events; ++e) {
+    int c = static_cast<int>(
+        rng.Skewed(config_.num_customers, ds.regular.empty() ? 0.5 : 0.4));
+    bool is_regular = ds.regular[static_cast<size_t>(c)];
+    int shop = is_regular && rng.Chance(0.55)
+                   ? ds.favourite_shop[static_cast<size_t>(c)]
+                   : static_cast<int>(rng.Skewed(config_.num_shops, 0.5));
+    int64_t day = rng.Uniform(0, config_.num_days - 1);
+    if (!is_regular && !ds.sale_days.empty() && rng.Chance(0.5)) {
+      day = ds.sale_days[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(ds.sale_days.size()) - 1))];
+    }
+    // Mall hours 10:00-21:00, peak around 17:00.
+    double t = rng.Gaussian(17.0 * 3600, 2.5 * 3600);
+    int64_t seconds = static_cast<int64_t>(t);
+    if (seconds < 10 * 3600) seconds = 10 * 3600;
+    if (seconds > 21 * 3600) seconds = 21 * 3600 - 1;
+    Row event{Value::Int(event_id++), Value::Int(shop), Value::Int(c),
+              Value::Time(seconds), Value::Date(ds.first_day + day)};
+    auto st = db->Insert(kTable, std::move(event));
+    if (!st.ok()) return st.status();
+  }
+  ds.num_events = static_cast<size_t>(event_id);
+
+  for (const char* col : {"owner", "shop_id", "obs_time", "obs_date"}) {
+    SIEVE_RETURN_IF_ERROR(db->CreateIndex(kTable, col));
+  }
+  SIEVE_RETURN_IF_ERROR(db->Analyze());
+  return ds;
+}
+
+Result<size_t> MallPolicyGenerator::Generate(const MallDataset& ds,
+                                             PolicyStore* store) const {
+  Rng rng(seed_);
+  size_t count = 0;
+  const int num_shops = ds.config.num_shops;
+
+  auto add = [&](Policy p) -> Status {
+    auto added = store->AddPolicy(std::move(p));
+    if (!added.ok()) return added.status();
+    ++count;
+    return Status::OK();
+  };
+
+  for (int c = 0; c < ds.config.num_customers; ++c) {
+    if (ds.regular[static_cast<size_t>(c)]) {
+      // Regular: most-visited shops may see the customer during open hours.
+      int grants = static_cast<int>(rng.Uniform(2, 5));
+      for (int g = 0; g < grants; ++g) {
+        int shop = g == 0 ? ds.favourite_shop[static_cast<size_t>(c)]
+                          : static_cast<int>(rng.Skewed(num_shops, 0.7));
+        Policy p;
+        p.table_name = "WiFi_Connectivity";
+        p.owner = Value::Int(c);
+        p.querier = MallDataset::ShopName(shop);
+        p.purpose = "Marketing";
+        p.object_conditions.push_back(
+            ObjectCondition::Eq("owner", Value::Int(c)));
+        p.object_conditions.push_back(
+            ObjectCondition::Eq("shop_id", Value::Int(shop)));
+        p.object_conditions.push_back(ObjectCondition::Range(
+            "obs_time", Value::Time(10 * 3600), Value::Time(21 * 3600)));
+        SIEVE_RETURN_IF_ERROR(add(std::move(p)));
+      }
+    } else {
+      // Irregular: specific shops, only around sale days.
+      int grants = static_cast<int>(rng.Uniform(1, 3));
+      for (int g = 0; g < grants && !ds.sale_days.empty(); ++g) {
+        int shop = static_cast<int>(rng.Skewed(num_shops, 0.5));
+        int64_t day = ds.sale_days[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(ds.sale_days.size()) - 1))];
+        Policy p;
+        p.table_name = "WiFi_Connectivity";
+        p.owner = Value::Int(c);
+        p.querier = MallDataset::ShopName(shop);
+        p.purpose = "Marketing";
+        p.object_conditions.push_back(
+            ObjectCondition::Eq("owner", Value::Int(c)));
+        p.object_conditions.push_back(ObjectCondition::Range(
+            "obs_date", Value::Date(ds.first_day + day - 1),
+            Value::Date(ds.first_day + day + 1)));
+        SIEVE_RETURN_IF_ERROR(add(std::move(p)));
+      }
+    }
+    // Interest-driven lightning-sale grants to all shops of the category.
+    const std::string& interest = ds.interests[static_cast<size_t>(c)];
+    if (!interest.empty() && rng.Chance(0.6)) {
+      for (int s = 0; s < num_shops; ++s) {
+        if (ds.shop_types[static_cast<size_t>(s)] != interest) continue;
+        if (!rng.Chance(0.5)) continue;
+        int64_t start_h = rng.Uniform(11, 18);
+        Policy p;
+        p.table_name = "WiFi_Connectivity";
+        p.owner = Value::Int(c);
+        p.querier = MallDataset::ShopName(s);
+        p.purpose = "Marketing";
+        p.object_conditions.push_back(
+            ObjectCondition::Eq("owner", Value::Int(c)));
+        p.object_conditions.push_back(ObjectCondition::Range(
+            "obs_time", Value::Time(start_h * 3600),
+            Value::Time((start_h + 2) * 3600)));
+        SIEVE_RETURN_IF_ERROR(add(std::move(p)));
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace sieve

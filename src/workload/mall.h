@@ -1,0 +1,66 @@
+#ifndef SIEVE_WORKLOAD_MALL_H_
+#define SIEVE_WORKLOAD_MALL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "policy/policy_store.h"
+
+namespace sieve {
+
+/// Scale knobs for the synthetic Mall dataset (Section 7.1): shopping-mall
+/// WiFi connectivity with shops as queriers. The paper's corpus is 1.7M
+/// events / 2,651 customers / 35 shops / 19,364 policies.
+struct MallConfig {
+  int num_customers = 1500;
+  int num_shops = 35;
+  int num_days = 60;
+  int target_events = 150000;
+  std::string start_date = "2020-01-06";
+  uint64_t seed = 1234;
+};
+
+struct MallDataset {
+  MallConfig config;
+  int64_t first_day = 0;
+  std::vector<std::string> shop_types;      // per shop
+  std::vector<bool> regular;                // per customer
+  std::vector<int> favourite_shop;          // per customer
+  std::vector<std::string> interests;       // per customer (shop type or "")
+  std::vector<int64_t> sale_days;           // day offsets with sales
+  size_t num_events = 0;
+
+  static std::string ShopName(int shop) { return "shop" + std::to_string(shop); }
+};
+
+/// Creates the Mall schema (Table 3): Shops, Mall_Users, WiFi_Connectivity
+/// (shop_id, owner, obs_time, obs_date), with indexes and statistics.
+class MallGenerator {
+ public:
+  explicit MallGenerator(MallConfig config = {}) : config_(config) {}
+
+  Result<MallDataset> Populate(Database* db) const;
+
+ private:
+  MallConfig config_;
+};
+
+/// Policy generation for the Mall dataset: regular customers grant their
+/// most-visited shops access during opening hours; irregular customers grant
+/// specific shops around sale days; interest-driven short grants model
+/// lightning sales (Section 7.1).
+class MallPolicyGenerator {
+ public:
+  explicit MallPolicyGenerator(uint64_t seed = 99) : seed_(seed) {}
+
+  Result<size_t> Generate(const MallDataset& ds, PolicyStore* store) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_MALL_H_

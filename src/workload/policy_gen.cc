@@ -1,0 +1,150 @@
+#include "workload/policy_gen.h"
+
+namespace sieve {
+
+namespace {
+constexpr char kTable[] = "WiFi_Dataset";
+}  // namespace
+
+std::string TippersPolicyGenerator::PickQuerier(const TippersDataset& ds,
+                                                int device, Rng* rng) const {
+  // Skewed toward the people who actually pose queries on campus (faculty
+  // and staff), with group-level grants mixed in.
+  double roll = rng->NextDouble();
+  if (roll < 0.35) {
+    // Skewed: the few teaching faculty accumulate the bulk of the grants
+    // (everyone's advisor / instructor), like the paper's per-querier
+    // policy counts in the hundreds.
+    std::vector<int> faculty = ds.DevicesWithProfile("faculty");
+    if (!faculty.empty()) {
+      return TippersDataset::UserName(faculty[static_cast<size_t>(
+          rng->Skewed(static_cast<int64_t>(faculty.size()), 1.5))]);
+    }
+  } else if (roll < 0.55) {
+    std::vector<int> staff = ds.DevicesWithProfile("staff");
+    if (!staff.empty()) {
+      return TippersDataset::UserName(staff[static_cast<size_t>(
+          rng->Skewed(static_cast<int64_t>(staff.size()), 1.5))]);
+    }
+  } else if (roll < 0.75) {
+    int g = ds.group_of[static_cast<size_t>(device)];
+    if (g >= 0) return TippersDataset::GroupName(g);
+  }
+  std::vector<int> residents = ds.ResidentDevices();
+  return TippersDataset::UserName(residents[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(residents.size()) - 1))]);
+}
+
+Policy TippersPolicyGenerator::MakeAdvancedPolicy(const TippersDataset& ds,
+                                                  int device,
+                                                  const std::string& querier,
+                                                  const std::string& purpose,
+                                                  Rng* rng) const {
+  Policy p;
+  p.table_name = kTable;
+  p.owner = Value::Int(device);
+  p.action = PolicyAction::kAllow;
+  p.purpose = purpose;
+  p.querier = querier;
+
+  // Object conditions: oc_owner always; time/date/location optional.
+  p.object_conditions.push_back(
+      ObjectCondition::Eq("owner", Value::Int(device)));
+  if (rng->Chance(0.7)) {
+    int64_t start_h = rng->Uniform(7, 17);
+    int64_t dur_h = rng->Uniform(1, 6);
+    int64_t end_h = std::min<int64_t>(start_h + dur_h, 23);
+    p.object_conditions.push_back(ObjectCondition::Range(
+        "ts_time", Value::Time(start_h * 3600), Value::Time(end_h * 3600)));
+  }
+  if (rng->Chance(0.5)) {
+    int64_t start_d = rng->Uniform(0, ds.config.num_days - 2);
+    int64_t span = rng->Uniform(1, 30);
+    int64_t end_d =
+        std::min<int64_t>(start_d + span, ds.config.num_days - 1);
+    p.object_conditions.push_back(ObjectCondition::Range(
+        "ts_date", Value::Date(ds.first_day + start_d),
+        Value::Date(ds.first_day + end_d)));
+  }
+  if (rng->Chance(0.5)) {
+    int ap = rng->Chance(0.6)
+                 ? ds.home_ap[static_cast<size_t>(device)]
+                 : static_cast<int>(rng->Uniform(0, ds.config.num_aps - 1));
+    p.object_conditions.push_back(
+        ObjectCondition::Eq("wifiAP", Value::Int(ap)));
+  }
+  return p;
+}
+
+std::vector<Policy> TippersPolicyGenerator::PoliciesForUser(
+    const TippersDataset& ds, int device, bool advanced, Rng* rng) const {
+  std::vector<Policy> out;
+  const std::string& profile = ds.profiles[static_cast<size_t>(device)];
+  int group = ds.group_of[static_cast<size_t>(device)];
+
+  if (!advanced) {
+    // Default policy 1: data during working hours visible to the user's
+    // affinity group.
+    if (group >= 0) {
+      Policy p1;
+      p1.table_name = kTable;
+      p1.owner = Value::Int(device);
+      p1.querier = TippersDataset::GroupName(group);
+      p1.purpose = "any";
+      p1.object_conditions.push_back(
+          ObjectCondition::Eq("owner", Value::Int(device)));
+      p1.object_conditions.push_back(ObjectCondition::Range(
+          "ts_time", Value::Time(9 * 3600), Value::Time(18 * 3600)));
+      out.push_back(std::move(p1));
+    }
+    // Default policy 2: any-time data visible to same-profile peers.
+    Policy p2;
+    p2.table_name = kTable;
+    p2.owner = Value::Int(device);
+    p2.querier = TippersDataset::ProfileGroupName(profile);
+    p2.purpose = "any";
+    p2.object_conditions.push_back(
+        ObjectCondition::Eq("owner", Value::Int(device)));
+    out.push_back(std::move(p2));
+    while (static_cast<int>(out.size()) < config_.default_policies_per_user) {
+      out.push_back(out.back());
+    }
+    return out;
+  }
+
+  // Advanced users concentrate their rules on a handful of grantees (their
+  // advisor, a couple of colleagues, their group): ~6 policies per grantee.
+  out.reserve(static_cast<size_t>(config_.advanced_policies_per_user));
+  int remaining = config_.advanced_policies_per_user;
+  while (remaining > 0) {
+    std::string querier = PickQuerier(ds, device, rng);
+    // One grant purpose per burst: "these rules are for my advisor's
+    // analytics", not six unrelated purposes.
+    const std::string& purpose = config_.purposes[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(config_.purposes.size()) - 1))];
+    int burst = static_cast<int>(rng->Uniform(4, 8));
+    if (burst > remaining) burst = remaining;
+    for (int i = 0; i < burst; ++i) {
+      out.push_back(MakeAdvancedPolicy(ds, device, querier, purpose, rng));
+    }
+    remaining -= burst;
+  }
+  return out;
+}
+
+Result<size_t> TippersPolicyGenerator::Generate(const TippersDataset& ds,
+                                                PolicyStore* store) const {
+  Rng rng(config_.seed);
+  size_t count = 0;
+  for (int device : ds.ResidentDevices()) {
+    bool advanced = !rng.Chance(config_.unconcerned_fraction);
+    for (Policy& p : PoliciesForUser(ds, device, advanced, &rng)) {
+      auto added = store->AddPolicy(std::move(p));
+      if (!added.ok()) return added.status();
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sieve

@@ -1,0 +1,56 @@
+#ifndef SIEVE_WORKLOAD_POLICY_GEN_H_
+#define SIEVE_WORKLOAD_POLICY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "policy/policy_store.h"
+#include "workload/tippers.h"
+
+namespace sieve {
+
+/// Profile-based policy generation over the TIPPERS dataset (Section 7.1):
+/// unconcerned users subscribe to the administrator's default policies
+/// (group/profile based); advanced users define ~40 fine-grained policies
+/// each over device, time, date, groups and locations.
+struct PolicyGenConfig {
+  /// Fraction of residents that are unconcerned (paper's case study: 120 of
+  /// 200, i.e. 60%).
+  double unconcerned_fraction = 0.6;
+  int default_policies_per_user = 2;
+  int advanced_policies_per_user = 40;
+  std::vector<std::string> purposes = {"Analytics", "Attendance", "Social",
+                                       "Safety", "Commercial"};
+  uint64_t seed = 7;
+};
+
+class TippersPolicyGenerator {
+ public:
+  explicit TippersPolicyGenerator(PolicyGenConfig config = {})
+      : config_(config) {}
+
+  /// Generates the full corpus (all residents) into `store`; returns the
+  /// number of policies created.
+  Result<size_t> Generate(const TippersDataset& ds, PolicyStore* store) const;
+
+  /// Policies one user would define (without storing them) — used by the
+  /// dynamic-regeneration and guard-quality benches.
+  std::vector<Policy> PoliciesForUser(const TippersDataset& ds, int device,
+                                      bool advanced, Rng* rng) const;
+
+  const PolicyGenConfig& config() const { return config_; }
+
+ private:
+  std::string PickQuerier(const TippersDataset& ds, int device,
+                          Rng* rng) const;
+  Policy MakeAdvancedPolicy(const TippersDataset& ds, int device,
+                            const std::string& querier,
+                            const std::string& purpose, Rng* rng) const;
+
+  PolicyGenConfig config_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_POLICY_GEN_H_

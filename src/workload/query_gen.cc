@@ -1,0 +1,112 @@
+#include "workload/query_gen.h"
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+const char* QuerySelectivityName(QuerySelectivity s) {
+  switch (s) {
+    case QuerySelectivity::kLow:
+      return "low";
+    case QuerySelectivity::kMid:
+      return "mid";
+    case QuerySelectivity::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+TippersQueryGenerator::Window TippersQueryGenerator::MakeWindow(
+    QuerySelectivity sel) {
+  Window w;
+  const int num_days = ds_->config.num_days;
+  switch (sel) {
+    case QuerySelectivity::kLow: {
+      int64_t start_h = rng_.Uniform(9, 16);
+      w.t1 = start_h * 3600;
+      w.t2 = (start_h + 1) * 3600;
+      w.d1 = rng_.Uniform(0, num_days - 4);
+      w.d2 = w.d1 + 3;
+      break;
+    }
+    case QuerySelectivity::kMid: {
+      int64_t start_h = rng_.Uniform(8, 14);
+      w.t1 = start_h * 3600;
+      w.t2 = (start_h + 4) * 3600;
+      w.d1 = rng_.Uniform(0, num_days - 15);
+      w.d2 = w.d1 + 14;
+      break;
+    }
+    case QuerySelectivity::kHigh: {
+      w.t1 = 7 * 3600;
+      w.t2 = 21 * 3600;
+      w.d1 = 0;
+      w.d2 = num_days - 1;
+      break;
+    }
+  }
+  return w;
+}
+
+namespace {
+
+std::string DateLiteral(int64_t days) {
+  return Value::Date(days).ToSqlLiteral();
+}
+
+std::string TimeLiteral(int64_t seconds) {
+  return Value::Time(seconds).ToSqlLiteral();
+}
+
+}  // namespace
+
+std::string TippersQueryGenerator::Q1(QuerySelectivity sel) {
+  Window w = MakeWindow(sel);
+  int num_aps = sel == QuerySelectivity::kLow    ? 2
+                : sel == QuerySelectivity::kMid  ? 8
+                                                 : 24;
+  std::vector<std::string> aps;
+  for (int64_t ap : rng_.Sample(ds_->config.num_aps, num_aps)) {
+    aps.push_back(std::to_string(ap));
+  }
+  return StrFormat(
+      "SELECT * FROM WiFi_Dataset AS W WHERE W.wifiAP IN (%s) AND "
+      "W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN %s AND %s",
+      Join(aps, ", ").c_str(), TimeLiteral(w.t1).c_str(),
+      TimeLiteral(w.t2).c_str(), DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string TippersQueryGenerator::Q2(QuerySelectivity sel) {
+  Window w = MakeWindow(sel);
+  int num_devices = sel == QuerySelectivity::kLow    ? 5
+                    : sel == QuerySelectivity::kMid  ? 40
+                                                     : 300;
+  std::vector<std::string> devices;
+  for (int64_t d : rng_.Sample(ds_->config.num_devices, num_devices)) {
+    devices.push_back(std::to_string(d));
+  }
+  return StrFormat(
+      "SELECT * FROM WiFi_Dataset AS W WHERE W.owner IN (%s) AND "
+      "W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN %s AND %s",
+      Join(devices, ", ").c_str(), TimeLiteral(w.t1).c_str(),
+      TimeLiteral(w.t2).c_str(), DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string TippersQueryGenerator::Q3(QuerySelectivity sel, int group_id) {
+  Window w = MakeWindow(sel);
+  return StrFormat(
+      "SELECT * FROM WiFi_Dataset AS W, User_Group_Membership AS UG "
+      "WHERE UG.user_group_id = %d AND UG.user_id = W.owner AND "
+      "W.ts_time BETWEEN %s AND %s AND W.ts_date BETWEEN %s AND %s",
+      group_id, TimeLiteral(w.t1).c_str(), TimeLiteral(w.t2).c_str(),
+      DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string TippersQueryGenerator::SelectAll() {
+  return "SELECT * FROM WiFi_Dataset AS W";
+}
+
+}  // namespace sieve

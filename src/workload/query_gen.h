@@ -1,0 +1,50 @@
+#ifndef SIEVE_WORKLOAD_QUERY_GEN_H_
+#define SIEVE_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/tippers.h"
+
+namespace sieve {
+
+/// Query cardinality classes used throughout Section 7.
+enum class QuerySelectivity { kLow, kMid, kHigh };
+
+const char* QuerySelectivityName(QuerySelectivity s);
+
+/// Generates the SmartBench-derived query templates of Section 7.1 against
+/// the TIPPERS dataset:
+///   Q1 — devices seen at a list of locations in a time/date window
+///        (location surveillance);
+///   Q2 — events of a list of devices in a time/date window
+///        (device surveillance);
+///   Q3 — events of a user group in a time/date window (analytics join with
+///        User_Group_Membership).
+class TippersQueryGenerator {
+ public:
+  TippersQueryGenerator(const TippersDataset& ds, uint64_t seed = 11)
+      : ds_(&ds), rng_(seed) {}
+
+  std::string Q1(QuerySelectivity sel);
+  std::string Q2(QuerySelectivity sel);
+  std::string Q3(QuerySelectivity sel, int group_id);
+
+  /// A SELECT-ALL query over the whole WiFi dataset (Experiments 4 and 5).
+  static std::string SelectAll();
+
+ private:
+  struct Window {
+    int64_t t1, t2;  // seconds
+    int64_t d1, d2;  // day offsets
+  };
+  Window MakeWindow(QuerySelectivity sel);
+
+  const TippersDataset* ds_;
+  Rng rng_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_QUERY_GEN_H_

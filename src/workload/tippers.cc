@@ -1,0 +1,186 @@
+#include "workload/tippers.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sieve {
+
+std::vector<int> TippersDataset::DevicesWithProfile(
+    const std::string& profile) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i] == profile) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> TippersDataset::ResidentDevices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i] != "visitor") out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Result<TippersDataset> TippersGenerator::Populate(Database* db) const {
+  TippersDataset ds;
+  ds.config = config_;
+  Rng rng(config_.seed);
+
+  SIEVE_ASSIGN_OR_RETURN(Value start, Value::ParseDate(config_.start_date));
+  ds.first_day = start.raw();
+
+  // ---- Schema (Table 2) ----
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Users", Schema({{"id", DataType::kInt},
+                       {"device", DataType::kString},
+                       {"office", DataType::kInt}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "User_Groups", Schema({{"id", DataType::kInt},
+                             {"name", DataType::kString},
+                             {"owner", DataType::kString}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "User_Group_Membership", Schema({{"user_group_id", DataType::kInt},
+                                       {"user_id", DataType::kInt}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Location", Schema({{"id", DataType::kInt},
+                          {"name", DataType::kString},
+                          {"type", DataType::kString}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "WiFi_Dataset", Schema({{"id", DataType::kInt},
+                              {"wifiAP", DataType::kInt},
+                              {"owner", DataType::kInt},
+                              {"ts_time", DataType::kTime},
+                              {"ts_date", DataType::kDate}})));
+
+  // ---- Devices, profiles, groups ----
+  // Paper's classified population: 31,796 visitors, 1,029 staff, 388
+  // faculty, 1,795 undergrad, 1,428 grad out of 36,436.
+  const struct {
+    const char* name;
+    double fraction;
+  } kProfiles[] = {{"visitor", 0.8727},
+                   {"staff", 0.0282},
+                   {"faculty", 0.0106},
+                   {"undergrad", 0.0493},
+                   {"grad", 0.0392}};
+
+  ds.profiles.resize(static_cast<size_t>(config_.num_devices));
+  ds.home_ap.resize(static_cast<size_t>(config_.num_devices));
+  ds.group_of.assign(static_cast<size_t>(config_.num_devices), -1);
+
+  for (int d = 0; d < config_.num_devices; ++d) {
+    double roll = rng.NextDouble();
+    double acc = 0.0;
+    std::string profile = "grad";
+    for (const auto& p : kProfiles) {
+      acc += p.fraction;
+      if (roll < acc) {
+        profile = p.name;
+        break;
+      }
+    }
+    ds.profiles[static_cast<size_t>(d)] = profile;
+    ds.home_ap[static_cast<size_t>(d)] =
+        static_cast<int>(rng.Skewed(config_.num_aps, 0.6));
+
+    Row user{Value::Int(d), Value::String("device_" + std::to_string(d)),
+             Value::Int(ds.home_ap[static_cast<size_t>(d)])};
+    auto st = db->Insert("Users", std::move(user));
+    if (!st.ok()) return st.status();
+  }
+
+  // Affinity groups for residents: group follows the home AP.
+  for (int g = 0; g < config_.num_groups; ++g) {
+    Row group{Value::Int(g), Value::String(TippersDataset::GroupName(g)),
+              Value::String("admin")};
+    auto st = db->Insert("User_Groups", std::move(group));
+    if (!st.ok()) return st.status();
+  }
+  for (int d = 0; d < config_.num_devices; ++d) {
+    if (ds.profiles[static_cast<size_t>(d)] == "visitor") continue;
+    int g = ds.home_ap[static_cast<size_t>(d)] % config_.num_groups;
+    ds.group_of[static_cast<size_t>(d)] = g;
+    Row membership{Value::Int(g), Value::Int(d)};
+    auto st = db->Insert("User_Group_Membership", std::move(membership));
+    if (!st.ok()) return st.status();
+    ds.groups.AddMembership(TippersDataset::UserName(d),
+                            TippersDataset::GroupName(g));
+    ds.groups.AddMembership(
+        TippersDataset::UserName(d),
+        TippersDataset::ProfileGroupName(ds.profiles[static_cast<size_t>(d)]));
+  }
+
+  // APs as locations.
+  for (int ap = 0; ap < config_.num_aps; ++ap) {
+    Row loc{Value::Int(ap), Value::String("AP_" + std::to_string(ap)),
+            Value::String(ap % 4 == 0 ? "classroom"
+                          : ap % 4 == 1 ? "lab"
+                          : ap % 4 == 2 ? "office"
+                                        : "common")};
+    auto st = db->Insert("Location", std::move(loc));
+    if (!st.ok()) return st.status();
+  }
+
+  // ---- Connectivity events ----
+  // Visitors contribute a small trickle (paper: <5% of days); residents
+  // produce diurnal weekday traffic anchored at their home AP.
+  std::vector<int> residents = ds.ResidentDevices();
+  std::vector<int> visitors = ds.DevicesWithProfile("visitor");
+  int64_t event_id = 0;
+  size_t visitor_events = static_cast<size_t>(config_.target_events / 20);
+  size_t resident_events =
+      static_cast<size_t>(config_.target_events) - visitor_events;
+
+  auto insert_event = [&](int device, int ap, int64_t seconds,
+                          int64_t day) -> Status {
+    Row event{Value::Int(event_id++), Value::Int(ap), Value::Int(device),
+              Value::Time(seconds), Value::Date(ds.first_day + day)};
+    auto st = db->Insert("WiFi_Dataset", std::move(event));
+    return st.ok() ? Status::OK() : st.status();
+  };
+
+  for (size_t e = 0; e < visitor_events && !visitors.empty(); ++e) {
+    int device = visitors[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(visitors.size()) - 1))];
+    int ap = static_cast<int>(rng.Uniform(0, config_.num_aps - 1));
+    int64_t day = rng.Uniform(0, config_.num_days - 1);
+    int64_t seconds = rng.Uniform(7 * 3600, 21 * 3600);
+    SIEVE_RETURN_IF_ERROR(insert_event(device, ap, seconds, day));
+  }
+
+  for (size_t e = 0; e < resident_events && !residents.empty(); ++e) {
+    int device = residents[static_cast<size_t>(
+        rng.Skewed(static_cast<int64_t>(residents.size()), 0.3))];
+    // Weekday bias: 85% of events on Mon-Fri.
+    int64_t day;
+    do {
+      day = rng.Uniform(0, config_.num_days - 1);
+    } while ((ds.first_day + day) % 7 >= 5 && rng.NextDouble() < 0.85);
+    // Diurnal: normal around 13:00, clamped to 06:00-22:00.
+    double t = rng.Gaussian(13.0 * 3600, 3.0 * 3600);
+    int64_t seconds = static_cast<int64_t>(t);
+    if (seconds < 6 * 3600) seconds = 6 * 3600;
+    if (seconds > 22 * 3600) seconds = 22 * 3600 - 1;
+    // AP affinity: 60% home AP, else skewed across the rest.
+    int ap = ds.home_ap[static_cast<size_t>(device)];
+    if (!rng.Chance(0.6)) {
+      ap = static_cast<int>(rng.Skewed(config_.num_aps, 0.5));
+    }
+    SIEVE_RETURN_IF_ERROR(insert_event(device, ap, seconds, day));
+  }
+  ds.num_events = static_cast<size_t>(event_id);
+
+  // ---- Indexes + statistics ----
+  for (const char* col : {"owner", "wifiAP", "ts_time", "ts_date"}) {
+    SIEVE_RETURN_IF_ERROR(db->CreateIndex("WiFi_Dataset", col));
+  }
+  SIEVE_RETURN_IF_ERROR(db->CreateIndex("User_Group_Membership", "user_group_id"));
+  SIEVE_RETURN_IF_ERROR(db->CreateIndex("User_Group_Membership", "user_id"));
+  SIEVE_RETURN_IF_ERROR(db->CreateIndex("Users", "id"));
+  SIEVE_RETURN_IF_ERROR(db->Analyze());
+  return ds;
+}
+
+}  // namespace sieve

@@ -1,0 +1,69 @@
+#ifndef SIEVE_WORKLOAD_TIPPERS_H_
+#define SIEVE_WORKLOAD_TIPPERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "policy/policy.h"
+
+namespace sieve {
+
+/// Scale knobs for the synthetic TIPPERS-like campus WiFi dataset. The
+/// defaults are a laptop-scale rendition of the paper's corpus (3.9M events,
+/// 36K devices, 64 APs over ~3 months); the proportions — profile mix,
+/// events per device, group sizes — follow Section 7.1.
+struct TippersConfig {
+  int num_devices = 3000;
+  int num_aps = 64;
+  int num_days = 90;
+  int target_events = 300000;
+  int num_groups = 28;          // paper: 56 groups / 36K devices
+  std::string start_date = "2019-09-25";
+  uint64_t seed = 42;
+};
+
+/// Metadata of a generated dataset: per-device profiles, group assignments
+/// and the group resolver used for querier-condition matching.
+struct TippersDataset {
+  TippersConfig config;
+  int64_t first_day = 0;  ///< Date value (days since epoch) of day 0
+  /// Profile per device: "visitor", "staff", "faculty", "undergrad", "grad".
+  std::vector<std::string> profiles;
+  std::vector<int> home_ap;   ///< affinity AP per device
+  std::vector<int> group_of;  ///< affinity group per device (-1 for visitors)
+  MapGroupResolver groups;
+  size_t num_events = 0;
+
+  static std::string UserName(int device) {
+    return "u" + std::to_string(device);
+  }
+  static std::string GroupName(int group) {
+    return "grp" + std::to_string(group);
+  }
+  static std::string ProfileGroupName(const std::string& profile) {
+    return "profile_" + profile;
+  }
+
+  std::vector<int> DevicesWithProfile(const std::string& profile) const;
+  /// Devices that are not visitors (the policy-defining population).
+  std::vector<int> ResidentDevices() const;
+};
+
+/// Generates the TIPPERS schema (Table 2) and synthetic connectivity events
+/// with diurnal, weekday-skewed patterns and AP affinity, then builds the
+/// experiment indexes (owner, wifiAP, ts_time, ts_date) and statistics.
+class TippersGenerator {
+ public:
+  explicit TippersGenerator(TippersConfig config = {}) : config_(config) {}
+
+  Result<TippersDataset> Populate(Database* db) const;
+
+ private:
+  TippersConfig config_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_TIPPERS_H_

@@ -1,0 +1,127 @@
+#include "workload/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : store_(&campus_.db()),
+        baselines_(&campus_.db(), &store_, &campus_.groups()) {
+    EXPECT_TRUE(store_.Init().ok());
+    EXPECT_TRUE(baselines_.Init().ok());
+    for (int owner = 0; owner < 4; ++owner) {
+      EXPECT_TRUE(
+          store_.AddPolicy(campus_.MakePolicy(owner, "alice", "any", 9, 12))
+              .ok());
+    }
+  }
+
+  MiniCampus campus_;
+  PolicyStore store_;
+  Baselines baselines_;
+};
+
+TEST_F(BaselinesTest, RewritePAppendsDnfToWhere) {
+  auto stmt = Parser::Parse("SELECT * FROM wifi WHERE wifiAP = 1");
+  ASSERT_TRUE(stmt.ok());
+  auto rewritten = baselines_.Rewrite(BaselineKind::kP, **stmt, {"alice", "any"});
+  ASSERT_TRUE(rewritten.ok());
+  // WHERE becomes <orig> AND (P1 OR ... OR P4); no CTE.
+  EXPECT_TRUE((*rewritten)->ctes.empty());
+  ASSERT_NE((*rewritten)->where, nullptr);
+  EXPECT_EQ((*rewritten)->where->kind(), ExprKind::kAnd);
+  std::string sql = (*rewritten)->ToSql();
+  EXPECT_NE(sql.find("owner = 0"), std::string::npos);
+  EXPECT_NE(sql.find("owner = 3"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, RewriteIBuildsUnionOfIndexScans) {
+  auto stmt = Parser::Parse("SELECT * FROM wifi WHERE wifiAP = 1");
+  ASSERT_TRUE(stmt.ok());
+  auto rewritten = baselines_.Rewrite(BaselineKind::kI, **stmt, {"alice", "any"});
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_EQ((*rewritten)->ctes.size(), 1u);
+  // One UNION arm per policy, each forcing the owner index.
+  int arms = 0;
+  for (const SelectStmt* arm = (*rewritten)->ctes[0].query.get();
+       arm != nullptr; arm = arm->union_next.get()) {
+    ++arms;
+    ASSERT_EQ(arm->from.size(), 1u);
+    EXPECT_EQ(arm->from[0].hint.kind, IndexHint::Kind::kForceIndex);
+    ASSERT_EQ(arm->from[0].hint.columns.size(), 1u);
+    EXPECT_EQ(arm->from[0].hint.columns[0], "owner");
+  }
+  EXPECT_EQ(arms, 4);
+  // The outer query now reads from the CTE.
+  EXPECT_EQ((*rewritten)->from[0].table_name, "bi_wifi");
+}
+
+TEST_F(BaselinesTest, RewriteUAddsPolicyCheckCall) {
+  auto stmt = Parser::Parse("SELECT * FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto rewritten = baselines_.Rewrite(BaselineKind::kU, **stmt, {"alice", "any"});
+  ASSERT_TRUE(rewritten.ok());
+  std::string sql = (*rewritten)->ToSql();
+  EXPECT_NE(sql.find("policy_check('wifi') = true"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, AllBaselinesAgreeWithEachOther) {
+  QueryMetadata md{"alice", "any"};
+  const std::string sql = "SELECT * FROM wifi WHERE ts_time >= '08:00'";
+  auto p = baselines_.Execute(BaselineKind::kP, sql, md, 30.0);
+  auto i = baselines_.Execute(BaselineKind::kI, sql, md, 30.0);
+  auto u = baselines_.Execute(BaselineKind::kU, sql, md, 30.0);
+  ASSERT_TRUE(p.ok() && i.ok() && u.ok());
+  EXPECT_GT(p->size(), 0u);
+  EXPECT_EQ(p->size(), i->size());
+  EXPECT_EQ(p->size(), u->size());
+}
+
+TEST_F(BaselinesTest, UnknownQuerierDeniedByAllBaselines) {
+  QueryMetadata md{"mallory", "any"};
+  for (BaselineKind kind :
+       {BaselineKind::kP, BaselineKind::kI, BaselineKind::kU}) {
+    auto result = baselines_.Execute(kind, "SELECT * FROM wifi", md, 30.0);
+    ASSERT_TRUE(result.ok()) << BaselineName(kind);
+    EXPECT_EQ(result->size(), 0u) << BaselineName(kind);
+  }
+}
+
+TEST_F(BaselinesTest, GroupQuerierHonoredByAllBaselines) {
+  ASSERT_TRUE(
+      store_.AddPolicy(campus_.MakePolicy(7, "students", "Social")).ok());
+  QueryMetadata md{"bob", "Social"};  // bob ∈ students
+  for (BaselineKind kind :
+       {BaselineKind::kP, BaselineKind::kI, BaselineKind::kU}) {
+    auto result = baselines_.Execute(kind, "SELECT * FROM wifi", md, 30.0);
+    ASSERT_TRUE(result.ok()) << BaselineName(kind);
+    EXPECT_EQ(result->size(), 60u) << BaselineName(kind);
+  }
+}
+
+TEST_F(BaselinesTest, UnprotectedTableUntouched) {
+  ASSERT_TRUE(campus_.db()
+                  .CreateTable("free", Schema({{"x", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(campus_.db().Insert("free", Row{Value::Int(1)}).ok());
+  auto stmt = Parser::Parse("SELECT * FROM free");
+  ASSERT_TRUE(stmt.ok());
+  auto rewritten = baselines_.Rewrite(BaselineKind::kP, **stmt, {"alice", "any"});
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->where, nullptr);
+}
+
+TEST_F(BaselinesTest, BaselineNames) {
+  EXPECT_STREQ(BaselineName(BaselineKind::kP), "BaselineP");
+  EXPECT_STREQ(BaselineName(BaselineKind::kI), "BaselineI");
+  EXPECT_STREQ(BaselineName(BaselineKind::kU), "BaselineU");
+}
+
+}  // namespace
+}  // namespace sieve

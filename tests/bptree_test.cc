@@ -1,0 +1,166 @@
+#include "index/bptree.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sieve {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Lookup(Value::Int(1)).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SingleInsertLookup) {
+  BPlusTree tree;
+  tree.Insert(Value::Int(42), 7);
+  auto rows = tree.Lookup(Value::Int(42));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 7);
+  EXPECT_TRUE(tree.Lookup(Value::Int(41)).empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  BPlusTree tree;
+  for (RowId r = 0; r < 200; ++r) tree.Insert(Value::Int(5), r);
+  auto rows = tree.Lookup(Value::Int(5));
+  EXPECT_EQ(rows.size(), 200u);
+  // Row ids come back sorted (composite key order).
+  for (size_t i = 1; i < rows.size(); ++i) EXPECT_LT(rows[i - 1], rows[i]);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RangeScanInclusiveExclusive) {
+  BPlusTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(Value::Int(i), i);
+  EXPECT_EQ(tree.CountRange(Value::Int(10), true, Value::Int(20), true), 11u);
+  EXPECT_EQ(tree.CountRange(Value::Int(10), false, Value::Int(20), true), 10u);
+  EXPECT_EQ(tree.CountRange(Value::Int(10), true, Value::Int(20), false), 10u);
+  EXPECT_EQ(tree.CountRange(Value::Int(10), false, Value::Int(20), false), 9u);
+}
+
+TEST(BPlusTreeTest, OpenEndedRanges) {
+  BPlusTree tree;
+  for (int i = 0; i < 50; ++i) tree.Insert(Value::Int(i), i);
+  EXPECT_EQ(tree.CountRange(std::nullopt, true, Value::Int(9), true), 10u);
+  EXPECT_EQ(tree.CountRange(Value::Int(40), true, std::nullopt, true), 10u);
+  EXPECT_EQ(tree.CountRange(std::nullopt, true, std::nullopt, true), 50u);
+}
+
+TEST(BPlusTreeTest, EraseSpecificEntry) {
+  BPlusTree tree;
+  tree.Insert(Value::Int(1), 10);
+  tree.Insert(Value::Int(1), 11);
+  EXPECT_TRUE(tree.Erase(Value::Int(1), 10));
+  EXPECT_FALSE(tree.Erase(Value::Int(1), 10));  // already gone
+  auto rows = tree.Lookup(Value::Int(1));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 11);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree tree;
+  tree.Insert(Value::String("banana"), 1);
+  tree.Insert(Value::String("apple"), 2);
+  tree.Insert(Value::String("cherry"), 3);
+  auto rows = tree.LookupRange(Value::String("apple"), true,
+                               Value::String("banana"), true);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(BPlusTreeTest, EarlyStopVisitor) {
+  BPlusTree tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(Value::Int(i), i);
+  int visited = 0;
+  tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                 [&visited](const Value&, RowId) {
+                   ++visited;
+                   return visited < 10;
+                 });
+  EXPECT_EQ(visited, 10);
+}
+
+// Property test: the tree must agree with a std::multimap oracle under a
+// random workload of inserts, erases and range scans.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesMultimapOracle) {
+  const int n_ops = GetParam();
+  Rng rng(static_cast<uint64_t>(n_ops) * 7919);
+  BPlusTree tree;
+  std::multimap<int64_t, RowId> oracle;
+  RowId next_row = 0;
+
+  for (int op = 0; op < n_ops; ++op) {
+    double roll = rng.NextDouble();
+    if (roll < 0.7 || oracle.empty()) {
+      int64_t key = rng.Uniform(0, 500);
+      tree.Insert(Value::Int(key), next_row);
+      oracle.emplace(key, next_row);
+      ++next_row;
+    } else {
+      // Erase a random existing entry.
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(oracle.size()) - 1));
+      EXPECT_TRUE(tree.Erase(Value::Int(it->first), it->second));
+      oracle.erase(it);
+    }
+
+    if (op % 97 == 0) {
+      int64_t lo = rng.Uniform(0, 400);
+      int64_t hi = lo + rng.Uniform(0, 150);
+      size_t expected = 0;
+      for (auto it = oracle.lower_bound(lo);
+           it != oracle.end() && it->first <= hi; ++it) {
+        ++expected;
+      }
+      EXPECT_EQ(tree.CountRange(Value::Int(lo), true, Value::Int(hi), true),
+                expected)
+          << "range [" << lo << "," << hi << "] after op " << op;
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  // Full scan agrees with the sorted oracle.
+  std::vector<std::pair<int64_t, RowId>> scanned;
+  tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                 [&scanned](const Value& k, RowId r) {
+                   scanned.emplace_back(k.AsInt(), r);
+                   return true;
+                 });
+  std::vector<std::pair<int64_t, RowId>> expected(oracle.begin(), oracle.end());
+  // The oracle multimap preserves insertion order within a key; the tree
+  // orders by row id. Sort both for comparison.
+  std::sort(expected.begin(), expected.end());
+  std::sort(scanned.begin(), scanned.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BPlusTreePropertyTest,
+                         ::testing::Values(50, 500, 2000, 10000, 40000));
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree;
+  for (int i = 0; i < 100000; ++i) tree.Insert(Value::Int(i), i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.height(), 5);
+  EXPECT_EQ(tree.size(), 100000u);
+}
+
+TEST(BPlusTreeTest, DescendingInsertOrder) {
+  BPlusTree tree;
+  for (int i = 5000; i > 0; --i) tree.Insert(Value::Int(i), i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.CountRange(Value::Int(1), true, Value::Int(5000), true),
+            5000u);
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,124 @@
+#include "sieve/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "sieve/guard_selection.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+class DeltaTest : public ::testing::Test {
+ protected:
+  DeltaTest() : store_(&campus_.db()), guards_(&campus_.db(), &store_) {
+    EXPECT_TRUE(store_.Init().ok());
+    EXPECT_TRUE(guards_.Init().ok());
+    EXPECT_TRUE(RegisterDeltaUdf(&campus_.db(), &guards_).ok());
+  }
+
+  // Builds and stores a guarded expression for the given policies; returns
+  // the ids of its guards.
+  std::vector<int64_t> BuildGuards(std::vector<Policy> policies) {
+    std::vector<int64_t> ids;
+    for (auto& p : policies) {
+      auto id = store_.AddPolicy(std::move(p));
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    std::vector<const Policy*> stored;
+    for (int64_t id : ids) stored.push_back(store_.FindPolicy(id));
+    CostModel cost;
+    GuardedExpressionBuilder builder(&campus_.db(), &store_, &cost, nullptr);
+    auto ge = builder.BuildFromPolicies(stored, {"alice", "any"}, "wifi");
+    EXPECT_TRUE(ge.ok());
+    EXPECT_TRUE(guards_.Put(std::move(ge).value()).ok());
+    std::vector<int64_t> guard_ids;
+    for (const auto& g : guards_.Get("alice", "any", "wifi")->guards) {
+      guard_ids.push_back(g.id);
+    }
+    return guard_ids;
+  }
+
+  MiniCampus campus_;
+  PolicyStore store_;
+  GuardStore guards_;
+};
+
+TEST_F(DeltaTest, MatchesInlineEvaluation) {
+  auto guard_ids = BuildGuards({campus_.MakePolicy(1, "alice", "any", 9, 11),
+                                campus_.MakePolicy(2, "alice", "any", 9, 11)});
+  ASSERT_FALSE(guard_ids.empty());
+
+  // For each guard: delta(gid) over the whole table must select exactly the
+  // rows the inlined partition DNF selects.
+  for (int64_t gid : guard_ids) {
+    const Guard* guard = guards_.FindGuard(gid);
+    ASSERT_NE(guard, nullptr);
+    std::vector<ExprPtr> partition;
+    for (int64_t pid : guard->guard.policy_ids) {
+      partition.push_back(store_.FindPolicy(pid)->ObjectExpr());
+    }
+    std::string inline_sql = "SELECT COUNT(*) FROM wifi WHERE " +
+                             MakeOr(std::move(partition))->ToSql();
+    std::string delta_sql = "SELECT COUNT(*) FROM wifi WHERE delta(" +
+                            std::to_string(gid) + ") = true";
+    QueryMetadata md{"alice", "any"};
+    auto inline_result = campus_.db().ExecuteSql(inline_sql, &md);
+    auto delta_result = campus_.db().ExecuteSql(delta_sql, &md);
+    ASSERT_TRUE(inline_result.ok()) << inline_result.status().ToString();
+    ASSERT_TRUE(delta_result.ok()) << delta_result.status().ToString();
+    EXPECT_EQ(inline_result->rows[0][0].AsInt(),
+              delta_result->rows[0][0].AsInt());
+  }
+}
+
+TEST_F(DeltaTest, CountsUdfInvocationsAndPolicyChecks) {
+  auto guard_ids = BuildGuards({campus_.MakePolicy(3, "alice", "any")});
+  ASSERT_FALSE(guard_ids.empty());
+  QueryMetadata md{"alice", "any"};
+  auto result = campus_.db().ExecuteSql(
+      "SELECT * FROM wifi USE INDEX () WHERE delta(" +
+          std::to_string(guard_ids[0]) + ") = true",
+      &md);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.udf_invocations, 600u);  // once per tuple
+  // Context filter: only owner 3's 60 tuples reach policy evaluation.
+  EXPECT_EQ(result->stats.udf_policy_checks, 60u);
+  EXPECT_EQ(result->size(), 60u);
+}
+
+TEST_F(DeltaTest, UnknownGuardIdFails) {
+  QueryMetadata md{"alice", "any"};
+  auto result =
+      campus_.db().ExecuteSql("SELECT * FROM wifi WHERE delta(9999) = true", &md);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DeltaTest, BadArgumentsFail) {
+  QueryMetadata md{"alice", "any"};
+  EXPECT_FALSE(
+      campus_.db()
+          .ExecuteSql("SELECT * FROM wifi WHERE delta('x') = true", &md)
+          .ok());
+  EXPECT_FALSE(campus_.db()
+                   .ExecuteSql("SELECT * FROM wifi WHERE delta() = true", &md)
+                   .ok());
+}
+
+TEST_F(DeltaTest, RespectsOwnerContextFilter) {
+  auto guard_ids = BuildGuards({campus_.MakePolicy(1, "alice", "any"),
+                                campus_.MakePolicy(2, "alice", "any", 9, 10)});
+  QueryMetadata md{"alice", "any"};
+  // Rows of owner 5 never match: no policy with owner 5 in any partition.
+  for (int64_t gid : guard_ids) {
+    auto result = campus_.db().ExecuteSql(
+        "SELECT COUNT(*) FROM wifi WHERE owner = 5 AND delta(" +
+            std::to_string(gid) + ") = true",
+        &md);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows[0][0].AsInt(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace sieve

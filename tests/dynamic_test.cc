@@ -1,0 +1,91 @@
+#include "sieve/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+class DynamicTest : public ::testing::Test {
+ protected:
+  DynamicTest() : sieve_(&campus_.db(), &campus_.groups(), Options()) {
+    EXPECT_TRUE(sieve_.Init().ok());
+  }
+
+  static SieveOptions Options() {
+    SieveOptions o;
+    o.regeneration_mode = RegenerationMode::kLazy;
+    return o;
+  }
+
+  MiniCampus campus_;
+  SieveMiddleware sieve_;
+};
+
+TEST_F(DynamicTest, LazyModeOnlyFlipsFlag) {
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "Analytics")).ok());
+  // Nothing generated yet; the flag lifecycle starts at query time.
+  ASSERT_TRUE(sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"}).ok());
+  EXPECT_FALSE(sieve_.guards().IsOutdated("alice", "Analytics", "wifi"));
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(2, "alice", "Analytics")).ok());
+  EXPECT_TRUE(sieve_.guards().IsOutdated("alice", "Analytics", "wifi"));
+  EXPECT_EQ(sieve_.dynamics().PendingInsertions("alice", "Analytics", "wifi"),
+            2);
+}
+
+TEST_F(DynamicTest, EagerModeRegenerates) {
+  sieve_.dynamics().set_mode(RegenerationMode::kEagerEveryK);
+  for (int owner = 0; owner < 6; ++owner) {
+    ASSERT_TRUE(
+        sieve_.AddPolicy(campus_.MakePolicy(owner, "carol", "Social")).ok());
+  }
+  // Eager mode must have produced a guarded expression without any query.
+  const GuardedExpression* ge = sieve_.guards().Get("carol", "Social", "wifi");
+  ASSERT_NE(ge, nullptr);
+  EXPECT_GE(ge->guards.size(), 1u);
+}
+
+TEST_F(DynamicTest, ResultsStayCorrectUnderInsertions) {
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(
+        sieve_
+            .AddPolicy(campus_.MakePolicy(round, "alice", "Analytics", 8, 15))
+            .ok());
+    auto fast = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+    auto oracle =
+        sieve_.ExecuteReference("SELECT * FROM wifi", {"alice", "Analytics"});
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(fast->size(), oracle->size()) << "round " << round;
+  }
+}
+
+TEST_F(DynamicTest, PolicyRemovalAfterRegenerationIsEnforced) {
+  auto id1 = sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "Analytics"));
+  auto id2 = sieve_.AddPolicy(campus_.MakePolicy(2, "alice", "Analytics"));
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  auto before = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 120u);
+
+  ASSERT_TRUE(sieve_.policies().RemovePolicy(*id2).ok());
+  sieve_.guards().MarkOutdated("alice", "Analytics", "wifi");
+  auto after = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 60u);
+}
+
+TEST_F(DynamicTest, CurrentOptimalKIsFinitePositive) {
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "Analytics")).ok());
+  ASSERT_TRUE(sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"}).ok());
+  double k = sieve_.dynamics().CurrentOptimalK("alice", "Analytics", "wifi");
+  EXPECT_GE(k, 1.0);
+  EXPECT_LT(k, 1e9);
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,171 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "parser/parser.h"
+
+namespace sieve {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"owner", DataType::kInt},
+                 {"wifiAP", DataType::kInt},
+                 {"ts_time", DataType::kTime},
+                 {"ts_date", DataType::kDate},
+                 {"name", DataType::kString}});
+}
+
+Row TestRow() {
+  return Row{Value::Int(7), Value::Int(1200), Value::Time(9 * 3600 + 1800),
+             Value::Date(18000), Value::String("john")};
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  Result<Value> Eval(const std::string& text) {
+    auto expr = Parser::ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << text;
+    Status bound = BindExpr(expr->get(), schema_);
+    EXPECT_TRUE(bound.ok()) << bound.ToString();
+    Evaluator evaluator(&schema_, nullptr, nullptr, &stats_);
+    return evaluator.Eval(**expr, row_);
+  }
+
+  bool EvalBool(const std::string& text) {
+    auto v = Eval(text);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return !v->is_null() && v->AsBool();
+  }
+
+  Schema schema_ = TestSchema();
+  Row row_ = TestRow();
+  ExecStats stats_;
+};
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_TRUE(EvalBool("owner = 7"));
+  EXPECT_FALSE(EvalBool("owner = 8"));
+  EXPECT_TRUE(EvalBool("owner != 8"));
+  EXPECT_TRUE(EvalBool("wifiAP >= 1200"));
+  EXPECT_FALSE(EvalBool("wifiAP > 1200"));
+  EXPECT_TRUE(EvalBool("owner < 100"));
+}
+
+TEST_F(ExprEvalTest, TimeCoercion) {
+  // The binder coerces '09:00' to a Time value for the ts_time column.
+  EXPECT_TRUE(EvalBool("ts_time >= '09:00'"));
+  EXPECT_TRUE(EvalBool("ts_time BETWEEN '09:00' AND '10:00'"));
+  EXPECT_FALSE(EvalBool("ts_time BETWEEN '10:00' AND '11:00'"));
+}
+
+TEST_F(ExprEvalTest, DateCoercion) {
+  std::string date = Value::Date(18000).ToString();
+  EXPECT_TRUE(EvalBool("ts_date = '" + date + "'"));
+}
+
+TEST_F(ExprEvalTest, InList) {
+  EXPECT_TRUE(EvalBool("wifiAP IN (1100, 1200, 1300)"));
+  EXPECT_FALSE(EvalBool("wifiAP IN (1, 2)"));
+  EXPECT_TRUE(EvalBool("wifiAP NOT IN (1, 2)"));
+}
+
+TEST_F(ExprEvalTest, BooleanConnectives) {
+  EXPECT_TRUE(EvalBool("owner = 7 AND wifiAP = 1200"));
+  EXPECT_FALSE(EvalBool("owner = 7 AND wifiAP = 1"));
+  EXPECT_TRUE(EvalBool("owner = 0 OR wifiAP = 1200"));
+  EXPECT_TRUE(EvalBool("NOT owner = 8"));
+}
+
+TEST_F(ExprEvalTest, StringCompare) {
+  EXPECT_TRUE(EvalBool("name = 'john'"));
+  EXPECT_FALSE(EvalBool("name = 'John'"));  // case sensitive values
+}
+
+TEST_F(ExprEvalTest, ComparisonCounterIncrements) {
+  stats_ = ExecStats();
+  EvalBool("owner = 7 AND wifiAP = 1200");
+  EXPECT_EQ(stats_.comparisons, 2u);
+}
+
+TEST_F(ExprEvalTest, OrShortCircuits) {
+  stats_ = ExecStats();
+  EvalBool("owner = 7 OR wifiAP = 1200 OR name = 'john'");
+  EXPECT_EQ(stats_.comparisons, 1u);  // first disjunct matched
+}
+
+TEST_F(ExprEvalTest, UnknownColumnFailsBinding) {
+  auto expr = Parser::ParseExpression("nosuch = 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(BindExpr(expr->get(), schema_).ok());
+}
+
+TEST(ExprBindTest, QualifiedSuffixMatching) {
+  Schema qualified({{"W.owner", DataType::kInt}, {"W.wifiAP", DataType::kInt}});
+  auto plain = Parser::ParseExpression("owner = 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(BindExpr(plain->get(), qualified).ok());
+
+  auto exact = Parser::ParseExpression("W.owner = 1");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(BindExpr(exact->get(), qualified).ok());
+
+  auto wrong_qual = Parser::ParseExpression("X.owner = 1");
+  ASSERT_TRUE(wrong_qual.ok());
+  EXPECT_FALSE(BindExpr(wrong_qual->get(), qualified).ok());
+}
+
+TEST(ExprBindTest, AmbiguousSuffixRejected) {
+  Schema joined({{"W.id", DataType::kInt}, {"U.id", DataType::kInt}});
+  auto plain = Parser::ParseExpression("id = 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(BindExpr(plain->get(), joined).ok());
+  auto qualified = Parser::ParseExpression("U.id = 1");
+  ASSERT_TRUE(qualified.ok());
+  EXPECT_TRUE(BindExpr(qualified->get(), joined).ok());
+}
+
+TEST(ExprUtilTest, FlattenConjuncts) {
+  auto expr = Parser::ParseExpression("a = 1 AND b = 2 AND (c = 3 OR d = 4)");
+  ASSERT_TRUE(expr.ok());
+  std::vector<ExprPtr> out;
+  FlattenConjuncts(*expr, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2]->kind(), ExprKind::kOr);
+}
+
+TEST(ExprUtilTest, MakeAndOrSimplify) {
+  EXPECT_EQ(MakeAnd({})->kind(), ExprKind::kLiteral);
+  ExprPtr single = MakeColumnCompare("a", CompareOp::kEq, Value::Int(1));
+  EXPECT_EQ(MakeAnd({single}), single);
+  EXPECT_EQ(MakeOr({})->kind(), ExprKind::kLiteral);
+}
+
+TEST(ExprUtilTest, CloneIsDeep) {
+  auto expr = Parser::ParseExpression("a = 1 AND b BETWEEN 2 AND 3");
+  ASSERT_TRUE(expr.ok());
+  ExprPtr clone = (*expr)->Clone();
+  EXPECT_TRUE(ExprEquals(**expr, *clone));
+  EXPECT_NE(expr->get(), clone.get());
+}
+
+TEST(ExprUtilTest, ToSqlRoundTrips) {
+  const char* cases[] = {
+      "owner = 7",
+      "a = 1 AND (b = 2 OR c = 3)",
+      "x BETWEEN 1 AND 10",
+      "y IN (1, 2, 3)",
+      "NOT (a = 1)",
+      "delta(42) = true",
+  };
+  for (const char* text : cases) {
+    auto expr = Parser::ParseExpression(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    auto reparsed = Parser::ParseExpression((*expr)->ToSql());
+    ASSERT_TRUE(reparsed.ok()) << (*expr)->ToSql();
+    EXPECT_TRUE(ExprEquals(**expr, **reparsed)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace sieve

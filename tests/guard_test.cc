@@ -1,0 +1,258 @@
+#include "sieve/candidate_guards.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "sieve/guard_selection.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+class GuardTest : public ::testing::Test {
+ protected:
+  GuardTest() : store_(&campus_.db()) {
+    EXPECT_TRUE(store_.Init().ok());
+  }
+
+  std::vector<const Policy*> StorePolicies(std::vector<Policy> policies) {
+    std::vector<int64_t> ids;
+    for (auto& p : policies) {
+      auto id = store_.AddPolicy(std::move(p));
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    std::vector<const Policy*> out;
+    for (int64_t id : ids) out.push_back(store_.FindPolicy(id));
+    return out;
+  }
+
+  MiniCampus campus_;
+  PolicyStore store_;
+  CostModel cost_;
+};
+
+TEST_F(GuardTest, OwnerConditionsAlwaysYieldCandidates) {
+  auto policies = StorePolicies({campus_.MakePolicy(1, "alice", "any"),
+                                 campus_.MakePolicy(2, "alice", "any")});
+  CandidateGuardGenerator generator(&campus_.db(), &cost_);
+  auto candidates = generator.Generate(policies, "wifi");
+  ASSERT_GE(candidates.size(), 2u);
+  // Each policy is covered by at least one candidate.
+  std::unordered_set<int64_t> covered;
+  for (const auto& c : candidates) {
+    for (int64_t id : c.policy_ids) covered.insert(id);
+  }
+  EXPECT_EQ(covered.size(), 2u);
+}
+
+TEST_F(GuardTest, IdenticalConditionsCoalesce) {
+  // Both policies share wifiAP = 2: one candidate groups them.
+  auto policies =
+      StorePolicies({campus_.MakePolicy(1, "alice", "any", -1, -1, 2),
+                     campus_.MakePolicy(2, "alice", "any", -1, -1, 2)});
+  CandidateGuardGenerator generator(&campus_.db(), &cost_);
+  auto candidates = generator.Generate(policies, "wifi");
+  bool found_shared = false;
+  for (const auto& c : candidates) {
+    if (c.attr == "wifiap" && c.policy_ids.size() == 2) found_shared = true;
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST_F(GuardTest, DisjointRangesNeverMerge) {
+  // Theorem 1: [9,10] and [15,16] on ts_time are disjoint.
+  auto policies = StorePolicies({campus_.MakePolicy(1, "alice", "any", 9, 10),
+                                 campus_.MakePolicy(2, "alice", "any", 15, 16)});
+  CandidateGuardGenerator generator(&campus_.db(), &cost_);
+  auto candidates = generator.Generate(policies, "wifi");
+  for (const auto& c : candidates) {
+    if (c.attr != "ts_time") continue;
+    // No candidate may span both original ranges.
+    EXPECT_FALSE(c.lo.raw() <= 10 * 3600 && c.hi.raw() >= 15 * 3600)
+        << c.ToString();
+  }
+}
+
+TEST_F(GuardTest, HeavilyOverlappingRangesMerge) {
+  // [9,13] and [10,13] overlap by 3/4 of the union, above the default
+  // ce/(cr+ce) threshold, so Theorem 1 says merging is beneficial.
+  ASSERT_LT(cost_.MergeThreshold(), 0.75);
+  auto policies = StorePolicies({campus_.MakePolicy(1, "alice", "any", 9, 13),
+                                 campus_.MakePolicy(2, "alice", "any", 10, 13)});
+  CandidateGuardGenerator generator(&campus_.db(), &cost_);
+  auto candidates = generator.Generate(policies, "wifi");
+  bool merged = false;
+  for (const auto& c : candidates) {
+    if (c.attr == "ts_time" && c.policy_ids.size() == 2 &&
+        c.lo.raw() == 9 * 3600 && c.hi.raw() == 13 * 3600) {
+      merged = true;
+    }
+  }
+  EXPECT_TRUE(merged);
+}
+
+TEST_F(GuardTest, MergeBeneficialRespectsThreshold) {
+  // With an artificially high merge threshold (ce >> cr), overlapping
+  // candidates should not merge.
+  CostParams params;
+  params.ce = 1.0;
+  params.cr_random = 1e-9;
+  CostModel expensive_eval(params);
+  ASSERT_GT(expensive_eval.MergeThreshold(), 0.99);
+
+  auto policies = StorePolicies({campus_.MakePolicy(1, "alice", "any", 9, 12),
+                                 campus_.MakePolicy(2, "alice", "any", 10, 13)});
+  CandidateGuardGenerator generator(&campus_.db(), &expensive_eval);
+  auto candidates = generator.Generate(policies, "wifi");
+  for (const auto& c : candidates) {
+    if (c.attr == "ts_time") {
+      EXPECT_LE(c.policy_ids.size(), 1u) << c.ToString();
+    }
+  }
+}
+
+TEST_F(GuardTest, SelectionCoversEveryPolicyExactlyOnce) {
+  std::vector<Policy> policies;
+  for (int owner = 0; owner < 10; ++owner) {
+    policies.push_back(campus_.MakePolicy(owner, "alice", "any", 9, 11, 2));
+    policies.push_back(
+        campus_.MakePolicy(owner, "alice", "any", 14, 16, owner % 6));
+  }
+  auto stored = StorePolicies(std::move(policies));
+
+  GuardedExpressionBuilder builder(&campus_.db(), &store_, &cost_, nullptr);
+  auto ge = builder.BuildFromPolicies(stored, {"alice", "any"}, "wifi");
+  ASSERT_TRUE(ge.ok());
+
+  std::multiset<int64_t> covered;
+  for (const auto& guard : ge->guards) {
+    for (int64_t id : guard.guard.policy_ids) covered.insert(id);
+  }
+  EXPECT_EQ(covered.size(), stored.size());
+  for (const Policy* p : stored) {
+    EXPECT_EQ(covered.count(p->id), 1u) << "policy " << p->id;
+  }
+}
+
+TEST_F(GuardTest, GuardsImplyTheirPartitionPolicies) {
+  // Soundness of guards: every tuple matching a partition policy must match
+  // the guard (oc_j => oc_guard), i.e. guard ∧ partition ≡ partition.
+  std::vector<Policy> policies;
+  for (int owner = 0; owner < 8; ++owner) {
+    policies.push_back(
+        campus_.MakePolicy(owner, "alice", "any", 8 + owner % 3, 12));
+  }
+  auto stored = StorePolicies(std::move(policies));
+  GuardedExpressionBuilder builder(&campus_.db(), &store_, &cost_, nullptr);
+  auto ge = builder.BuildFromPolicies(stored, {"alice", "any"}, "wifi");
+  ASSERT_TRUE(ge.ok());
+
+  // For each guard, filter by partition-only and by guard ∧ partition; row
+  // counts must agree.
+  for (const auto& guard : ge->guards) {
+    std::vector<ExprPtr> partition_exprs;
+    for (int64_t id : guard.guard.policy_ids) {
+      partition_exprs.push_back(store_.FindPolicy(id)->ObjectExpr());
+    }
+    ExprPtr partition = MakeOr(std::move(partition_exprs));
+    ExprPtr guarded = MakeAnd({guard.guard.ToExpr(), partition->Clone()});
+
+    std::string q1 = "SELECT COUNT(*) FROM wifi WHERE " + partition->ToSql();
+    std::string q2 = "SELECT COUNT(*) FROM wifi WHERE " + guarded->ToSql();
+    auto r1 = campus_.db().ExecuteSql(q1);
+    auto r2 = campus_.db().ExecuteSql(q2);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    EXPECT_EQ(r1->rows[0][0].AsInt(), r2->rows[0][0].AsInt())
+        << "guard is not implied by its partition: "
+        << guard.guard.ToString();
+  }
+}
+
+TEST_F(GuardTest, DeltaChoiceFollowsCrossover) {
+  CostModel cost;  // defaults
+  size_t crossover = cost.DeltaCrossover();
+  EXPECT_GT(crossover, 10u);
+  EXPECT_LT(crossover, 10000u);
+  EXPECT_FALSE(cost.PreferDelta(crossover > 0 ? crossover - 5 : 0));
+  EXPECT_TRUE(cost.PreferDelta(crossover + 5));
+}
+
+TEST_F(GuardTest, UtilityPrefersSelectiveGuardsWithBigPartitions) {
+  CostModel cost;
+  // Selective guard with many policies beats broad guard with few.
+  double good = cost.GuardUtility(10000, 100, 50);
+  double bad = cost.GuardUtility(10000, 5000, 2);
+  EXPECT_GT(good, bad);
+}
+
+TEST_F(GuardTest, GeneratedGuardSelectivitiesAreFractions) {
+  auto stored = StorePolicies({campus_.MakePolicy(1, "alice", "any", 9, 10)});
+  CandidateGuardGenerator generator(&campus_.db(), &cost_);
+  auto candidates = generator.Generate(stored, "wifi");
+  for (const auto& c : candidates) {
+    EXPECT_GE(c.selectivity, 0.0);
+    EXPECT_LE(c.selectivity, 1.0);
+  }
+}
+
+TEST_F(GuardTest, GuardStoreRoundTrip) {
+  GuardStore guards(&campus_.db(), &store_);
+  ASSERT_TRUE(guards.Init().ok());
+  auto stored = StorePolicies({campus_.MakePolicy(1, "alice", "any", 9, 10),
+                               campus_.MakePolicy(2, "alice", "any")});
+  GuardedExpressionBuilder builder(&campus_.db(), &store_, &cost_, nullptr);
+  auto ge = builder.BuildFromPolicies(stored, {"alice", "any"}, "wifi");
+  ASSERT_TRUE(ge.ok());
+  ASSERT_TRUE(guards.Put(std::move(ge).value()).ok());
+
+  const GuardedExpression* fetched = guards.Get("alice", "any", "wifi");
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_FALSE(guards.IsOutdated("alice", "any", "wifi"));
+  EXPECT_GE(fetched->guards.size(), 1u);
+  // Every guard is findable by id.
+  for (const auto& g : fetched->guards) {
+    EXPECT_EQ(guards.FindGuard(g.id), &g);
+  }
+  // Persisted rows exist.
+  auto rge = campus_.db().ExecuteSql("SELECT COUNT(*) FROM rGE");
+  ASSERT_TRUE(rge.ok());
+  EXPECT_EQ(rge->rows[0][0].AsInt(), 1);
+  auto rgp = campus_.db().ExecuteSql("SELECT COUNT(*) FROM rGP");
+  ASSERT_TRUE(rgp.ok());
+  EXPECT_EQ(static_cast<size_t>(rgp->rows[0][0].AsInt()),
+            fetched->TotalPolicies());
+}
+
+TEST_F(GuardTest, OutdatedFlagLifecycle) {
+  GuardStore guards(&campus_.db(), &store_);
+  ASSERT_TRUE(guards.Init().ok());
+  EXPECT_TRUE(guards.IsOutdated("alice", "any", "wifi"));  // never generated
+  auto stored = StorePolicies({campus_.MakePolicy(1, "alice", "any")});
+  GuardedExpressionBuilder builder(&campus_.db(), &store_, &cost_, nullptr);
+  auto ge = builder.BuildFromPolicies(stored, {"alice", "any"}, "wifi");
+  ASSERT_TRUE(ge.ok());
+  ASSERT_TRUE(guards.Put(std::move(ge).value()).ok());
+  EXPECT_FALSE(guards.IsOutdated("alice", "any", "wifi"));
+  guards.MarkOutdated("alice", "any", "wifi");
+  EXPECT_TRUE(guards.IsOutdated("alice", "any", "wifi"));
+}
+
+TEST(CostModelTest, OptimalKDecreasesWithQueryRate) {
+  CostModel cost;
+  double k_low_rate = cost.OptimalRegenerationK(1000, 0.1, 0.1);
+  double k_high_rate = cost.OptimalRegenerationK(1000, 0.1, 10.0);
+  EXPECT_GT(k_low_rate, k_high_rate);
+}
+
+TEST(CostModelTest, OptimalKGrowsWithRegenCost) {
+  CostModel cost;
+  EXPECT_GT(cost.OptimalRegenerationK(1000, 10.0, 1.0),
+            cost.OptimalRegenerationK(1000, 0.01, 1.0));
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,137 @@
+#include "index/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/bitmap.h"
+
+namespace sieve {
+namespace {
+
+std::vector<Value> UniformInts(int n, int64_t lo, int64_t hi, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(Value::Int(rng.Uniform(lo, hi)));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  auto h = EquiDepthHistogram::Build({}, 16);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(5)), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(Value::Int(0), true, Value::Int(9), true),
+                   0.0);
+}
+
+TEST(HistogramTest, UniformRangeEstimateWithinTolerance) {
+  auto h = EquiDepthHistogram::Build(UniformInts(50000, 0, 999, 1), 64);
+  // ~10% of the domain.
+  double est = h.EstimateRange(Value::Int(100), true, Value::Int(199), true);
+  EXPECT_NEAR(est, 0.1, 0.02);
+  // ~50%.
+  est = h.EstimateRange(Value::Int(0), true, Value::Int(499), true);
+  EXPECT_NEAR(est, 0.5, 0.03);
+}
+
+TEST(HistogramTest, EqualityEstimateUniform) {
+  auto h = EquiDepthHistogram::Build(UniformInts(50000, 0, 99, 2), 32);
+  double est = h.EstimateEq(Value::Int(50));
+  EXPECT_NEAR(est, 0.01, 0.005);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(1000)), 0.0);  // out of domain
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  // 90% of values are 0; the histogram must attribute ~0.9 to it.
+  std::vector<Value> values;
+  for (int i = 0; i < 9000; ++i) values.push_back(Value::Int(0));
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int(1 + i % 100));
+  auto h = EquiDepthHistogram::Build(std::move(values), 32);
+  EXPECT_NEAR(h.EstimateEq(Value::Int(0)), 0.9, 0.05);
+}
+
+TEST(HistogramTest, OpenRanges) {
+  auto h = EquiDepthHistogram::Build(UniformInts(20000, 0, 999, 3), 64);
+  EXPECT_NEAR(h.EstimateRange(std::nullopt, true, Value::Int(499), true), 0.5,
+              0.03);
+  EXPECT_NEAR(h.EstimateRange(Value::Int(500), true, std::nullopt, true), 0.5,
+              0.03);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(std::nullopt, true, std::nullopt, true),
+                   1.0);
+}
+
+TEST(HistogramTest, DistinctCount) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Int(i % 10));
+  auto h = EquiDepthHistogram::Build(std::move(values), 8);
+  EXPECT_EQ(h.distinct_count(), 10u);
+  EXPECT_EQ(h.total_count(), 100u);
+}
+
+TEST(HistogramTest, TimeValues) {
+  std::vector<Value> values;
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(Value::Time(rng.Uniform(6 * 3600, 22 * 3600)));
+  }
+  auto h = EquiDepthHistogram::Build(std::move(values), 48);
+  // One hour of a 16-hour uniform span ≈ 1/16.
+  double est = h.EstimateRange(Value::Time(9 * 3600), true,
+                               Value::Time(10 * 3600), true);
+  EXPECT_NEAR(est, 1.0 / 16, 0.02);
+}
+
+TEST(BitmapTest, SetTestCount) {
+  Bitmap b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+}
+
+TEST(BitmapTest, OrGrowsUniverse) {
+  Bitmap a(10);
+  a.Set(3);
+  Bitmap b(200);
+  b.Set(150);
+  a.Or(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(150));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitmapTest, AndIntersects) {
+  Bitmap a(100), b(100);
+  for (RowId i = 0; i < 100; i += 2) a.Set(i);
+  for (RowId i = 0; i < 100; i += 3) b.Set(i);
+  a.And(b);
+  for (RowId i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Test(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(BitmapTest, ToVectorSorted) {
+  Bitmap b(1000);
+  b.Set(500);
+  b.Set(2);
+  b.Set(999);
+  auto v = b.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 500);
+  EXPECT_EQ(v[2], 999);
+}
+
+TEST(BitmapTest, AutoGrowOnSet) {
+  Bitmap b;
+  b.Set(12345);
+  EXPECT_TRUE(b.Test(12345));
+  EXPECT_FALSE(b.Test(12344));
+}
+
+}  // namespace
+}  // namespace sieve

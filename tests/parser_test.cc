@@ -1,0 +1,181 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lexer::Tokenize("SELECT a, b FROM t WHERE x >= 10.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, ",");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lexer::Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Lexer::Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lexer::Tokenize("SELECT -- comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "1");
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parser::Parse("SELECT * FROM WiFi_Dataset");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->select_star);
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0].table_name, "WiFi_Dataset");
+}
+
+TEST(ParserTest, AliasForms) {
+  auto a = Parser::Parse("SELECT * FROM t AS x");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->from[0].alias, "x");
+  auto b = Parser::Parse("SELECT * FROM t x");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->from[0].alias, "x");
+}
+
+TEST(ParserTest, WhereExpressionPrecedence) {
+  auto stmt = Parser::Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // OR at the top, AND nested.
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, BetweenAndIn) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) AND c NOT "
+      "IN (7)");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts((*stmt)->where, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kBetween);
+  EXPECT_EQ(conjuncts[1]->kind(), ExprKind::kInList);
+  EXPECT_TRUE(static_cast<InListExpr&>(*conjuncts[2]).negated());
+}
+
+TEST(ParserTest, ForceIndexHint) {
+  auto stmt =
+      Parser::Parse("SELECT * FROM t FORCE INDEX (owner, ts_time) WHERE a=1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->from[0].hint.kind, IndexHint::Kind::kForceIndex);
+  ASSERT_EQ((*stmt)->from[0].hint.columns.size(), 2u);
+  EXPECT_EQ((*stmt)->from[0].hint.columns[1], "ts_time");
+}
+
+TEST(ParserTest, UseIndexEmpty) {
+  auto stmt = Parser::Parse("SELECT * FROM t USE INDEX () WHERE a = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->from[0].hint.kind, IndexHint::Kind::kIgnoreAllIndexes);
+}
+
+TEST(ParserTest, WithClauseAndUnion) {
+  auto stmt = Parser::Parse(
+      "WITH p AS (SELECT * FROM t WHERE a = 1 UNION SELECT * FROM t WHERE a = "
+      "2) SELECT * FROM p");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->ctes.size(), 1u);
+  EXPECT_EQ((*stmt)->ctes[0].name, "p");
+  EXPECT_NE((*stmt)->ctes[0].query->union_next, nullptr);
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = Parser::Parse(
+      "SELECT owner, COUNT(*), SUM(x) AS total FROM t GROUP BY owner");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->items.size(), 3u);
+  EXPECT_EQ((*stmt)->items[1].agg, AggFn::kCountStar);
+  EXPECT_EQ((*stmt)->items[2].agg, AggFn::kSum);
+  EXPECT_EQ((*stmt)->items[2].alias, "total");
+  ASSERT_EQ((*stmt)->group_by.size(), 1u);
+}
+
+TEST(ParserTest, ScalarSubqueryCapturedAsText) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM W WHERE wifiAP = (SELECT W2.wifiAP FROM W AS W2 WHERE "
+      "W2.owner = 5)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& cmp = static_cast<const ComparisonExpr&>(*(*stmt)->where);
+  ASSERT_EQ(cmp.right()->kind(), ExprKind::kSubquery);
+  const auto& sub = static_cast<const SubqueryExpr&>(*cmp.right());
+  EXPECT_NE(sub.sql().find("SELECT W2.wifiAP"), std::string::npos);
+}
+
+TEST(ParserTest, NestedParensInSubquery) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM W WHERE x = (SELECT max(y) FROM t WHERE (a = 1 OR b = "
+      "2))");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, UdfCall) {
+  auto stmt = Parser::Parse("SELECT * FROM t WHERE delta(32) = true");
+  ASSERT_TRUE(stmt.ok());
+  const auto& cmp = static_cast<const ComparisonExpr&>(*(*stmt)->where);
+  EXPECT_EQ(cmp.left()->kind(), ExprKind::kUdfCall);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt =
+      Parser::Parse("SELECT * FROM (SELECT * FROM t WHERE a = 1) AS sub");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE((*stmt)->from[0].subquery, nullptr);
+  EXPECT_EQ((*stmt)->from[0].alias, "sub");
+}
+
+TEST(ParserTest, ErrorMessages) {
+  EXPECT_FALSE(Parser::Parse("SELECT").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t WHERE a IN (SELECT b FROM x)").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t extra garbage !").ok());
+}
+
+TEST(ParserTest, ExpressionEntryPoint) {
+  auto e = Parser::ParseExpression("owner = 5 AND ts_time BETWEEN '09:00' AND '10:00'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), ExprKind::kAnd);
+}
+
+// Round-trip property: parse(print(parse(sql))) == parse(sql).
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, PrintParseIdentity) {
+  auto first = Parser::Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  std::string printed = (*first)->ToSql();
+  auto second = Parser::Parse(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(printed, (*second)->ToSql());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, ParserRoundTripTest,
+    ::testing::Values(
+        "SELECT * FROM t",
+        "SELECT a, b AS c FROM t WHERE x = 1 AND y BETWEEN 2 AND 3",
+        "SELECT * FROM t FORCE INDEX (owner) WHERE owner IN (1, 2, 3)",
+        "SELECT * FROM t USE INDEX () WHERE a = 'x''y'",
+        "WITH w AS (SELECT * FROM t WHERE a = 1) SELECT * FROM w AS z",
+        "SELECT owner, COUNT(*) FROM t GROUP BY owner",
+        "SELECT * FROM t WHERE a = 1 UNION SELECT * FROM t WHERE b = 2",
+        "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
+        "SELECT * FROM t AS x, u AS y WHERE x.id = y.id",
+        "SELECT * FROM t WHERE delta(7) = true AND wifiAP = 1200"));
+
+}  // namespace
+}  // namespace sieve

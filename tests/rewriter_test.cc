@@ -1,0 +1,208 @@
+#include "sieve/rewriter.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+// Middleware over the MiniCampus with a handful of policies for "alice".
+class RewriterTest : public ::testing::Test {
+ protected:
+  RewriterTest() : sieve_(&campus_.db(), &campus_.groups()) {
+    EXPECT_TRUE(sieve_.Init().ok());
+    // alice (faculty) may see owners 0..4 during 9-12h, and owner 5 at AP 2.
+    for (int owner = 0; owner < 5; ++owner) {
+      EXPECT_TRUE(
+          sieve_
+              .AddPolicy(campus_.MakePolicy(owner, "alice", "Analytics", 9, 12))
+              .ok());
+    }
+    EXPECT_TRUE(
+        sieve_.AddPolicy(campus_.MakePolicy(5, "alice", "Analytics", -1, -1, 2))
+            .ok());
+    // bob may see owner 7 only.
+    EXPECT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(7, "bob", "Social")).ok());
+  }
+
+  // Sorted row fingerprints for set comparison.
+  static std::multiset<std::string> Fingerprints(const ResultSet& rs) {
+    std::multiset<std::string> out;
+    for (const auto& row : rs.rows) {
+      std::string fp;
+      for (const auto& v : row) fp += v.ToString() + "|";
+      out.insert(fp);
+    }
+    return out;
+  }
+
+  MiniCampus campus_;
+  SieveMiddleware sieve_;
+};
+
+TEST_F(RewriterTest, ProducesWithClause) {
+  auto rewrite =
+      sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  ASSERT_EQ(rewrite->stmt->ctes.size(), 1u);
+  EXPECT_EQ(rewrite->stmt->ctes[0].name, "sieve_wifi");
+  EXPECT_EQ(rewrite->stmt->from[0].table_name, "sieve_wifi");
+  EXPECT_FALSE(rewrite->default_denied);
+  // Rendered SQL re-parses.
+  EXPECT_NE(rewrite->sql.find("WITH sieve_wifi AS"), std::string::npos);
+}
+
+TEST_F(RewriterTest, KeepsAliasesSoOuterQualifiersBind) {
+  auto rewrite = sieve_.Rewrite(
+      "SELECT * FROM wifi AS W WHERE W.wifiAP = 1", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_EQ(rewrite->stmt->from[0].alias, "W");
+  auto result = sieve_.db().ExecuteStmt(*rewrite->stmt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(RewriterTest, EquivalentToReferenceSemantics) {
+  const char* queries[] = {
+      "SELECT * FROM wifi",
+      "SELECT * FROM wifi AS W WHERE W.wifiAP = 2",
+      "SELECT * FROM wifi AS W WHERE W.ts_time BETWEEN '09:00' AND '11:00'",
+      "SELECT * FROM wifi AS W WHERE W.owner IN (1, 3, 5, 7)",
+  };
+  for (const char* sql : queries) {
+    auto fast = sieve_.Execute(sql, {"alice", "Analytics"});
+    auto oracle = sieve_.ExecuteReference(sql, {"alice", "Analytics"});
+    ASSERT_TRUE(fast.ok()) << sql << ": " << fast.status().ToString();
+    ASSERT_TRUE(oracle.ok()) << sql;
+    EXPECT_EQ(Fingerprints(*fast), Fingerprints(*oracle)) << sql;
+    EXPECT_GT(oracle->size(), 0u) << sql;
+  }
+}
+
+TEST_F(RewriterTest, DefaultDenyForUnknownQuerier) {
+  auto result = sieve_.Execute("SELECT * FROM wifi", {"mallory", "Analytics"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST_F(RewriterTest, PurposeMismatchDenies) {
+  auto result = sieve_.Execute("SELECT * FROM wifi", {"alice", "Commercial"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST_F(RewriterTest, QueriersAreIsolated) {
+  auto bob = sieve_.Execute("SELECT * FROM wifi", {"bob", "Social"});
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(bob->size(), 60u);  // exactly owner 7's rows
+  for (const auto& row : bob->rows) {
+    EXPECT_EQ(row[2].AsInt(), 7);  // owner column
+  }
+}
+
+TEST_F(RewriterTest, UnprotectedTablesAreLeftAlone) {
+  ASSERT_TRUE(
+      campus_.db().CreateTable("open_table", Schema({{"x", DataType::kInt}}))
+          .ok());
+  ASSERT_TRUE(campus_.db().Insert("open_table", Row{Value::Int(1)}).ok());
+  auto rewrite =
+      sieve_.Rewrite("SELECT * FROM open_table", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->stmt->ctes.empty());
+  auto result = sieve_.Execute("SELECT * FROM open_table", {"alice", "Analytics"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(RewriterTest, StrategyDiagnosticsPopulated) {
+  auto rewrite = sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_EQ(rewrite->tables.size(), 1u);
+  const TableRewriteInfo& info = rewrite->tables[0];
+  EXPECT_EQ(info.num_policies, 6u);
+  EXPECT_GE(info.num_guards, 1u);
+  EXPECT_GT(info.cost_linear, 0.0);
+  EXPECT_GT(info.cost_index_guards, 0.0);
+  EXPECT_FALSE(info.ToString().empty());
+}
+
+TEST_F(RewriterTest, SelectAllUsesIndexGuardsOrLinear) {
+  // Without a query predicate, IndexQuery is impossible.
+  auto rewrite = sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_NE(rewrite->tables[0].strategy, AccessStrategy::kIndexQuery);
+}
+
+TEST_F(RewriterTest, GuardArmDeltaForm) {
+  Guard guard;
+  guard.id = 77;
+  guard.guard.attr = "owner";
+  guard.guard.lo = Value::Int(1);
+  guard.guard.hi = Value::Int(1);
+  guard.guard.policy_ids = {1};
+  ExprPtr arm = sieve_.rewriter().GuardArmExpr(guard, /*use_delta=*/true);
+  EXPECT_NE(arm->ToSql().find("delta(77) = true"), std::string::npos);
+}
+
+TEST_F(RewriterTest, SecondRewriteReusesGuards) {
+  auto first = sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->tables[0].regenerated_guards);
+  auto second = sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->tables[0].regenerated_guards);
+}
+
+TEST_F(RewriterTest, PolicyInsertMarksGuardsOutdated) {
+  ASSERT_TRUE(sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"}).ok());
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(8, "alice", "Analytics")).ok());
+  EXPECT_TRUE(sieve_.guards().IsOutdated("alice", "Analytics", "wifi"));
+  auto rewrite = sieve_.Rewrite("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->tables[0].regenerated_guards);
+  // The new policy's rows are now visible.
+  auto result = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(result.ok());
+  bool owner8_seen = false;
+  for (const auto& row : result->rows) {
+    if (row[2].AsInt() == 8) owner8_seen = true;
+  }
+  EXPECT_TRUE(owner8_seen);
+}
+
+TEST_F(RewriterTest, AggregationOverRewrittenTable) {
+  auto result = sieve_.Execute(
+      "SELECT owner, COUNT(*) AS n FROM wifi GROUP BY owner",
+      {"alice", "Analytics"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only owners 0..5 can appear.
+  for (const auto& row : result->rows) {
+    EXPECT_LE(row[0].AsInt(), 5);
+  }
+}
+
+// The same semantics must hold on a PostgreSQL-like engine (no hints,
+// bitmap-OR scans).
+TEST(RewriterPostgresTest, EquivalenceOnPostgresProfile) {
+  MiniCampus campus(EngineProfile::PostgresLike());
+  SieveMiddleware sieve(&campus.db(), &campus.groups());
+  ASSERT_TRUE(sieve.Init().ok());
+  for (int owner = 0; owner < 6; ++owner) {
+    ASSERT_TRUE(
+        sieve.AddPolicy(campus.MakePolicy(owner, "alice", "Analytics", 8, 14))
+            .ok());
+  }
+  auto fast = sieve.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  auto oracle =
+      sieve.ExecuteReference("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(fast->size(), oracle->size());
+  EXPECT_GT(fast->size(), 0u);
+}
+
+}  // namespace
+}  // namespace sieve

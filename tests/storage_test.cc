@@ -1,0 +1,94 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace sieve {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ConvertibleValueTypes) {
+  // shared_ptr<Derived> -> Result<shared_ptr<Base>> must work (exercised by
+  // the parser's expression factories).
+  struct Base {
+    virtual ~Base() = default;
+  };
+  struct Derived : Base {};
+  auto make = []() -> Result<std::shared_ptr<Base>> {
+    return std::make_shared<Derived>();
+  };
+  EXPECT_TRUE(make().ok());
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  Schema s({{"Owner", DataType::kInt}, {"wifiAP", DataType::kInt}});
+  EXPECT_EQ(s.FindColumn("owner"), 0);
+  EXPECT_EQ(s.FindColumn("WIFIAP"), 1);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+  EXPECT_FALSE(s.ColumnIndex("nope").ok());
+  EXPECT_EQ(*s.ColumnIndex("OWNER"), 0u);
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table t("t", Schema({{"a", DataType::kInt}, {"b", DataType::kInt}}));
+  EXPECT_FALSE(t.Insert(Row{Value::Int(1)}).ok());
+  EXPECT_TRUE(t.Insert(Row{Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, DeleteTombstonesAndForEachSkips) {
+  Table t("t", Schema({{"a", DataType::kInt}}));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.Insert(Row{Value::Int(i)}).ok());
+  ASSERT_TRUE(t.Delete(2).ok());
+  ASSERT_TRUE(t.Delete(2).ok());  // idempotent
+  EXPECT_FALSE(t.Delete(99).ok());
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.num_slots(), 5u);
+  EXPECT_FALSE(t.IsLive(2));
+  std::vector<int64_t> seen;
+  t.ForEach([&](RowId, const Row& row) { seen.push_back(row[0].AsInt()); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 3, 4}));
+}
+
+TEST(CatalogTest, CreateFindDrop) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("T1", Schema({{"a", DataType::kInt}})).ok());
+  EXPECT_FALSE(c.CreateTable("t1", Schema({{"a", DataType::kInt}})).ok());
+  EXPECT_NE(c.Find("t1"), nullptr);  // case insensitive
+  EXPECT_EQ(c.TableNames().size(), 1u);
+  ASSERT_TRUE(c.DropTable("T1").ok());
+  EXPECT_EQ(c.Find("T1"), nullptr);
+  EXPECT_FALSE(c.DropTable("T1").ok());
+}
+
+TEST(CatalogTest, GetReportsMissingTable) {
+  Catalog c;
+  auto entry = c.Get("nope");
+  ASSERT_FALSE(entry.ok());
+  EXPECT_EQ(entry.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,149 @@
+#ifndef SIEVE_TESTS_TEST_FIXTURES_H_
+#define SIEVE_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "policy/policy_store.h"
+#include "sieve/middleware.h"
+#include "workload/policy_gen.h"
+#include "workload/tippers.h"
+
+namespace sieve {
+
+/// Hand-built mini campus: one WiFi table with a handful of known rows, a
+/// few users and policies with known semantics. Used by policy/guard/
+/// rewriter unit tests where exact expected row sets matter.
+class MiniCampus {
+ public:
+  explicit MiniCampus(EngineProfile profile = EngineProfile::MySqlLike())
+      : db_(profile) {
+    Setup();
+  }
+
+  Database& db() { return db_; }
+  MapGroupResolver& groups() { return groups_; }
+  int64_t day(int offset) const { return first_day_ + offset; }
+
+  /// Policy: `owner`'s data visible to `querier` for `purpose`, optionally
+  /// restricted to [t1h, t2h] hours and an AP.
+  Policy MakePolicy(int owner, const std::string& querier,
+                    const std::string& purpose, int t1h = -1, int t2h = -1,
+                    int ap = -1) const {
+    Policy p;
+    p.table_name = "wifi";
+    p.owner = Value::Int(owner);
+    p.querier = querier;
+    p.purpose = purpose;
+    p.object_conditions.push_back(
+        ObjectCondition::Eq("owner", Value::Int(owner)));
+    if (t1h >= 0) {
+      p.object_conditions.push_back(ObjectCondition::Range(
+          "ts_time", Value::Time(t1h * 3600), Value::Time(t2h * 3600)));
+    }
+    if (ap >= 0) {
+      p.object_conditions.push_back(
+          ObjectCondition::Eq("wifiAP", Value::Int(ap)));
+    }
+    return p;
+  }
+
+ private:
+  void Setup() {
+    Schema schema({{"id", DataType::kInt},
+                   {"wifiAP", DataType::kInt},
+                   {"owner", DataType::kInt},
+                   {"ts_time", DataType::kTime},
+                   {"ts_date", DataType::kDate}});
+    (void)db_.CreateTable("wifi", std::move(schema));
+    first_day_ = Value::ParseDate("2019-09-25")->raw();
+    // 600 rows: owners 0..9, APs 0..5, hours 6..17, days 0..9.
+    int64_t id = 0;
+    for (int owner = 0; owner < 10; ++owner) {
+      for (int e = 0; e < 60; ++e) {
+        int ap = e % 6;
+        int hour = 6 + e % 12;
+        int day = e % 10;
+        (void)db_.Insert("wifi",
+                         Row{Value::Int(id++), Value::Int(ap),
+                             Value::Int(owner), Value::Time(hour * 3600),
+                             Value::Date(first_day_ + day)});
+      }
+    }
+    for (const char* col : {"owner", "wifiAP", "ts_time", "ts_date"}) {
+      (void)db_.CreateIndex("wifi", col);
+    }
+    (void)db_.Analyze();
+    groups_.AddMembership("alice", "faculty");
+    groups_.AddMembership("bob", "students");
+    groups_.AddMembership("carol", "students");
+  }
+
+  Database db_;
+  MapGroupResolver groups_;
+  int64_t first_day_ = 0;
+};
+
+/// Scaled-down TIPPERS world shared by integration tests: one dataset, a
+/// policy corpus and a middleware. Built once per process (expensive).
+struct TippersWorld {
+  std::unique_ptr<Database> db;
+  TippersDataset dataset;
+  std::unique_ptr<SieveMiddleware> sieve;
+  size_t num_policies = 0;
+
+  static TippersWorld* Get(EngineProfile profile = EngineProfile::MySqlLike());
+};
+
+inline TippersWorld* TippersWorld::Get(EngineProfile profile) {
+  static TippersWorld* mysql_world = nullptr;
+  static TippersWorld* postgres_world = nullptr;
+  TippersWorld** slot = profile.kind == EngineProfile::Kind::kMySqlLike
+                            ? &mysql_world
+                            : &postgres_world;
+  if (*slot != nullptr) return *slot;
+
+  auto* world = new TippersWorld();
+  world->db = std::make_unique<Database>(profile);
+  TippersConfig config;
+  config.num_devices = 600;
+  config.num_aps = 32;
+  config.num_days = 30;
+  config.target_events = 40000;
+  config.num_groups = 8;
+  TippersGenerator generator(config);
+  auto ds = generator.Populate(world->db.get());
+  if (!ds.ok()) {
+    ADD_FAILURE() << "TIPPERS populate failed: " << ds.status().ToString();
+    return nullptr;
+  }
+  world->dataset = std::move(ds).value();
+
+  SieveOptions options;
+  options.timeout_seconds = 30.0;
+  world->sieve = std::make_unique<SieveMiddleware>(
+      world->db.get(), &world->dataset.groups, options);
+  if (!world->sieve->Init().ok()) {
+    ADD_FAILURE() << "Sieve init failed";
+    return nullptr;
+  }
+
+  PolicyGenConfig pg;
+  pg.advanced_policies_per_user = 12;
+  TippersPolicyGenerator policy_gen(pg);
+  auto count =
+      policy_gen.Generate(world->dataset, &world->sieve->policies());
+  if (!count.ok()) {
+    ADD_FAILURE() << "policy generation failed: " << count.status().ToString();
+    return nullptr;
+  }
+  world->num_policies = *count;
+  *slot = world;
+  return world;
+}
+
+}  // namespace sieve
+
+#endif  // SIEVE_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,196 @@
+#include "workload/tippers.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "workload/mall.h"
+#include "workload/policy_gen.h"
+#include "sieve/middleware.h"
+#include "workload/query_gen.h"
+
+namespace sieve {
+namespace {
+
+class TippersGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TippersConfig config;
+    config.num_devices = 500;
+    config.num_aps = 16;
+    config.num_days = 20;
+    config.target_events = 20000;
+    config.num_groups = 6;
+    TippersGenerator gen(config);
+    auto ds = gen.Populate(db_);
+    ASSERT_TRUE(ds.ok());
+    ds_ = new TippersDataset(std::move(ds).value());
+  }
+  static Database* db_;
+  static TippersDataset* ds_;
+};
+Database* TippersGenTest::db_ = nullptr;
+TippersDataset* TippersGenTest::ds_ = nullptr;
+
+TEST_F(TippersGenTest, SchemaMatchesPaperTable2) {
+  for (const char* table : {"Users", "User_Groups", "User_Group_Membership",
+                            "Location", "WiFi_Dataset"}) {
+    EXPECT_NE(db_->catalog().Find(table), nullptr) << table;
+  }
+  const TableEntry* wifi = db_->catalog().Find("WiFi_Dataset");
+  EXPECT_EQ(wifi->table->schema().num_columns(), 5u);
+  EXPECT_GE(wifi->table->schema().FindColumn("owner"), 0);
+  EXPECT_GE(wifi->table->schema().FindColumn("wifiAP"), 0);
+}
+
+TEST_F(TippersGenTest, EventCountNearTarget) {
+  EXPECT_NEAR(static_cast<double>(ds_->num_events), 20000.0, 2000.0);
+  const TableEntry* wifi = db_->catalog().Find("WiFi_Dataset");
+  EXPECT_EQ(wifi->table->size(), ds_->num_events);
+}
+
+TEST_F(TippersGenTest, ProfileMixFollowsPaper) {
+  // Paper: ~87% visitors of all devices.
+  size_t visitors = ds_->DevicesWithProfile("visitor").size();
+  double fraction = static_cast<double>(visitors) / 500.0;
+  EXPECT_NEAR(fraction, 0.873, 0.06);
+  EXPECT_FALSE(ds_->DevicesWithProfile("faculty").empty());
+  EXPECT_FALSE(ds_->DevicesWithProfile("staff").empty());
+}
+
+TEST_F(TippersGenTest, ResidentsBelongToGroups) {
+  for (int d : ds_->ResidentDevices()) {
+    EXPECT_GE(ds_->group_of[static_cast<size_t>(d)], 0);
+    auto groups = ds_->groups.GroupsOf(TippersDataset::UserName(d));
+    EXPECT_GE(groups.size(), 2u);  // affinity group + profile group
+  }
+}
+
+TEST_F(TippersGenTest, RequiredIndexesExist) {
+  const TableEntry* wifi = db_->catalog().Find("WiFi_Dataset");
+  for (const char* col : {"owner", "wifiAP", "ts_time", "ts_date"}) {
+    EXPECT_TRUE(wifi->indexes.HasIndex(col)) << col;
+  }
+}
+
+TEST_F(TippersGenTest, EventsWithinConfiguredWindow) {
+  auto result = db_->ExecuteSql(
+      "SELECT MIN(ts_date), MAX(ts_date), MIN(ts_time), MAX(ts_time) FROM "
+      "WiFi_Dataset");
+  ASSERT_TRUE(result.ok());
+  const Row& row = result->rows[0];
+  EXPECT_GE(row[0].raw(), ds_->first_day);
+  EXPECT_LT(row[1].raw(), ds_->first_day + 20);
+  EXPECT_GE(row[2].raw(), 6 * 3600);
+  EXPECT_LE(row[3].raw(), 22 * 3600);
+}
+
+TEST_F(TippersGenTest, PolicyGeneratorInvariants) {
+  Database db2;
+  TippersConfig config;
+  config.num_devices = 300;
+  config.target_events = 5000;
+  config.num_groups = 4;
+  TippersGenerator gen(config);
+  auto ds = gen.Populate(&db2);
+  ASSERT_TRUE(ds.ok());
+
+  PolicyStore store(&db2);
+  ASSERT_TRUE(store.Init().ok());
+  TippersPolicyGenerator pg;
+  auto count = pg.Generate(*ds, &store);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, store.size());
+  EXPECT_GT(*count, 0u);
+
+  for (const Policy& p : store.policies()) {
+    EXPECT_EQ(p.table_name, "WiFi_Dataset");
+    EXPECT_FALSE(p.querier.empty());
+    EXPECT_FALSE(p.purpose.empty());
+    EXPECT_EQ(p.action, PolicyAction::kAllow);
+    // Every policy carries the indexed owner condition (the model's
+    // oc_owner guarantee).
+    bool has_owner = false;
+    for (const auto& oc : p.object_conditions) {
+      if (oc.attr == "owner" && oc.op == CompareOp::kEq &&
+          oc.value == p.owner) {
+        has_owner = true;
+      }
+    }
+    EXPECT_TRUE(has_owner) << p.ToString();
+  }
+}
+
+TEST_F(TippersGenTest, QueryGeneratorSqlParsesAndOrdersSelectivity) {
+  TippersQueryGenerator gen(*ds_, 3);
+  size_t counts[3];
+  int i = 0;
+  for (QuerySelectivity sel : {QuerySelectivity::kLow, QuerySelectivity::kMid,
+                               QuerySelectivity::kHigh}) {
+    std::string sql = gen.Q1(sel);
+    ASSERT_TRUE(Parser::Parse(sql).ok()) << sql;
+    auto result = db_->ExecuteSql(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    counts[i++] = result->size();
+  }
+  EXPECT_LE(counts[0], counts[1]);
+  EXPECT_LE(counts[1], counts[2]);
+
+  for (QuerySelectivity sel : {QuerySelectivity::kLow, QuerySelectivity::kMid,
+                               QuerySelectivity::kHigh}) {
+    ASSERT_TRUE(Parser::Parse(gen.Q2(sel)).ok());
+    ASSERT_TRUE(Parser::Parse(gen.Q3(sel, 1)).ok());
+  }
+}
+
+TEST(MallGenTest, PopulateAndPolicies) {
+  Database db(EngineProfile::PostgresLike());
+  MallConfig config;
+  config.num_customers = 300;
+  config.num_shops = 12;
+  config.num_days = 20;
+  config.target_events = 10000;
+  MallGenerator gen(config);
+  auto ds = gen.Populate(&db);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_events, 10000u);
+  for (const char* table : {"Shops", "Mall_Users", "WiFi_Connectivity"}) {
+    EXPECT_NE(db.catalog().Find(table), nullptr) << table;
+  }
+
+  PolicyStore store(&db);
+  ASSERT_TRUE(store.Init().ok());
+  MallPolicyGenerator pg;
+  auto count = pg.Generate(*ds, &store);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(*count, 300u);  // at least ~1 policy per customer
+
+  // Every policy names a shop as querier and the owning customer.
+  for (const Policy& p : store.policies()) {
+    EXPECT_EQ(p.table_name, "WiFi_Connectivity");
+    EXPECT_EQ(p.querier.rfind("shop", 0), 0u) << p.querier;
+  }
+
+  // Queriers see only rows allowed by policies: enforcement sanity check.
+  MapGroupResolver no_groups;
+  SieveMiddleware sieve(&db, &no_groups);
+  ASSERT_TRUE(sieve.Init().ok());
+  // Re-add policies through the middleware store.
+  for (const Policy& p : store.policies()) {
+    Policy copy = p;
+    copy.id = -1;
+    ASSERT_TRUE(sieve.AddPolicy(std::move(copy)).ok());
+  }
+  auto visible = sieve.Execute("SELECT * FROM WiFi_Connectivity",
+                               {MallDataset::ShopName(0), "Marketing"});
+  ASSERT_TRUE(visible.ok());
+  auto reference = sieve.ExecuteReference("SELECT * FROM WiFi_Connectivity",
+                                          {MallDataset::ShopName(0),
+                                           "Marketing"});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(visible->size(), reference->size());
+  EXPECT_LT(visible->size(), ds->num_events);  // policies hide data
+}
+
+}  // namespace
+}  // namespace sieve
