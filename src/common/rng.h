@@ -1,6 +1,7 @@
 #ifndef SIEVE_COMMON_RNG_H_
 #define SIEVE_COMMON_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>

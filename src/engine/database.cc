@@ -218,7 +218,9 @@ Result<Value> Database::CallUdf(const std::string& name,
     for (int i = 0; i < profile_.udf_invocation_spin; ++i) {
       sink = sink * 1099511628211ULL + 0x9e3779b9;
     }
-    benchmark_sink_ += sink;
+    // Compound assignment on volatile is deprecated in C++20; split the
+    // read-modify-write so the optimizer still cannot elide the spin loop.
+    benchmark_sink_ = benchmark_sink_ + sink;
   }
   UdfContext ctx;
   ctx.db = this;

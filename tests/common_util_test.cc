@@ -1,0 +1,228 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/exec_stats.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sieve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// string_util
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("WiFi_AP", "wifi_ap"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selectx"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM T1"), "select * from t1");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("already lower 123"), "already lower 123");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"x", "", "y"}, "-"), "x--y");
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("n=%d s=%s", 7, "ok"), "n=7 s=ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  // Longer than any plausible internal stack buffer.
+  std::string big(4096, 'x');
+  std::string out = StrFormat("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+// ---------------------------------------------------------------------------
+// timer
+// ---------------------------------------------------------------------------
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, UnitConversionsAgree) {
+  Timer t;
+  // Snapshot once per unit; later snapshots can only be larger, so the
+  // scaled earlier reading must not exceed the later one.
+  double s = t.ElapsedSeconds();
+  double ms = t.ElapsedMillis();
+  double us = t.ElapsedMicros();
+  EXPECT_LE(s * 1e3, ms + 1e-9);
+  EXPECT_LE(ms * 1e3, us + 1e-9);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer t;
+  // Burn a little time so the pre-reset reading is strictly positive.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  double before = t.ElapsedSeconds();
+  t.Reset();
+  double after = t.ElapsedSeconds();
+  EXPECT_GT(before, 0.0);
+  EXPECT_LT(after, before);
+}
+
+// ---------------------------------------------------------------------------
+// exec_stats
+// ---------------------------------------------------------------------------
+
+TEST(ExecStatsTest, AddSumsEveryCounter) {
+  ExecStats a;
+  a.tuples_scanned = 1;
+  a.index_probe_rows = 2;
+  a.comparisons = 3;
+  a.policy_evals = 4;
+  a.udf_invocations = 5;
+  a.udf_policy_checks = 6;
+  a.subquery_execs = 7;
+  a.rows_output = 8;
+
+  ExecStats b = a;
+  b.Add(a);
+  EXPECT_EQ(b.tuples_scanned, 2u);
+  EXPECT_EQ(b.index_probe_rows, 4u);
+  EXPECT_EQ(b.comparisons, 6u);
+  EXPECT_EQ(b.policy_evals, 8u);
+  EXPECT_EQ(b.udf_invocations, 10u);
+  EXPECT_EQ(b.udf_policy_checks, 12u);
+  EXPECT_EQ(b.subquery_execs, 14u);
+  EXPECT_EQ(b.rows_output, 16u);
+}
+
+TEST(ExecStatsTest, AddIdentity) {
+  ExecStats a;
+  a.tuples_scanned = 42;
+  ExecStats zero;
+  a.Add(zero);
+  EXPECT_EQ(a.tuples_scanned, 42u);
+  EXPECT_EQ(a.rows_output, 0u);
+}
+
+TEST(ExecStatsTest, ToStringReportsCounters) {
+  ExecStats s;
+  s.tuples_scanned = 11;
+  s.udf_invocations = 22;
+  s.rows_output = 33;
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("scanned=11"), std::string::npos) << str;
+  EXPECT_NE(str.find("udf=22"), std::string::npos) << str;
+  EXPECT_NE(str.find("out=33"), std::string::npos) << str;
+}
+
+// ---------------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differed = false;
+  for (int i = 0; i < 20 && !differed; ++i) {
+    differed = a.Uniform(0, 1000000) != b.Uniform(0, 1000000);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(RngTest, UniformStaysInClosedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceDegenerateProbabilities) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, SkewedStaysInRangeAndFavorsLowRanks) {
+  Rng rng(7);
+  int64_t low = 0, high = 0;
+  const int64_t n = 100;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Skewed(n);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    if (v < n / 2) ++low; else ++high;
+  }
+  EXPECT_GT(low, high);
+}
+
+TEST(RngTest, SampleReturnsDistinctElements) {
+  Rng rng(7);
+  std::vector<int64_t> s = rng.Sample(50, 10);
+  ASSERT_EQ(s.size(), 10u);
+  std::set<int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), s.size());
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, SampleClampsKToN) {
+  Rng rng(7);
+  std::vector<int64_t> s = rng.Sample(3, 10);
+  ASSERT_EQ(s.size(), 3u);
+  std::set<int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(7);
+  double sum = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Gaussian(10.0, 2.0);
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sieve
