@@ -128,6 +128,68 @@ inline std::vector<std::pair<std::string, size_t>> TippersWorld::TopQueriers(
   return counted;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------------
+
+/// One benchmark record, rendered as a JSON object. Keys keep insertion
+/// order; values are numbers or strings.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, double v) {
+    fields_.emplace_back(key, StrFormat("%.6g", v));
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, int64_t v) {
+    fields_.emplace_back(key, StrFormat("%lld", static_cast<long long>(v)));
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  JsonRow& Set(const std::string& key, const std::string& v) {
+    std::string escaped = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += "\"";
+    fields_.emplace_back(key, std::move(escaped));
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `rows` to `path` as {"bench": <name>, "rows": [...]}, so the perf
+/// trajectory of a harness can accumulate across commits and be diffed by
+/// tooling. Returns false on IO failure.
+inline bool WriteBenchJson(const std::string& bench_name,
+                           const std::string& path,
+                           const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_name.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s%s", i > 0 ? ",\n  " : "\n  ",
+                 rows[i].ToJson().c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Simple fixed-width table printer.
 class TablePrinter {
  public:

@@ -21,6 +21,9 @@ struct ExecStats {
   uint64_t subquery_execs = 0;      ///< correlated scalar subquery runs
   uint64_t rows_output = 0;         ///< rows produced by the plan root
 
+  /// Merges another counter set into this one. Parallel execution gives
+  /// every worker its own ExecStats and folds them together at the barrier,
+  /// so no counter is ever incremented from two threads.
   void Add(const ExecStats& other) {
     tuples_scanned += other.tuples_scanned;
     index_probe_rows += other.index_probe_rows;
@@ -31,6 +34,18 @@ struct ExecStats {
     subquery_execs += other.subquery_execs;
     rows_output += other.rows_output;
   }
+
+  bool operator==(const ExecStats& other) const {
+    return tuples_scanned == other.tuples_scanned &&
+           index_probe_rows == other.index_probe_rows &&
+           comparisons == other.comparisons &&
+           policy_evals == other.policy_evals &&
+           udf_invocations == other.udf_invocations &&
+           udf_policy_checks == other.udf_policy_checks &&
+           subquery_execs == other.subquery_execs &&
+           rows_output == other.rows_output;
+  }
+  bool operator!=(const ExecStats& other) const { return !(*this == other); }
 
   std::string ToString() const;
 };

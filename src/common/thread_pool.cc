@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+namespace sieve {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();  // rethrows the first stored exception
+}
+
+}  // namespace sieve

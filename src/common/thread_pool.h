@@ -1,0 +1,50 @@
+#ifndef SIEVE_COMMON_THREAD_POOL_H_
+#define SIEVE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sieve {
+
+/// Fixed-size worker pool backing partition-parallel query execution.
+/// Tasks are plain callables; Submit returns a future that completes when
+/// the task finishes and carries any exception the task threw. The
+/// destructor drains the queue: every task submitted before destruction
+/// runs to completion before the workers join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task`; the returned future rethrows the task's exception
+  /// (if any) from get().
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
+  /// If any invocation threw, the first exception (by index) is rethrown
+  /// after every task has finished — no task is left running.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_THREAD_POOL_H_

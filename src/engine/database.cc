@@ -40,14 +40,24 @@ Status Database::Analyze() {
 
 Result<ResultSet> Database::ExecuteSql(const std::string& sql,
                                        const QueryMetadata* metadata,
-                                       double timeout_seconds) {
+                                       double timeout_seconds,
+                                       int num_threads) {
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
-  return ExecuteStmt(*stmt, metadata, timeout_seconds);
+  return ExecuteStmt(*stmt, metadata, timeout_seconds, num_threads);
+}
+
+ThreadPool* Database::EnsurePool(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pools_.empty() || pools_.back()->size() < num_threads) {
+    pools_.push_back(std::make_unique<ThreadPool>(num_threads));
+  }
+  return pools_.back().get();
 }
 
 Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
                                         const QueryMetadata* metadata,
-                                        double timeout_seconds) {
+                                        double timeout_seconds,
+                                        int num_threads) {
   Optimizer optimizer(&catalog_, &profile_);
   SIEVE_ASSIGN_OR_RETURN(PlannedQuery plan, optimizer.Plan(stmt));
   ExecStats stats;
@@ -57,6 +67,10 @@ Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
   ctx.metadata = metadata;
   ctx.stats = &stats;
   ctx.timeout_seconds = timeout_seconds;
+  if (num_threads > 1) {
+    ctx.num_threads = num_threads;
+    ctx.pool = EnsurePool(static_cast<size_t>(num_threads));
+  }
   return Executor::Run(plan.root.get(), &ctx);
 }
 
@@ -218,9 +232,9 @@ Result<Value> Database::CallUdf(const std::string& name,
     for (int i = 0; i < profile_.udf_invocation_spin; ++i) {
       sink = sink * 1099511628211ULL + 0x9e3779b9;
     }
-    // Compound assignment on volatile is deprecated in C++20; split the
-    // read-modify-write so the optimizer still cannot elide the spin loop.
-    benchmark_sink_ = benchmark_sink_ + sink;
+    // Relaxed atomic: concurrent partitions all funnel through this sink;
+    // it only needs to defeat dead-code elimination, not order anything.
+    benchmark_sink_.fetch_add(sink, std::memory_order_relaxed);
   }
   UdfContext ctx;
   ctx.db = this;

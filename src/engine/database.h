@@ -1,10 +1,13 @@
 #ifndef SIEVE_ENGINE_DATABASE_H_
 #define SIEVE_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/udf.h"
 #include "expr/eval.h"
 #include "parser/ast.h"
@@ -51,14 +54,18 @@ class Database : public EngineHooks {
   // -------------------------------------------------------------------------
 
   /// Parses, plans and runs `sql`. `timeout_seconds` 0 disables the timeout.
+  /// `num_threads` > 1 enables partition-parallel execution of the plan's
+  /// scan pipelines on an internal thread pool (1 = serial, the default).
   Result<ResultSet> ExecuteSql(const std::string& sql,
                                const QueryMetadata* metadata = nullptr,
-                               double timeout_seconds = 0.0);
+                               double timeout_seconds = 0.0,
+                               int num_threads = 1);
 
   /// Plans and runs an already-parsed statement.
   Result<ResultSet> ExecuteStmt(const SelectStmt& stmt,
                                 const QueryMetadata* metadata = nullptr,
-                                double timeout_seconds = 0.0);
+                                double timeout_seconds = 0.0,
+                                int num_threads = 1);
 
   /// Plans `sql` and returns the access-path summary without executing —
   /// the EXPLAIN facility Sieve's strategy selector relies on (Section 5.5).
@@ -89,12 +96,21 @@ class Database : public EngineHooks {
   Status SubstituteOuterRefs(SelectStmt* stmt, const Schema& outer_schema,
                              const Row& outer_row);
 
+  /// The worker pool backing partition-parallel execution, created on the
+  /// first parallel query and grown when a query asks for more threads.
+  /// Outgrown pools are retired, not destroyed: a concurrent query may
+  /// still be running on one, and ThreadPool's destructor joins.
+  ThreadPool* EnsurePool(size_t num_threads);
+
   Catalog catalog_;
   UdfRegistry udfs_;
   EngineProfile profile_;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;  // back() is current
+  std::mutex pool_mu_;
   /// Sink for the simulated UDF marshalling work (prevents the optimizer
-  /// from eliding it).
-  volatile size_t benchmark_sink_ = 0;
+  /// from eliding it). Atomic: parallel partitions cross the UDF boundary
+  /// concurrently.
+  std::atomic<size_t> benchmark_sink_{0};
 };
 
 }  // namespace sieve

@@ -1,6 +1,7 @@
 #ifndef SIEVE_PLAN_EXEC_CONTEXT_H_
 #define SIEVE_PLAN_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/exec_stats.h"
 #include "common/metadata.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "expr/eval.h"
 #include "storage/catalog.h"
@@ -23,7 +25,12 @@ struct MaterializedResult {
 /// Per-query execution state threaded through every operator: catalog and
 /// engine hooks, query metadata (for the Δ UDF), stat counters, the timeout
 /// budget (the paper's experiments use a 30 s timeout, reported as "TO"),
-/// and the cache of materialized CTEs.
+/// the cache of materialized CTEs, and the partition-parallelism knobs.
+///
+/// Parallel execution fans one pipeline out into `num_threads` partitions,
+/// each driven under its own worker ExecContext (own ExecStats, shared
+/// timer epoch, shared cancel flag); the workers' stats are merged back at
+/// the barrier, so the counters here are never mutated concurrently.
 struct ExecContext {
   Catalog* catalog = nullptr;
   EngineHooks* hooks = nullptr;
@@ -33,11 +40,38 @@ struct ExecContext {
   Timer timer;
   std::map<std::string, MaterializedResult> ctes;
 
+  /// Partition parallelism: 1 (the default) is today's serial behavior.
+  /// When > 1, `pool` must point at a live thread pool.
+  int num_threads = 1;
+  ThreadPool* pool = nullptr;
+  /// Set when a sibling partition failed; checked cooperatively so the
+  /// surviving workers abandon their scans instead of running to the end.
+  std::atomic<bool>* cancel = nullptr;
+
   Status CheckTimeout() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::Timeout("query cancelled: a sibling partition failed");
+    }
     if (timeout_seconds > 0.0 && timer.ElapsedSeconds() > timeout_seconds) {
       return Status::Timeout("query exceeded timeout");
     }
     return Status::OK();
+  }
+
+  /// A context for one parallel worker: shares the read-only engine state
+  /// and the timeout epoch, but gets its own stat counters so accumulation
+  /// is race-free. Workers never nest parallelism (num_threads = 1).
+  ExecContext MakeWorkerContext(ExecStats* worker_stats,
+                                std::atomic<bool>* cancel_flag) const {
+    ExecContext worker;
+    worker.catalog = catalog;
+    worker.hooks = hooks;
+    worker.metadata = metadata;
+    worker.stats = worker_stats;
+    worker.timeout_seconds = timeout_seconds;
+    worker.timer = timer;  // same epoch: the deadline is shared
+    worker.cancel = cancel_flag;
+    return worker;
   }
 };
 

@@ -1,5 +1,9 @@
 #include "plan/executor.h"
 
+#include <atomic>
+#include <mutex>
+#include <utility>
+
 #include "common/string_util.h"
 
 namespace sieve {
@@ -26,19 +30,86 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
-Result<ResultSet> Executor::Run(Operator* root, ExecContext* ctx) {
-  Timer timer;
+namespace {
+
+// Serial pull loop: opens `root` and drains it into *schema / *rows.
+Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
+                   std::vector<Row>* rows) {
   SIEVE_RETURN_IF_ERROR(root->Open(ctx));
-  ResultSet result;
-  result.schema = root->schema();
+  *schema = root->schema();
   Row row;
   while (true) {
     SIEVE_ASSIGN_OR_RETURN(bool has, root->Next(ctx, &row));
     if (!has) break;
-    result.rows.push_back(row);
-    if (ctx->stats != nullptr) ++ctx->stats->rows_output;
+    rows->push_back(std::move(row));
   }
-  if (ctx->stats != nullptr) result.stats = *ctx->stats;
+  return Status::OK();
+}
+
+// Drives one partition pipeline per pool task. Each worker gets a private
+// ExecContext (own ExecStats, shared timeout epoch, shared cancel flag);
+// the first failure wins, flips the cancel flag so siblings stop at their
+// next cooperative check, and is reported as the query's status.
+Status DrainPartitioned(const std::vector<OperatorPtr>& parts,
+                        ExecContext* ctx, Schema* schema,
+                        std::vector<Row>* rows) {
+  const size_t n = parts.size();
+  std::vector<ExecStats> worker_stats(n);
+  std::vector<std::vector<Row>> worker_rows(n);
+  std::vector<Schema> worker_schemas(n);
+  std::atomic<bool> cancel{false};
+  std::mutex error_mu;
+  Status first_error;
+
+  ctx->pool->ParallelFor(n, [&](size_t i) {
+    ExecContext worker = ctx->MakeWorkerContext(&worker_stats[i], &cancel);
+    Status st = DrainSerial(parts[i].get(), &worker, &worker_schemas[i],
+                            &worker_rows[i]);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = st;
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  if (!first_error.ok()) return first_error;
+  *schema = worker_schemas.front();
+  size_t total = 0;
+  for (const auto& part_rows : worker_rows) total += part_rows.size();
+  rows->reserve(rows->size() + total);
+  for (auto& part_rows : worker_rows) {
+    for (Row& row : part_rows) rows->push_back(std::move(row));
+  }
+  if (ctx->stats != nullptr) {
+    for (const ExecStats& stats : worker_stats) ctx->stats->Add(stats);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Executor::Materialize(Operator* root, ExecContext* ctx, Schema* schema,
+                             std::vector<Row>* rows) {
+  if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    std::vector<OperatorPtr> parts;
+    if (root->CreatePartitions(static_cast<size_t>(ctx->num_threads),
+                               &parts) &&
+        !parts.empty()) {
+      return DrainPartitioned(parts, ctx, schema, rows);
+    }
+  }
+  return DrainSerial(root, ctx, schema, rows);
+}
+
+Result<ResultSet> Executor::Run(Operator* root, ExecContext* ctx) {
+  Timer timer;
+  ResultSet result;
+  SIEVE_RETURN_IF_ERROR(
+      Materialize(root, ctx, &result.schema, &result.rows));
+  if (ctx->stats != nullptr) {
+    ctx->stats->rows_output += result.rows.size();
+    result.stats = *ctx->stats;
+  }
   result.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

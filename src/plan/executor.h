@@ -25,6 +25,16 @@ struct ResultSet {
 class Executor {
  public:
   static Result<ResultSet> Run(Operator* root, ExecContext* ctx);
+
+  /// Drains `root` to completion into *schema / *rows. When
+  /// ctx->num_threads > 1, ctx->pool is set and the pipeline supports
+  /// partitioning (Operator::CreatePartitions), the partitions run on the
+  /// pool under per-worker contexts; per-worker ExecStats are merged into
+  /// ctx->stats at the barrier and the per-partition row vectors are
+  /// concatenated in partition order, so rows, row order and stat totals
+  /// are identical to a serial run. Falls back to serial pull otherwise.
+  static Status Materialize(Operator* root, ExecContext* ctx, Schema* schema,
+                            std::vector<Row>* rows);
 };
 
 }  // namespace sieve

@@ -1,6 +1,7 @@
 #include "plan/operators.h"
 
 #include "common/string_util.h"
+#include "plan/executor.h"
 
 namespace sieve {
 
@@ -67,6 +68,17 @@ std::string FilterOperator::name() const {
   return "Filter(" + predicate_->ToSql() + ")";
 }
 
+bool FilterOperator::CreatePartitions(size_t num_parts,
+                                      std::vector<OperatorPtr>* out) const {
+  std::vector<OperatorPtr> children;
+  if (!child_->CreatePartitions(num_parts, &children)) return false;
+  for (auto& child : children) {
+    out->push_back(
+        std::make_unique<FilterOperator>(std::move(child), predicate_->Clone()));
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // ProjectOperator
 // ---------------------------------------------------------------------------
@@ -114,6 +126,24 @@ std::string ProjectOperator::name() const {
   parts.reserve(items_.size());
   for (const auto& item : items_) parts.push_back(item.ToSql());
   return "Project(" + Join(parts, ", ") + ")";
+}
+
+bool ProjectOperator::CreatePartitions(size_t num_parts,
+                                       std::vector<OperatorPtr>* out) const {
+  std::vector<OperatorPtr> children;
+  if (!child_->CreatePartitions(num_parts, &children)) return false;
+  for (auto& child : children) {
+    std::vector<SelectItem> items;
+    items.reserve(items_.size());
+    for (const auto& item : items_) {
+      items.push_back(SelectItem{
+          item.expr != nullptr ? item.expr->Clone() : nullptr, item.agg,
+          item.alias});
+    }
+    out->push_back(
+        std::make_unique<ProjectOperator>(std::move(child), std::move(items)));
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -260,15 +290,12 @@ Status MaterializedScanOperator::Open(ExecContext* ctx) {
     return Status::Internal("materialized scan has no producer for " +
                             cache_key_);
   }
-  SIEVE_RETURN_IF_ERROR(child_->Open(ctx));
+  // This drain is the hot loop of the Sieve rewrite: the CTE body evaluates
+  // guards and the Δ operator over the base table. Executor::Materialize
+  // fans it out across partitions when the context enables parallelism.
   MaterializedResult result;
-  result.schema = child_->schema();
-  Row row;
-  while (true) {
-    SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
-    if (!has) break;
-    result.rows.push_back(row);
-  }
+  SIEVE_RETURN_IF_ERROR(
+      Executor::Materialize(child_.get(), ctx, &result.schema, &result.rows));
   if (!cache_key_.empty()) {
     auto [it, inserted] = ctx->ctes.emplace(cache_key_, std::move(result));
     (void)inserted;

@@ -2,6 +2,7 @@
 #define SIEVE_PLAN_OPERATORS_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,9 @@
 
 namespace sieve {
 
+class Operator;
+using OperatorPtr = std::unique_ptr<Operator>;
+
 /// Volcano-style physical operator. Open() prepares state; Next() produces
 /// one row at a time. Operators own their children.
 class Operator {
@@ -28,9 +32,22 @@ class Operator {
   virtual const Schema& schema() const = 0;
   /// One-line description for EXPLAIN output.
   virtual std::string name() const = 0;
-};
 
-using OperatorPtr = std::unique_ptr<Operator>;
+  /// Partition-parallel support: when this operator's pipeline can be split
+  /// into disjoint row partitions, fills *out with `num_parts` self-contained
+  /// clones, where clone i produces exactly partition i's rows and
+  /// concatenating partitions 0..num_parts-1 in order reproduces the serial
+  /// row stream (so results, including row order, are identical to a serial
+  /// run). Clones share no mutable state with this operator and may be
+  /// opened and driven on concurrent threads. Returns false (leaving *out
+  /// untouched) when the subtree cannot be partitioned.
+  virtual bool CreatePartitions(size_t num_parts,
+                                std::vector<OperatorPtr>* out) const {
+    (void)num_parts;
+    (void)out;
+    return false;
+  }
+};
 
 /// Qualifies every column of `schema` with `qualifier` (stripping any
 /// existing qualifier), e.g. (id, owner) with "W" -> (W.id, W.owner).
@@ -40,7 +57,17 @@ Schema QualifySchema(const Schema& schema, const std::string& qualifier);
 // Scans
 // ---------------------------------------------------------------------------
 
-/// Full table scan (counts tuples_scanned).
+/// Probe state shared by the partition clones of one index scan: the first
+/// partition to open runs the (single) index probe, the rest reuse its
+/// row-id list and each iterates a disjoint contiguous slice of it.
+struct SharedIndexProbe {
+  std::once_flag once;
+  Status status = Status::OK();
+  std::vector<RowId> row_ids;
+};
+
+/// Full table scan (counts tuples_scanned). Partition clones cover
+/// contiguous, disjoint slot ranges of the table.
 class SeqScanOperator : public Operator {
  public:
   SeqScanOperator(const TableEntry* entry, std::string qualifier);
@@ -49,12 +76,21 @@ class SeqScanOperator : public Operator {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
 
  private:
+  SeqScanOperator(const TableEntry* entry, std::string qualifier,
+                  RowId begin_slot, RowId end_slot);
+
   const TableEntry* entry_;
   std::string qualifier_;
   Schema schema_;
+  RowId begin_slot_ = 0;
+  RowId end_slot_ = -1;  // -1: the full table (resolved at Open)
   RowId next_id_ = 0;
+  RowId scan_end_ = 0;
+  uint64_t ticks_ = 0;  // timeout-check cadence, local to this partition
 };
 
 /// One contiguous key range probed on one index.
@@ -66,46 +102,85 @@ struct IndexRange {
   bool hi_inclusive = true;
 };
 
-/// Index range scan over a single range (counts index_probe_rows).
-class IndexRangeScanOperator : public Operator {
+/// Common machinery for scans that fetch an explicit row-id list computed
+/// by an index probe: runs the probe at Open (partition clones share one
+/// probe through SharedIndexProbe and each fetch a disjoint contiguous
+/// slice of its row ids), then iterates live rows counting
+/// index_probe_rows. Subclasses supply the probe and the display name.
+class RowIdListScanOperator : public Operator {
+ public:
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  const Schema& schema() const override { return schema_; }
+
+ protected:
+  RowIdListScanOperator(const TableEntry* entry, std::string qualifier,
+                        std::shared_ptr<SharedIndexProbe> shared, size_t part,
+                        size_t num_parts);
+
+  /// Computes the row ids to fetch; run once per scan (shared across the
+  /// partition clones of one CreatePartitions call).
+  virtual Result<std::vector<RowId>> Probe() const = 0;
+
+  const TableEntry* entry_;
+  std::string qualifier_;
+  Schema schema_;
+
+ private:
+  std::shared_ptr<SharedIndexProbe> shared_;  // set only on partition clones
+  size_t part_ = 0;
+  size_t num_parts_ = 1;
+  std::vector<RowId> row_ids_;               // used when not partitioned
+  const std::vector<RowId>* ids_ = nullptr;  // row-id source for Next
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  uint64_t ticks_ = 0;
+};
+
+/// Index range scan over a single range.
+class IndexRangeScanOperator : public RowIdListScanOperator {
  public:
   IndexRangeScanOperator(const TableEntry* entry, std::string qualifier,
                          IndexRange range);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
+
+ protected:
+  Result<std::vector<RowId>> Probe() const override;
 
  private:
-  const TableEntry* entry_;
-  std::string qualifier_;
+  IndexRangeScanOperator(const TableEntry* entry, std::string qualifier,
+                         IndexRange range,
+                         std::shared_ptr<SharedIndexProbe> shared, size_t part,
+                         size_t num_parts);
+
   IndexRange range_;
-  Schema schema_;
-  std::vector<RowId> row_ids_;
-  size_t pos_ = 0;
 };
 
 /// OR of several index ranges merged through an in-memory row-id bitmap,
 /// then fetched in row-id order — the PostgreSQL "BitmapOr + Bitmap Heap
 /// Scan" plan shape that makes many-guard queries cheap (Experiments 4, 5).
-class IndexUnionBitmapScanOperator : public Operator {
+class IndexUnionBitmapScanOperator : public RowIdListScanOperator {
  public:
   IndexUnionBitmapScanOperator(const TableEntry* entry, std::string qualifier,
                                std::vector<IndexRange> ranges);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
+
+ protected:
+  Result<std::vector<RowId>> Probe() const override;
 
  private:
-  const TableEntry* entry_;
-  std::string qualifier_;
+  IndexUnionBitmapScanOperator(const TableEntry* entry, std::string qualifier,
+                               std::vector<IndexRange> ranges,
+                               std::shared_ptr<SharedIndexProbe> shared,
+                               size_t part, size_t num_parts);
+
   std::vector<IndexRange> ranges_;
-  Schema schema_;
-  std::vector<RowId> row_ids_;
-  size_t pos_ = 0;
 };
 
 /// Scan over a materialized result (CTE reference or derived table).
@@ -136,6 +211,9 @@ class MaterializedScanOperator : public Operator {
 // ---------------------------------------------------------------------------
 
 /// WHERE filter; binds `predicate` against the child schema at Open.
+/// Partitionable when its child is: each partition filters its own slice
+/// with a private deep clone of the predicate (binding mutates expression
+/// nodes, so partitions must not share them).
 class FilterOperator : public Operator {
  public:
   FilterOperator(OperatorPtr child, ExprPtr predicate);
@@ -144,6 +222,8 @@ class FilterOperator : public Operator {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
 
  private:
   OperatorPtr child_;
@@ -152,7 +232,8 @@ class FilterOperator : public Operator {
   uint64_t rows_seen_ = 0;
 };
 
-/// Projection of scalar expressions (no aggregates).
+/// Projection of scalar expressions (no aggregates). Partitionable when its
+/// child is (expressions are deep-cloned per partition, like FilterOperator).
 class ProjectOperator : public Operator {
  public:
   ProjectOperator(OperatorPtr child, std::vector<SelectItem> items);
@@ -161,6 +242,8 @@ class ProjectOperator : public Operator {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
 
  private:
   OperatorPtr child_;

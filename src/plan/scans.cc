@@ -1,6 +1,7 @@
-#include "plan/operators.h"
+#include <algorithm>
 
 #include "common/string_util.h"
+#include "plan/operators.h"
 
 namespace sieve {
 
@@ -29,6 +30,16 @@ std::string RangeToString(const IndexRange& r) {
   return out;
 }
 
+// Contiguous slice [begin, end) of `total` items assigned to partition
+// `part` of `num_parts`. Handles empty inputs and total < num_parts (the
+// tail partitions come out empty).
+void PartitionSlice(size_t total, size_t part, size_t num_parts,
+                    size_t* begin, size_t* end) {
+  size_t chunk = num_parts == 0 ? total : (total + num_parts - 1) / num_parts;
+  *begin = std::min(part * chunk, total);
+  *end = std::min(*begin + chunk, total);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -40,19 +51,31 @@ SeqScanOperator::SeqScanOperator(const TableEntry* entry, std::string qualifier)
   schema_ = QualifySchema(entry_->table->schema(), qualifier_);
 }
 
+SeqScanOperator::SeqScanOperator(const TableEntry* entry, std::string qualifier,
+                                 RowId begin_slot, RowId end_slot)
+    : entry_(entry),
+      qualifier_(std::move(qualifier)),
+      begin_slot_(begin_slot),
+      end_slot_(end_slot) {
+  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+}
+
 Status SeqScanOperator::Open(ExecContext* ctx) {
   (void)ctx;
-  next_id_ = 0;
+  next_id_ = begin_slot_;
+  scan_end_ = end_slot_ >= 0 ? end_slot_
+                             : static_cast<RowId>(entry_->table->num_slots());
+  ticks_ = 0;
   return Status::OK();
 }
 
 Result<bool> SeqScanOperator::Next(ExecContext* ctx, Row* out) {
   const Table& table = *entry_->table;
-  while (static_cast<size_t>(next_id_) < table.num_slots()) {
-    RowId id = next_id_++;
-    if ((id & 4095) == 0) {
+  while (next_id_ < scan_end_) {
+    if ((ticks_++ & 4095) == 0) {
       SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     }
+    RowId id = next_id_++;
     if (!table.IsLive(id)) continue;
     *out = table.Get(id);
     if (ctx->stats != nullptr) ++ctx->stats->tuples_scanned;
@@ -61,9 +84,77 @@ Result<bool> SeqScanOperator::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
+bool SeqScanOperator::CreatePartitions(size_t num_parts,
+                                       std::vector<OperatorPtr>* out) const {
+  size_t slots = entry_->table->num_slots();
+  for (size_t i = 0; i < num_parts; ++i) {
+    size_t begin = 0, end = 0;
+    PartitionSlice(slots, i, num_parts, &begin, &end);
+    out->push_back(OperatorPtr(new SeqScanOperator(
+        entry_, qualifier_, static_cast<RowId>(begin),
+        static_cast<RowId>(end))));
+  }
+  return true;
+}
+
 std::string SeqScanOperator::name() const {
   return "SeqScan(" + entry_->table->name() +
          (qualifier_.empty() ? "" : " AS " + qualifier_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// RowIdListScanOperator
+// ---------------------------------------------------------------------------
+
+RowIdListScanOperator::RowIdListScanOperator(
+    const TableEntry* entry, std::string qualifier,
+    std::shared_ptr<SharedIndexProbe> shared, size_t part, size_t num_parts)
+    : entry_(entry),
+      qualifier_(std::move(qualifier)),
+      shared_(std::move(shared)),
+      part_(part),
+      num_parts_(num_parts) {
+  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+}
+
+Status RowIdListScanOperator::Open(ExecContext* ctx) {
+  (void)ctx;
+  ticks_ = 0;
+  if (shared_ != nullptr) {
+    // Partition clone: the first opener runs the probe, everyone slices it.
+    std::call_once(shared_->once, [this] {
+      Result<std::vector<RowId>> probed = Probe();
+      if (probed.ok()) {
+        shared_->row_ids = std::move(probed).value();
+      } else {
+        shared_->status = probed.status();
+      }
+    });
+    SIEVE_RETURN_IF_ERROR(shared_->status);
+    ids_ = &shared_->row_ids;
+    PartitionSlice(shared_->row_ids.size(), part_, num_parts_, &pos_, &end_);
+    return Status::OK();
+  }
+  SIEVE_ASSIGN_OR_RETURN(row_ids_, Probe());
+  ids_ = &row_ids_;
+  pos_ = 0;
+  end_ = row_ids_.size();
+  return Status::OK();
+}
+
+Result<bool> RowIdListScanOperator::Next(ExecContext* ctx, Row* out) {
+  const Table& table = *entry_->table;
+  while (pos_ < end_) {
+    if ((ticks_++ & 4095) == 0) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    }
+    RowId id = (*ids_)[pos_++];
+    if (!table.IsLive(id)) continue;
+    *out = table.Get(id);
+    if (ctx->stats != nullptr) ++ctx->stats->index_probe_rows;
+    return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -73,30 +164,28 @@ std::string SeqScanOperator::name() const {
 IndexRangeScanOperator::IndexRangeScanOperator(const TableEntry* entry,
                                                std::string qualifier,
                                                IndexRange range)
-    : entry_(entry), qualifier_(std::move(qualifier)), range_(std::move(range)) {
-  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
+    : RowIdListScanOperator(entry, std::move(qualifier), nullptr, 0, 1),
+      range_(std::move(range)) {}
+
+IndexRangeScanOperator::IndexRangeScanOperator(
+    const TableEntry* entry, std::string qualifier, IndexRange range,
+    std::shared_ptr<SharedIndexProbe> shared, size_t part, size_t num_parts)
+    : RowIdListScanOperator(entry, std::move(qualifier), std::move(shared),
+                            part, num_parts),
+      range_(std::move(range)) {}
+
+Result<std::vector<RowId>> IndexRangeScanOperator::Probe() const {
+  return ProbeIndex(entry_, range_);
 }
 
-Status IndexRangeScanOperator::Open(ExecContext* ctx) {
-  (void)ctx;
-  pos_ = 0;
-  SIEVE_ASSIGN_OR_RETURN(row_ids_, ProbeIndex(entry_, range_));
-  return Status::OK();
-}
-
-Result<bool> IndexRangeScanOperator::Next(ExecContext* ctx, Row* out) {
-  const Table& table = *entry_->table;
-  while (pos_ < row_ids_.size()) {
-    if ((pos_ & 4095) == 0) {
-      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    }
-    RowId id = row_ids_[pos_++];
-    if (!table.IsLive(id)) continue;
-    *out = table.Get(id);
-    if (ctx->stats != nullptr) ++ctx->stats->index_probe_rows;
-    return true;
+bool IndexRangeScanOperator::CreatePartitions(
+    size_t num_parts, std::vector<OperatorPtr>* out) const {
+  auto shared = std::make_shared<SharedIndexProbe>();
+  for (size_t i = 0; i < num_parts; ++i) {
+    out->push_back(OperatorPtr(new IndexRangeScanOperator(
+        entry_, qualifier_, range_, shared, i, num_parts)));
   }
-  return false;
+  return true;
 }
 
 std::string IndexRangeScanOperator::name() const {
@@ -111,37 +200,34 @@ std::string IndexRangeScanOperator::name() const {
 IndexUnionBitmapScanOperator::IndexUnionBitmapScanOperator(
     const TableEntry* entry, std::string qualifier,
     std::vector<IndexRange> ranges)
-    : entry_(entry),
-      qualifier_(std::move(qualifier)),
-      ranges_(std::move(ranges)) {
-  schema_ = QualifySchema(entry_->table->schema(), qualifier_);
-}
+    : RowIdListScanOperator(entry, std::move(qualifier), nullptr, 0, 1),
+      ranges_(std::move(ranges)) {}
 
-Status IndexUnionBitmapScanOperator::Open(ExecContext* ctx) {
-  (void)ctx;
-  pos_ = 0;
+IndexUnionBitmapScanOperator::IndexUnionBitmapScanOperator(
+    const TableEntry* entry, std::string qualifier,
+    std::vector<IndexRange> ranges, std::shared_ptr<SharedIndexProbe> shared,
+    size_t part, size_t num_parts)
+    : RowIdListScanOperator(entry, std::move(qualifier), std::move(shared),
+                            part, num_parts),
+      ranges_(std::move(ranges)) {}
+
+Result<std::vector<RowId>> IndexUnionBitmapScanOperator::Probe() const {
   Bitmap bitmap(entry_->table->num_slots());
   for (const IndexRange& range : ranges_) {
     SIEVE_ASSIGN_OR_RETURN(std::vector<RowId> ids, ProbeIndex(entry_, range));
     for (RowId id : ids) bitmap.Set(id);
   }
-  row_ids_ = bitmap.ToVector();
-  return Status::OK();
+  return bitmap.ToVector();
 }
 
-Result<bool> IndexUnionBitmapScanOperator::Next(ExecContext* ctx, Row* out) {
-  const Table& table = *entry_->table;
-  while (pos_ < row_ids_.size()) {
-    if ((pos_ & 4095) == 0) {
-      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    }
-    RowId id = row_ids_[pos_++];
-    if (!table.IsLive(id)) continue;
-    *out = table.Get(id);
-    if (ctx->stats != nullptr) ++ctx->stats->index_probe_rows;
-    return true;
+bool IndexUnionBitmapScanOperator::CreatePartitions(
+    size_t num_parts, std::vector<OperatorPtr>* out) const {
+  auto shared = std::make_shared<SharedIndexProbe>();
+  for (size_t i = 0; i < num_parts; ++i) {
+    out->push_back(OperatorPtr(new IndexUnionBitmapScanOperator(
+        entry_, qualifier_, ranges_, shared, i, num_parts)));
   }
-  return false;
+  return true;
 }
 
 std::string IndexUnionBitmapScanOperator::name() const {

@@ -1,5 +1,7 @@
 #include "sieve/delta.h"
 
+#include <mutex>
+
 #include "common/string_util.h"
 #include "expr/eval.h"
 
@@ -35,6 +37,24 @@ Status RegisterDeltaUdf(Database* db, GuardStore* guards) {
         }
         SIEVE_ASSIGN_OR_RETURN(const GuardStore::DeltaPartition* partition,
                                guards->GetDeltaPartition(args[0].AsInt()));
+
+        // The partition's object expressions are shared by every worker of
+        // a parallel scan, and evaluating an unbound column ref binds it in
+        // place. Bind the whole partition against the tuple schema exactly
+        // once; afterwards evaluation is read-only and race-free.
+        std::call_once(partition->bind_once, [partition, &ctx] {
+          for (const auto& [owner_key, entries] : partition->by_owner) {
+            (void)owner_key;
+            for (const GuardStore::DeltaPolicyEntry& entry : entries) {
+              Status st = BindExpr(entry.object_expr.get(), *ctx.schema);
+              if (!st.ok()) {
+                partition->bind_status = st;
+                return;
+              }
+            }
+          }
+        });
+        SIEVE_RETURN_IF_ERROR(partition->bind_status);
 
         // Context filter: only policies owned by the tuple's owner can allow
         // the tuple (every policy carries oc_owner).

@@ -87,6 +87,7 @@ Result<int64_t> GuardStore::Put(GuardedExpression ge) {
   if (old != memory_.end()) {
     for (const Guard& g : old->second.ge.guards) {
       guard_owner_.erase(g.id);
+      std::lock_guard<std::mutex> lock(delta_mu_);
       delta_cache_.erase(g.id);
     }
   }
@@ -136,24 +137,28 @@ const Guard* GuardStore::FindGuard(int64_t guard_id) const {
 
 Result<const GuardStore::DeltaPartition*> GuardStore::GetDeltaPartition(
     int64_t guard_id) {
+  // Called from the Δ UDF on every worker thread of a parallel scan; the
+  // lock serializes the lazy build. DeltaPartition values live behind
+  // unique_ptr, so the returned pointer stays valid across later inserts.
+  std::lock_guard<std::mutex> lock(delta_mu_);
   auto cached = delta_cache_.find(guard_id);
-  if (cached != delta_cache_.end()) return &cached->second;
+  if (cached != delta_cache_.end()) return cached->second.get();
 
   const Guard* guard = FindGuard(guard_id);
   if (guard == nullptr) {
     return Status::NotFound(StrFormat("no guard with id %lld",
                                       static_cast<long long>(guard_id)));
   }
-  DeltaPartition partition;
+  auto partition = std::make_unique<DeltaPartition>();
   for (int64_t policy_id : guard->guard.policy_ids) {
     const Policy* policy = policies_->FindPolicy(policy_id);
     if (policy == nullptr) continue;  // revoked since generation
-    partition.by_owner[policy->owner.ToString()].push_back(
+    partition->by_owner[policy->owner.ToString()].push_back(
         DeltaPolicyEntry{policy_id, policy->ObjectExpr()});
   }
   auto [it, inserted] = delta_cache_.emplace(guard_id, std::move(partition));
   (void)inserted;
-  return &it->second;
+  return it->second.get();
 }
 
 }  // namespace sieve

@@ -2,6 +2,8 @@
 #define SIEVE_SIEVE_GUARD_STORE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,7 +58,16 @@ class GuardStore {
   };
   struct DeltaPartition {
     std::unordered_map<std::string, std::vector<DeltaPolicyEntry>> by_owner;
+    /// The object expressions above are shared by every worker evaluating
+    /// this guard, and binding them mutates expression nodes in place — so
+    /// the Δ UDF binds them against the tuple schema exactly once (under
+    /// this flag) and treats them as immutable afterwards.
+    mutable std::once_flag bind_once;
+    mutable Status bind_status = Status::OK();
   };
+  /// Thread-safe: concurrent scan partitions evaluating Δ race to build the
+  /// same partition; the cache is mutex-guarded and the returned pointer is
+  /// stable for the partition's lifetime (invalidated only by Put).
   Result<const DeltaPartition*> GetDeltaPartition(int64_t guard_id);
 
   size_t size() const { return memory_.size(); }
@@ -77,7 +88,8 @@ class GuardStore {
   const PolicyStore* policies_;
   std::map<Key, Entry> memory_;
   std::unordered_map<int64_t, Key> guard_owner_;  // guard id -> GE key
-  std::unordered_map<int64_t, DeltaPartition> delta_cache_;
+  std::unordered_map<int64_t, std::unique_ptr<DeltaPartition>> delta_cache_;
+  mutable std::mutex delta_mu_;  // guards delta_cache_ during execution
   int64_t next_ge_id_ = 1;
   int64_t next_guard_id_ = 1;
   int64_t next_gg_row_id_ = 1;

@@ -33,7 +33,8 @@ Result<ResultSet> SieveMiddleware::Execute(const std::string& sql,
                                            const QueryMetadata& md) {
   dynamics_.ObserveQuery();
   SIEVE_ASSIGN_OR_RETURN(RewriteResult rewrite, rewriter_.RewriteSql(sql, md));
-  return db_->ExecuteStmt(*rewrite.stmt, &md, options_.timeout_seconds);
+  return db_->ExecuteStmt(*rewrite.stmt, &md, options_.timeout_seconds,
+                          options_.num_threads);
 }
 
 Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
@@ -93,7 +94,8 @@ Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
       }
     }
   }
-  return db_->ExecuteStmt(*rewritten, &md, options_.timeout_seconds);
+  return db_->ExecuteStmt(*rewritten, &md, options_.timeout_seconds,
+                          options_.num_threads);
 }
 
 }  // namespace sieve

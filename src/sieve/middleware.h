@@ -22,6 +22,11 @@ struct SieveOptions {
   bool calibrate_cost_model = false;
   /// Regeneration mode for dynamic policy insertions.
   RegenerationMode regeneration_mode = RegenerationMode::kLazy;
+  /// Partition-parallel execution: guarded scans run on this many worker
+  /// threads. 1 (the default) preserves today's serial behavior; parallel
+  /// runs return the same rows in the same order with the same ExecStats
+  /// totals, just faster on multi-core hardware.
+  int num_threads = 1;
 };
 
 /// The Sieve middleware facade (Section 5): intercepts queries, rewrites
@@ -68,6 +73,9 @@ class SieveMiddleware {
   QueryRewriter& rewriter() { return rewriter_; }
   DynamicPolicyManager& dynamics() { return dynamics_; }
   const SieveOptions& options() const { return options_; }
+  /// Adjusts the parallelism degree for subsequent Execute calls (used by
+  /// thread-sweep benches and the serial-vs-parallel equivalence tests).
+  void set_num_threads(int num_threads) { options_.num_threads = num_threads; }
 
  private:
   Database* db_;

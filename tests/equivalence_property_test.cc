@@ -2,6 +2,11 @@
 // queries, the Sieve rewrite must return exactly the tuple set of the
 // reference semantics eval(E(P), t) — on both engine profiles. This is the
 // paper's sound+secure correctness criterion as a property test.
+//
+// The sweep is also differential across execution modes: every query runs
+// serially and partition-parallel at num_threads ∈ {2, 4, 8}, and the
+// parallel runs must reproduce the serial row multiset and the serial
+// ExecStats totals exactly (per-worker counters merged at the barrier).
 
 #include <set>
 
@@ -81,6 +86,7 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     // Group queriers are not people; querier "students" never queries.
     if (md.querier == std::string("students")) md.querier = "carol";
 
+    sieve.set_num_threads(1);
     auto fast = sieve.Execute(sql, md);
     auto oracle = sieve.ExecuteReference(sql, md);
     ASSERT_TRUE(fast.ok()) << sql << " -> " << fast.status().ToString();
@@ -88,6 +94,29 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     EXPECT_EQ(Fingerprints(*fast), Fingerprints(*oracle))
         << "querier=" << md.querier << " purpose=" << md.purpose
         << " sql=" << sql;
+
+    // Differential: partition-parallel execution must reproduce the serial
+    // rows and stat totals exactly, for both the Sieve rewrite and the
+    // reference semantics.
+    for (int threads : {2, 4, 8}) {
+      sieve.set_num_threads(threads);
+      auto parallel = sieve.Execute(sql, md);
+      ASSERT_TRUE(parallel.ok())
+          << "threads=" << threads << " sql=" << sql << " -> "
+          << parallel.status().ToString();
+      EXPECT_EQ(Fingerprints(*fast), Fingerprints(*parallel))
+          << "threads=" << threads << " querier=" << md.querier
+          << " purpose=" << md.purpose << " sql=" << sql;
+      EXPECT_EQ(fast->stats, parallel->stats)
+          << "threads=" << threads << " sql=" << sql
+          << " serial=" << fast->stats.ToString()
+          << " parallel=" << parallel->stats.ToString();
+      auto parallel_oracle = sieve.ExecuteReference(sql, md);
+      ASSERT_TRUE(parallel_oracle.ok()) << "threads=" << threads;
+      EXPECT_EQ(Fingerprints(*oracle), Fingerprints(*parallel_oracle))
+          << "threads=" << threads << " sql=" << sql;
+    }
+    sieve.set_num_threads(1);
   }
 }
 

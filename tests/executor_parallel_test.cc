@@ -1,0 +1,328 @@
+// Unit tests for the partition-parallel execution subsystem: the thread
+// pool itself, partition boundary edge cases on every partitionable scan,
+// race-free ExecStats merging, and cooperative timeout cancellation while
+// a parallel scan is in flight.
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.Submit([&counter] { ++counter; });
+    }
+    // Destructor joins only after every queued task ran.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptionAfterBarrier) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&completed](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("partition 3");
+                                  }
+                                  ++completed;
+                                }),
+               std::runtime_error);
+  // Every non-throwing task still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------------
+// Partition boundary edge cases (operator level)
+// ---------------------------------------------------------------------------
+
+// Builds `num_rows` rows (id, id % 7) into table "t" of a fresh database,
+// with an index on id, deleting every row whose id is in `deleted`.
+std::unique_ptr<Database> MakeTable(int num_rows,
+                                    const std::vector<RowId>& deleted = {}) {
+  auto db = std::make_unique<Database>();
+  Schema schema({{"id", DataType::kInt}, {"val", DataType::kInt}});
+  EXPECT_TRUE(db->CreateTable("t", std::move(schema)).ok());
+  for (int i = 0; i < num_rows; ++i) {
+    EXPECT_TRUE(db->Insert("t", Row{Value::Int(i), Value::Int(i % 7)}).ok());
+  }
+  EXPECT_TRUE(db->CreateIndex("t", "id").ok());
+  for (RowId id : deleted) EXPECT_TRUE(db->Delete("t", id).ok());
+  EXPECT_TRUE(db->Analyze().ok());
+  return db;
+}
+
+std::vector<std::string> DrainToStrings(Operator* op, ExecContext* ctx) {
+  std::vector<std::string> out;
+  Status open = op->Open(ctx);
+  EXPECT_TRUE(open.ok()) << open.ToString();
+  Row row;
+  while (true) {
+    auto has = op->Next(ctx, &row);
+    EXPECT_TRUE(has.ok()) << has.status().ToString();
+    if (!has.ok() || !*has) break;
+    out.push_back(RowFingerprint(row));
+  }
+  return out;
+}
+
+// Drains the serial operator and `num_parts` partition clones of
+// `partitioned`, asserting the concatenated partitions reproduce the
+// serial stream exactly (same rows, same order) and that per-partition
+// stats sum to the serial stats.
+void ExpectPartitionsMatchSerial(Operator* serial, Operator* partitioned,
+                                 size_t num_parts, Catalog* catalog) {
+  ExecStats serial_stats;
+  ExecContext serial_ctx;
+  serial_ctx.catalog = catalog;
+  serial_ctx.stats = &serial_stats;
+  std::vector<std::string> expected = DrainToStrings(serial, &serial_ctx);
+
+  std::vector<OperatorPtr> parts;
+  ASSERT_TRUE(partitioned->CreatePartitions(num_parts, &parts));
+  ASSERT_EQ(parts.size(), num_parts);
+  ExecStats merged_stats;
+  std::vector<std::string> merged;
+  for (auto& part : parts) {
+    ExecStats part_stats;
+    ExecContext part_ctx;
+    part_ctx.catalog = catalog;
+    part_ctx.stats = &part_stats;
+    for (auto& fp : DrainToStrings(part.get(), &part_ctx)) {
+      merged.push_back(std::move(fp));
+    }
+    merged_stats.Add(part_stats);
+  }
+  EXPECT_EQ(merged, expected);
+  EXPECT_EQ(merged_stats, serial_stats) << "merged=" << merged_stats.ToString()
+                                        << " serial=" << serial_stats.ToString();
+}
+
+TEST(PartitionBoundaryTest, SeqScanEmptyTable) {
+  auto db = MakeTable(0);
+  TableEntry* entry = db->catalog().Get("t").value();
+  SeqScanOperator serial(entry, "");
+  SeqScanOperator partitioned(entry, "");
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 4, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, SeqScanFewerRowsThanPartitions) {
+  auto db = MakeTable(3);
+  TableEntry* entry = db->catalog().Get("t").value();
+  SeqScanOperator serial(entry, "");
+  SeqScanOperator partitioned(entry, "");
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 8, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, SeqScanNonDivisibleRowCount) {
+  auto db = MakeTable(10);
+  TableEntry* entry = db->catalog().Get("t").value();
+  SeqScanOperator serial(entry, "");
+  SeqScanOperator partitioned(entry, "");
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 4, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, SeqScanTombstonesAcrossBoundaries) {
+  auto db = MakeTable(100, {0, 24, 25, 26, 49, 50, 74, 99});
+  TableEntry* entry = db->catalog().Get("t").value();
+  SeqScanOperator serial(entry, "");
+  SeqScanOperator partitioned(entry, "");
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 4, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, IndexRangeScanSharedProbe) {
+  auto db = MakeTable(1000, {150, 151, 200});
+  TableEntry* entry = db->catalog().Get("t").value();
+  IndexRange range;
+  range.column = "id";
+  range.lo = Value::Int(100);
+  range.hi = Value::Int(333);
+  IndexRangeScanOperator serial(entry, "", range);
+  IndexRangeScanOperator partitioned(entry, "", range);
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 4, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, IndexRangeScanEmptyResult) {
+  auto db = MakeTable(100);
+  TableEntry* entry = db->catalog().Get("t").value();
+  IndexRange range;
+  range.column = "id";
+  range.lo = Value::Int(5000);
+  range.hi = Value::Int(6000);
+  IndexRangeScanOperator serial(entry, "", range);
+  IndexRangeScanOperator partitioned(entry, "", range);
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 4, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, IndexUnionBitmapScanSharedProbe) {
+  auto db = MakeTable(1000, {42, 43});
+  TableEntry* entry = db->catalog().Get("t").value();
+  IndexRange r1;
+  r1.column = "id";
+  r1.lo = Value::Int(10);
+  r1.hi = Value::Int(120);
+  IndexRange r2;
+  r2.column = "id";
+  r2.lo = Value::Int(100);  // overlaps r1: the bitmap dedups
+  r2.hi = Value::Int(400);
+  IndexUnionBitmapScanOperator serial(entry, "", {r1, r2});
+  IndexUnionBitmapScanOperator partitioned(entry, "", {r1, r2});
+  ExpectPartitionsMatchSerial(&serial, &partitioned, 3, &db->catalog());
+}
+
+TEST(PartitionBoundaryTest, FilterAndProjectPartitionWithScan) {
+  auto db = MakeTable(500);
+  // Full pipeline through the SQL layer: Project(Filter(SeqScan)).
+  auto serial = db->ExecuteSql("SELECT val FROM t WHERE val < 3");
+  auto parallel = db->ExecuteSql("SELECT val FROM t WHERE val < 3", nullptr,
+                                 0.0, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->rows.size(), parallel->rows.size());
+  for (size_t i = 0; i < serial->rows.size(); ++i) {
+    EXPECT_EQ(RowFingerprint(serial->rows[i]), RowFingerprint(parallel->rows[i]));
+  }
+  EXPECT_EQ(serial->stats, parallel->stats)
+      << "serial=" << serial->stats.ToString()
+      << " parallel=" << parallel->stats.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Stats merging and timeout cancellation (engine level)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecutionTest, StatsTotalsMatchSerialAcrossThreadCounts) {
+  auto db = MakeTable(5000, {7, 1234, 4999});
+  const std::string sql = "SELECT * FROM t WHERE val IN (1, 4, 6)";
+  auto serial = db->ExecuteSql(sql);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial->rows.size(), 0u);
+  for (int threads : {2, 4, 8}) {
+    auto parallel = db->ExecuteSql(sql, nullptr, 0.0, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(serial->rows.size(), parallel->rows.size());
+    for (size_t i = 0; i < serial->rows.size(); ++i) {
+      EXPECT_EQ(RowFingerprint(serial->rows[i]),
+                RowFingerprint(parallel->rows[i]));
+    }
+    EXPECT_EQ(serial->stats, parallel->stats)
+        << "threads=" << threads << " serial=" << serial->stats.ToString()
+        << " parallel=" << parallel->stats.ToString();
+  }
+}
+
+TEST(ParallelExecutionTest, TimeoutCancelsParallelScan) {
+  auto db = MakeTable(50000);
+  auto result =
+      db->ExecuteSql("SELECT * FROM t WHERE val < 5", nullptr, 1e-9, 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST(ParallelExecutionTest, CancelFlagShortCircuitsCheckTimeout) {
+  std::atomic<bool> cancel{true};
+  ExecContext ctx;
+  ctx.cancel = &cancel;
+  Status st = ctx.CheckTimeout();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Middleware: guarded execution (including the Δ operator) in parallel
+// ---------------------------------------------------------------------------
+
+std::multiset<std::string> Fingerprints(const ResultSet& rs) {
+  std::multiset<std::string> out;
+  for (const auto& row : rs.rows) out.insert(RowFingerprint(row));
+  return out;
+}
+
+TEST(ParallelExecutionTest, DeltaGuardExecutionMatchesSerial) {
+  // ~150 policies for the same owner pile onto one guard, pushing its
+  // partition past the Δ crossover — so this exercises concurrent Δ UDF
+  // evaluation (shared delta partition, once-bound object expressions).
+  MiniCampus campus(EngineProfile::PostgresLike());
+  SieveMiddleware sieve(&campus.db(), &campus.groups());
+  ASSERT_TRUE(sieve.Init().ok());
+  for (int i = 0; i < 150; ++i) {
+    int t1 = 6 + i % 10;
+    Policy p = campus.MakePolicy(0, "alice", "Analytics", t1, t1 + 2, i % 6);
+    ASSERT_TRUE(sieve.AddPolicy(std::move(p)).ok());
+  }
+  ASSERT_TRUE(sieve.AddPolicy(campus.MakePolicy(3, "alice", "Analytics")).ok());
+
+  QueryMetadata md{"alice", "Analytics"};
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP = 2";
+  auto rewrite = sieve.Rewrite(sql, md);
+  ASSERT_TRUE(rewrite.ok());
+  size_t delta_guards = 0;
+  for (const auto& info : rewrite->tables) delta_guards += info.num_delta_guards;
+  ASSERT_GT(delta_guards, 0u) << "test corpus failed to trigger the Δ path";
+
+  auto serial = sieve.Execute(sql, md);
+  ASSERT_TRUE(serial.ok());
+  auto oracle = sieve.ExecuteReference(sql, md);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(Fingerprints(*serial), Fingerprints(*oracle));
+  for (int threads : {2, 4, 8}) {
+    sieve.set_num_threads(threads);
+    auto parallel = sieve.Execute(sql, md);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(Fingerprints(*serial), Fingerprints(*parallel))
+        << "threads=" << threads;
+    EXPECT_EQ(serial->stats, parallel->stats)
+        << "threads=" << threads << " serial=" << serial->stats.ToString()
+        << " parallel=" << parallel->stats.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace sieve
