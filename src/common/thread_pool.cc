@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 namespace sieve {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -44,14 +47,70 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+namespace {
+
+// Shared state of one ParallelFor batch. The batch's helper tasks and the
+// calling thread all claim indices from `next`; the caller blocks on
+// `done` only for indices that other threads claimed. Helper tasks hold
+// the state via shared_ptr because they may be popped from the queue
+// after the batch already finished (they then find next >= n and return
+// without touching `fn`, which lives on the caller's stack).
+struct BatchState {
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done;
+  size_t completed = 0;
+  size_t first_error_index = 0;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+  if (n == 0) return;
+  auto state = std::make_shared<BatchState>();
+
+  // Claim loop: grab the next unstarted index and run it. `fn` is only
+  // dereferenced for claimed indices (next < n), and a claimed index keeps
+  // the caller blocked below until it completes — so `fn` is always alive
+  // when invoked, even from a stale helper task.
+  const std::function<void(size_t)>* fn_ptr = &fn;
+  auto claim_loop = [state, fn_ptr, n] {
+    while (true) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr error;
+      try {
+        (*fn_ptr)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (error != nullptr &&
+          (state->first_error == nullptr || i < state->first_error_index)) {
+        state->first_error = error;
+        state->first_error_index = i;
+      }
+      if (++state->completed == n) state->done.notify_all();
+    }
+  };
+
+  // One helper per worker (capped at n); the caller claims too, so a batch
+  // makes progress even when every worker is busy with other batches.
+  size_t helpers = threads_.size() < n ? threads_.size() : n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace(std::packaged_task<void()>(claim_loop));
+    }
   }
-  for (auto& f : futures) f.wait();
-  for (auto& f : futures) f.get();  // rethrows the first stored exception
+  cv_.notify_all();
+
+  claim_loop();  // caller participates: never blocks on queue capacity
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state, n] { return state->completed == n; });
+  if (state->first_error != nullptr) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace sieve

@@ -16,6 +16,15 @@ namespace sieve {
 /// the task finishes and carries any exception the task threw. The
 /// destructor drains the queue: every task submitted before destruction
 /// runs to completion before the workers join.
+///
+/// Nested-task support: ParallelFor may be called from *inside* a pool
+/// task (an interior operator fanning out its children while itself
+/// running as a partition worker). The calling thread always participates
+/// in its own batch — it claims and runs work items instead of blocking on
+/// the queue — so a nested fan-out completes even when every pool worker
+/// is busy or the pool has a single thread. No call path ever waits for
+/// queue capacity, which is what makes reusing one executor-wide pool
+/// across nesting levels deadlock-free.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -27,12 +36,17 @@ class ThreadPool {
   size_t size() const { return threads_.size(); }
 
   /// Enqueues `task`; the returned future rethrows the task's exception
-  /// (if any) from get().
+  /// (if any) from get(). Unlike ParallelFor, a Submit caller that blocks
+  /// on the future does not help drain the queue — do not wait on a
+  /// Submit future from inside a pool task.
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
   /// If any invocation threw, the first exception (by index) is rethrown
-  /// after every task has finished — no task is left running.
+  /// after every invocation has finished — no task is left running.
+  /// Safe to call from inside a pool task (see class comment): the caller
+  /// claims unstarted indices itself and only sleeps while indices it did
+  /// not claim finish on other threads.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

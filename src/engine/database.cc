@@ -67,6 +67,9 @@ Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
   ctx.metadata = metadata;
   ctx.stats = &stats;
   ctx.timeout_seconds = timeout_seconds;
+  // One CTE cache per query, shared by every worker context so each CTE
+  // body materializes exactly once no matter which worker gets there first.
+  ctx.ctes = std::make_shared<CteCache>();
   if (num_threads > 1) {
     ctx.num_threads = num_threads;
     ctx.pool = EnsurePool(static_cast<size_t>(num_threads));

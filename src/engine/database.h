@@ -54,8 +54,10 @@ class Database : public EngineHooks {
   // -------------------------------------------------------------------------
 
   /// Parses, plans and runs `sql`. `timeout_seconds` 0 disables the timeout.
-  /// `num_threads` > 1 enables partition-parallel execution of the plan's
-  /// scan pipelines on an internal thread pool (1 = serial, the default).
+  /// `num_threads` > 1 enables partition-parallel execution — scan
+  /// pipelines plus the UNION / hash-join / hash-aggregate operator
+  /// interiors — on an internal thread pool (1 = serial, the default).
+  /// Parallel runs reproduce the serial rows, row order and ExecStats.
   Result<ResultSet> ExecuteSql(const std::string& sql,
                                const QueryMetadata* metadata = nullptr,
                                double timeout_seconds = 0.0,

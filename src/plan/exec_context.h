@@ -2,7 +2,10 @@
 #define SIEVE_PLAN_EXEC_CONTEXT_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,15 +25,76 @@ struct MaterializedResult {
   std::vector<Row> rows;
 };
 
+/// One materialize-once slot: the first caller's producer runs under
+/// std::call_once; the outcome — result or error — is cached for every
+/// later caller (a failed production fails all consumers, matching the
+/// serial behavior of one failing materialization failing the query).
+/// Concurrent callers block until the producer finishes; the produced
+/// result is immutable and address-stable afterwards, so readers need no
+/// further locking. Because a blocked caller does not help run pool
+/// tasks, producers must not depend on their own slot — the two users
+/// (CTE keys, which form a DAG by construction, and per-CreatePartitions
+/// shared scans) cannot cycle.
+struct OnceMaterialized {
+  using Producer = std::function<Status(MaterializedResult*)>;
+
+  Result<const MaterializedResult*> GetOrProduce(const Producer& produce) {
+    std::call_once(once, [this, &produce] { status = produce(&result); });
+    SIEVE_RETURN_IF_ERROR(status);
+    return static_cast<const MaterializedResult*>(&result);
+  }
+
+  std::once_flag once;
+  Status status = Status::OK();
+  MaterializedResult result;
+};
+
+/// Thread-safe materialize-once cache of named CTE results, shared by the
+/// root ExecContext and every worker context of one query.
+///
+/// Threading contract: GetOrMaterialize may be called concurrently from
+/// any number of workers. The producer for a given key runs exactly once
+/// across the whole query; concurrent callers for the same key block
+/// until it finishes, callers for different keys proceed independently
+/// (per-key OnceMaterialized slots, see above).
+class CteCache {
+ public:
+  using Producer = OnceMaterialized::Producer;
+
+  /// Returns the result for `key`, invoking `produce` at most once per key
+  /// across all threads of the query.
+  Result<const MaterializedResult*> GetOrMaterialize(const std::string& key,
+                                                     const Producer& produce) {
+    OnceMaterialized* entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_ptr<OnceMaterialized>& slot = entries_[key];
+      if (slot == nullptr) slot = std::make_unique<OnceMaterialized>();
+      entry = slot.get();
+    }
+    return entry->GetOrProduce(produce);
+  }
+
+ private:
+  std::mutex mu_;
+  // unique_ptr entries: addresses stay stable while the map grows.
+  std::map<std::string, std::unique_ptr<OnceMaterialized>> entries_;
+};
+
 /// Per-query execution state threaded through every operator: catalog and
 /// engine hooks, query metadata (for the Δ UDF), stat counters, the timeout
 /// budget (the paper's experiments use a 30 s timeout, reported as "TO"),
-/// the cache of materialized CTEs, and the partition-parallelism knobs.
+/// the shared cache of materialized CTEs, and the partition-parallelism
+/// knobs.
 ///
-/// Parallel execution fans one pipeline out into `num_threads` partitions,
-/// each driven under its own worker ExecContext (own ExecStats, shared
-/// timer epoch, shared cancel flag); the workers' stats are merged back at
-/// the barrier, so the counters here are never mutated concurrently.
+/// Parallel execution fans work out at two levels, both sharing one
+/// ThreadPool: Executor::Materialize splits partitionable pipelines into
+/// `num_threads` partitions, and interior operators (UNION children, the
+/// hash-join probe side, hash-aggregate partials) fan out again from
+/// inside Open. Each unit of parallel work runs under its own worker
+/// ExecContext (own ExecStats, shared timer epoch, shared cancel flag,
+/// shared CTE cache); the workers' stats are merged back at the barrier,
+/// so the counters here are never mutated concurrently.
 struct ExecContext {
   Catalog* catalog = nullptr;
   EngineHooks* hooks = nullptr;
@@ -38,7 +102,15 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   double timeout_seconds = 0.0;  // 0 disables the timeout
   Timer timer;
-  std::map<std::string, MaterializedResult> ctes;
+  /// Materialized CTE results, shared across all worker contexts of the
+  /// query so each CTE body runs (and is counted in ExecStats) exactly
+  /// once no matter which worker first references it. Created once at the
+  /// query root (Database::ExecuteStmt, or lazily by the first serial
+  /// Executor::Materialize / materialized-scan Open on bare contexts);
+  /// worker contexts share the root's cache, never allocate their own —
+  /// a fan-out therefore requires the cache to exist already, which
+  /// every pool-carrying context guarantees.
+  std::shared_ptr<CteCache> ctes;
 
   /// Partition parallelism: 1 (the default) is today's serial behavior.
   /// When > 1, `pool` must point at a live thread pool.
@@ -58,9 +130,12 @@ struct ExecContext {
     return Status::OK();
   }
 
-  /// A context for one parallel worker: shares the read-only engine state
-  /// and the timeout epoch, but gets its own stat counters so accumulation
-  /// is race-free. Workers never nest parallelism (num_threads = 1).
+  /// A context for one parallel worker: shares the read-only engine state,
+  /// the timeout epoch, the CTE cache and the thread pool, but gets its own
+  /// stat counters so accumulation is race-free. Keeping the pool lets
+  /// nested fan-out compose (a UNION child whose pipeline partitions, a CTE
+  /// body materialized from inside a worker); ThreadPool::ParallelFor's
+  /// help-running makes that reuse deadlock-free.
   ExecContext MakeWorkerContext(ExecStats* worker_stats,
                                 std::atomic<bool>* cancel_flag) const {
     ExecContext worker;
@@ -70,6 +145,9 @@ struct ExecContext {
     worker.stats = worker_stats;
     worker.timeout_seconds = timeout_seconds;
     worker.timer = timer;  // same epoch: the deadline is shared
+    worker.ctes = ctes;    // shared: CTEs materialize once per query
+    worker.num_threads = num_threads;
+    worker.pool = pool;
     worker.cancel = cancel_flag;
     return worker;
   }

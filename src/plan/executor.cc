@@ -46,33 +46,21 @@ Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
   return Status::OK();
 }
 
-// Drives one partition pipeline per pool task. Each worker gets a private
-// ExecContext (own ExecStats, shared timeout epoch, shared cancel flag);
-// the first failure wins, flips the cancel flag so siblings stop at their
-// next cooperative check, and is reported as the query's status.
+// Drives one partition pipeline per RunWorkers task (see executor.h for
+// the worker-context / cancellation / error contract) and concatenates the
+// per-partition row buffers in partition order, so rows, row order and
+// stat totals are identical to a serial drain.
 Status DrainPartitioned(const std::vector<OperatorPtr>& parts,
                         ExecContext* ctx, Schema* schema,
                         std::vector<Row>* rows) {
   const size_t n = parts.size();
-  std::vector<ExecStats> worker_stats(n);
   std::vector<std::vector<Row>> worker_rows(n);
   std::vector<Schema> worker_schemas(n);
-  std::atomic<bool> cancel{false};
-  std::mutex error_mu;
-  Status first_error;
-
-  ctx->pool->ParallelFor(n, [&](size_t i) {
-    ExecContext worker = ctx->MakeWorkerContext(&worker_stats[i], &cancel);
-    Status st = DrainSerial(parts[i].get(), &worker, &worker_schemas[i],
-                            &worker_rows[i]);
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = st;
-      cancel.store(true, std::memory_order_relaxed);
-    }
-  });
-
-  if (!first_error.ok()) return first_error;
+  SIEVE_RETURN_IF_ERROR(
+      RunWorkers(ctx, n, [&](size_t i, ExecContext* worker) {
+        return DrainSerial(parts[i].get(), worker, &worker_schemas[i],
+                           &worker_rows[i]);
+      }));
   *schema = worker_schemas.front();
   size_t total = 0;
   for (const auto& part_rows : worker_rows) total += part_rows.size();
@@ -80,16 +68,59 @@ Status DrainPartitioned(const std::vector<OperatorPtr>& parts,
   for (auto& part_rows : worker_rows) {
     for (Row& row : part_rows) rows->push_back(std::move(row));
   }
-  if (ctx->stats != nullptr) {
-    for (const ExecStats& stats : worker_stats) ctx->stats->Add(stats);
-  }
   return Status::OK();
 }
 
 }  // namespace
 
+Status RunWorkers(ExecContext* ctx, size_t n,
+                  const std::function<Status(size_t, ExecContext*)>& body) {
+  std::vector<ExecStats> worker_stats(n);
+  std::atomic<bool> local_cancel{false};
+  std::atomic<bool>* cancel =
+      ctx->cancel != nullptr ? ctx->cancel : &local_cancel;
+  std::mutex error_mu;
+  Status first_error;
+  size_t first_error_index = n;
+
+  ctx->pool->ParallelFor(n, [&](size_t i) {
+    ExecContext worker = ctx->MakeWorkerContext(&worker_stats[i], cancel);
+    Status st = body(i, &worker);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      // Report the real failure, not a cancellation artifact: once a
+      // sibling flips the cancel flag, surviving workers fail with
+      // Timeout at their next cooperative check, so a non-timeout error
+      // always outranks a timeout; within the same class the lowest
+      // partition index wins (deterministic, like a serial drain).
+      bool take;
+      if (first_error.ok()) {
+        take = true;
+      } else {
+        bool new_real = st.code() != StatusCode::kTimeout;
+        bool cur_real = first_error.code() != StatusCode::kTimeout;
+        take = new_real != cur_real ? new_real : i < first_error_index;
+      }
+      if (take) {
+        first_error = st;
+        first_error_index = i;
+      }
+      cancel->store(true, std::memory_order_relaxed);
+    }
+  });
+
+  if (ctx->stats != nullptr) {
+    for (const ExecStats& stats : worker_stats) ctx->stats->Add(stats);
+  }
+  return first_error;
+}
+
 Status Executor::Materialize(Operator* root, ExecContext* ctx, Schema* schema,
                              std::vector<Row>* rows) {
+  // Bare serial contexts (tests, scalar subqueries) may arrive without a
+  // CTE cache; create it here. Parallel contexts got theirs at the query
+  // root — lazy creation after workers exist would split the cache.
+  if (ctx->ctes == nullptr) ctx->ctes = std::make_shared<CteCache>();
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
     std::vector<OperatorPtr> parts;
     if (root->CreatePartitions(static_cast<size_t>(ctx->num_threads),

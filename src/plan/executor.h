@@ -1,6 +1,7 @@
 #ifndef SIEVE_PLAN_EXECUTOR_H_
 #define SIEVE_PLAN_EXECUTOR_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,20 @@ struct ResultSet {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+/// Fans `body` out as `n` workers on ctx->pool: body(i, worker) runs under
+/// a private worker context — own ExecStats (merged into ctx->stats at the
+/// barrier; partial work is counted even on failure), shared timeout
+/// epoch, CTE cache and pool, and a shared cancel flag (inherited from ctx
+/// when nested, created for this fan-out otherwise). On failure the cancel
+/// flag is flipped so sibling workers stop at their next cooperative
+/// check, and the lowest-index failure is returned. Requires ctx->pool;
+/// safe to call from inside a pool task (ParallelFor help-runs its batch).
+/// This is the one fan-out scaffold shared by pipeline partitioning and
+/// the interior operators (UNION children, hash-join probe, hash-aggregate
+/// partials).
+Status RunWorkers(ExecContext* ctx, size_t n,
+                  const std::function<Status(size_t, ExecContext*)>& body);
+
 /// Pulls a plan to completion under the ExecContext's timeout.
 class Executor {
  public:
@@ -32,7 +47,10 @@ class Executor {
   /// pool under per-worker contexts; per-worker ExecStats are merged into
   /// ctx->stats at the barrier and the per-partition row vectors are
   /// concatenated in partition order, so rows, row order and stat totals
-  /// are identical to a serial run. Falls back to serial pull otherwise.
+  /// are identical to a serial run. Falls back to a serial pull otherwise
+  /// — in which case interior operators (UNION, hash join, hash
+  /// aggregate) still parallelize themselves from inside Open using the
+  /// same pool (see the operator comments in plan/operators.h).
   static Status Materialize(Operator* root, ExecContext* ctx, Schema* schema,
                             std::vector<Row>* rows);
 };

@@ -1,3 +1,4 @@
+#include "plan/executor.h"
 #include "plan/operators.h"
 
 namespace sieve {
@@ -7,6 +8,15 @@ namespace {
 Schema ConcatSchemas(const Schema& left, const Schema& right) {
   Schema out = left;
   for (const auto& col : right.columns()) out.AddColumn(col);
+  return out;
+}
+
+// Deep-copies key expressions so a probe worker can bind its own set
+// (binding mutates expression nodes in place).
+std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& exprs) {
+  std::vector<ExprPtr> out;
+  out.reserve(exprs.size());
+  for (const auto& e : exprs) out.push_back(e->Clone());
   return out;
 }
 
@@ -43,21 +53,13 @@ HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)) {}
 
-Status HashJoinOperator::Open(ExecContext* ctx) {
-  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
   SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
-  schema_ = ConcatSchemas(left_->schema(), right_->schema());
-  for (auto& k : left_keys_) {
-    SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), left_->schema()));
-  }
   for (auto& k : right_keys_) {
     SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), right_->schema()));
   }
-  left_eval_ = std::make_unique<Evaluator>(&left_->schema(), ctx->hooks,
-                                           ctx->metadata, ctx->stats);
   right_eval_ = std::make_unique<Evaluator>(&right_->schema(), ctx->hooks,
                                             ctx->metadata, ctx->stats);
-  // Build side: right input.
   build_.clear();
   Row row;
   while (true) {
@@ -72,12 +74,101 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
     }
     build_[std::move(key)].push_back(row);
   }
+  return Status::OK();
+}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  buffered_ = false;
+  joined_.clear();
+  out_pos_ = 0;
+  // Parallel probe: the build side drains once on the calling thread (its
+  // own CTE inputs still materialize in parallel inside its Open), then
+  // the partitioned probe side fans out against the finished table.
+  if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    std::vector<OperatorPtr> parts;
+    if (left_->CreatePartitions(static_cast<size_t>(ctx->num_threads),
+                                &parts) &&
+        !parts.empty()) {
+      SIEVE_RETURN_IF_ERROR(BuildHashTable(ctx));
+      SIEVE_RETURN_IF_ERROR(ParallelProbe(ctx, &parts));
+      schema_ = ConcatSchemas(parts.front()->schema(), right_->schema());
+      buffered_ = true;
+      return Status::OK();
+    }
+  }
+
+  // Serial probe: open the probe side first (so its errors surface before
+  // the build drain, as they always have), then build and stream left rows
+  // through Next.
+  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(BuildHashTable(ctx));
+  schema_ = ConcatSchemas(left_->schema(), right_->schema());
+  for (auto& k : left_keys_) {
+    SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), left_->schema()));
+  }
+  left_eval_ = std::make_unique<Evaluator>(&left_->schema(), ctx->hooks,
+                                           ctx->metadata, ctx->stats);
   matches_ = nullptr;
   match_pos_ = 0;
   return Status::OK();
 }
 
+Status HashJoinOperator::ParallelProbe(ExecContext* ctx,
+                                       std::vector<OperatorPtr>* parts) {
+  const size_t n = parts->size();
+  std::vector<std::vector<Row>> worker_rows(n);
+
+  // The build table is read-only from here on: concurrent probes race only
+  // on immutable buckets.
+  const BuildTable& build = build_;
+  SIEVE_RETURN_IF_ERROR(
+      RunWorkers(ctx, n, [&](size_t i, ExecContext* worker) {
+        Operator* part = (*parts)[i].get();
+        SIEVE_RETURN_IF_ERROR(part->Open(worker));
+        std::vector<ExprPtr> keys = CloneExprs(left_keys_);
+        for (auto& k : keys) {
+          SIEVE_RETURN_IF_ERROR(BindExpr(k.get(), part->schema()));
+        }
+        Evaluator eval(&part->schema(), worker->hooks, worker->metadata,
+                       worker->stats);
+        Row row;
+        while (true) {
+          SIEVE_ASSIGN_OR_RETURN(bool has, part->Next(worker, &row));
+          if (!has) return Status::OK();
+          std::vector<Value> key;
+          key.reserve(keys.size());
+          for (const auto& k : keys) {
+            SIEVE_ASSIGN_OR_RETURN(Value v, eval.Eval(*k, row));
+            key.push_back(std::move(v));
+          }
+          auto it = build.find(key);
+          if (it == build.end()) continue;
+          for (const Row& right_row : it->second) {
+            Row out = row;
+            out.insert(out.end(), right_row.begin(), right_row.end());
+            worker_rows[i].push_back(std::move(out));
+          }
+        }
+      }));
+
+  // Partitions cover contiguous probe slices in input order, and matches
+  // are appended in build-insertion order — concatenation reproduces the
+  // serial join output exactly.
+  size_t total = 0;
+  for (const auto& rows : worker_rows) total += rows.size();
+  joined_.reserve(total);
+  for (auto& rows : worker_rows) {
+    for (Row& row : rows) joined_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
 Result<bool> HashJoinOperator::Next(ExecContext* ctx, Row* out) {
+  if (buffered_) {
+    if (out_pos_ >= joined_.size()) return false;
+    *out = std::move(joined_[out_pos_++]);
+    return true;
+  }
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       const Row& right_row = (*matches_)[match_pos_++];

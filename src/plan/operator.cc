@@ -1,5 +1,7 @@
 #include "plan/operators.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "plan/executor.h"
 
@@ -17,6 +19,13 @@ Schema QualifySchema(const Schema& schema, const std::string& qualifier) {
   return out;
 }
 
+void PartitionSlice(size_t total, size_t part, size_t num_parts, size_t* begin,
+                    size_t* end) {
+  size_t chunk = num_parts == 0 ? total : (total + num_parts - 1) / num_parts;
+  *begin = std::min(part * chunk, total);
+  *end = std::min(*begin + chunk, total);
+}
+
 uint64_t RowHash64(const Row& row) {
   uint64_t h = 1469598103934665603ULL;
   for (const Value& v : row) {
@@ -26,12 +35,31 @@ uint64_t RowHash64(const Row& row) {
   return h;
 }
 
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
 std::string RowFingerprint(const Row& row) {
   std::string out;
   for (const Value& v : row) {
     out += static_cast<char>(v.type());
     out += v.ToString();
     out += '\x1f';
+  }
+  return out;
+}
+
+std::vector<SelectItem> CloneItems(const std::vector<SelectItem>& items) {
+  std::vector<SelectItem> out;
+  out.reserve(items.size());
+  for (const auto& item : items) {
+    out.push_back(SelectItem{
+        item.expr != nullptr ? item.expr->Clone() : nullptr, item.agg,
+        item.alias});
   }
   return out;
 }
@@ -133,22 +161,60 @@ bool ProjectOperator::CreatePartitions(size_t num_parts,
   std::vector<OperatorPtr> children;
   if (!child_->CreatePartitions(num_parts, &children)) return false;
   for (auto& child : children) {
-    std::vector<SelectItem> items;
-    items.reserve(items_.size());
-    for (const auto& item : items_) {
-      items.push_back(SelectItem{
-          item.expr != nullptr ? item.expr->Clone() : nullptr, item.agg,
-          item.alias});
-    }
-    out->push_back(
-        std::make_unique<ProjectOperator>(std::move(child), std::move(items)));
+    out->push_back(std::make_unique<ProjectOperator>(std::move(child),
+                                                     CloneItems(items_)));
   }
   return true;
 }
 
 // ---------------------------------------------------------------------------
+// ConcurrentDedupSet
+// ---------------------------------------------------------------------------
+
+ConcurrentDedupSet::ConcurrentDedupSet() : stripes_(kNumStripes) {}
+
+bool ConcurrentDedupSet::Offer(const Row& row, uint64_t tag) {
+  uint64_t h = RowHash64(row);
+  Stripe& stripe = stripes_[h & (kNumStripes - 1)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::vector<Entry>& bucket = stripe.buckets[h];
+  for (Entry& entry : bucket) {
+    if (!RowsEqual(entry.row, row)) continue;
+    if (tag < entry.min_tag) {
+      entry.min_tag = tag;
+      return true;
+    }
+    return false;
+  }
+  bucket.push_back(Entry{row, tag});
+  return true;
+}
+
+bool ConcurrentDedupSet::IsWinner(const Row& row, uint64_t tag) const {
+  uint64_t h = RowHash64(row);
+  const Stripe& stripe = stripes_[h & (kNumStripes - 1)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.buckets.find(h);
+  if (it == stripe.buckets.end()) return false;
+  for (const Entry& entry : it->second) {
+    if (RowsEqual(entry.row, row)) return entry.min_tag == tag;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // UnionOperator
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// Serial position tag for parallel UNION dedup: child-major, sequence-minor
+// — i.e. the row's position in the serial output stream.
+uint64_t UnionTag(size_t child, size_t seq) {
+  return (static_cast<uint64_t>(child) << 40) | static_cast<uint64_t>(seq);
+}
+
+}  // namespace
 
 UnionOperator::UnionOperator(std::vector<OperatorPtr> children, bool all)
     : children_(std::move(children)), all_(all) {}
@@ -156,6 +222,12 @@ UnionOperator::UnionOperator(std::vector<OperatorPtr> children, bool all)
 Status UnionOperator::Open(ExecContext* ctx) {
   if (children_.empty()) {
     return Status::Internal("UNION requires at least one child");
+  }
+  buffered_ = false;
+  out_rows_.clear();
+  out_pos_ = 0;
+  if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    return OpenParallel(ctx);
   }
   for (auto& child : children_) {
     SIEVE_RETURN_IF_ERROR(child->Open(ctx));
@@ -172,7 +244,58 @@ Status UnionOperator::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+Status UnionOperator::OpenParallel(ExecContext* ctx) {
+  const size_t n = children_.size();
+  std::vector<Schema> worker_schemas(n);
+  // Per-child surviving rows with their serial-position tags; for UNION ALL
+  // the tags are unused and every row survives.
+  std::vector<std::vector<std::pair<Row, uint64_t>>> kept(n);
+  ConcurrentDedupSet dedup;
+
+  SIEVE_RETURN_IF_ERROR(
+      RunWorkers(ctx, n, [&](size_t i, ExecContext* worker) {
+        std::vector<Row> rows;
+        SIEVE_RETURN_IF_ERROR(Executor::Materialize(
+            children_[i].get(), worker, &worker_schemas[i], &rows));
+        kept[i].reserve(rows.size());
+        for (size_t seq = 0; seq < rows.size(); ++seq) {
+          uint64_t tag = UnionTag(i, seq);
+          if (!all_ && !dedup.Offer(rows[seq], tag)) continue;
+          kept[i].emplace_back(std::move(rows[seq]), tag);
+        }
+        return Status::OK();
+      }));
+
+  schema_ = worker_schemas.front();
+  for (const Schema& schema : worker_schemas) {
+    if (schema.num_columns() != schema_.num_columns()) {
+      return Status::ExecutionError(
+          "UNION arms produce different column counts");
+    }
+  }
+
+  // Ordered merge: children in child order, rows in sequence order. For
+  // UNION, only first-occurrence winners survive — exactly the rows (and
+  // row order) the serial streaming dedup would emit.
+  size_t total = 0;
+  for (const auto& child_rows : kept) total += child_rows.size();
+  out_rows_.reserve(total);
+  for (auto& child_rows : kept) {
+    for (auto& [row, tag] : child_rows) {
+      if (!all_ && !dedup.IsWinner(row, tag)) continue;
+      out_rows_.push_back(std::move(row));
+    }
+  }
+  buffered_ = true;
+  return Status::OK();
+}
+
 Result<bool> UnionOperator::Next(ExecContext* ctx, Row* out) {
+  if (buffered_) {
+    if (out_pos_ >= out_rows_.size()) return false;
+    *out = std::move(out_rows_[out_pos_++]);
+    return true;
+  }
   while (current_ < children_.size()) {
     SIEVE_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(ctx, out));
     if (!has) {
@@ -184,15 +307,7 @@ Result<bool> UnionOperator::Next(ExecContext* ctx, Row* out) {
       auto& bucket = seen_[h];
       bool duplicate = false;
       for (const Row& prev : bucket) {
-        if (prev.size() != out->size()) continue;
-        bool eq = true;
-        for (size_t i = 0; i < prev.size(); ++i) {
-          if (prev[i].Compare((*out)[i]) != 0) {
-            eq = false;
-            break;
-          }
-        }
-        if (eq) {
+        if (RowsEqual(prev, *out)) {
           duplicate = true;
           break;
         }
@@ -222,15 +337,7 @@ bool ExceptOperator::Contains(
   auto it = set.find(RowHash64(row));
   if (it == set.end()) return false;
   for (const Row& prev : it->second) {
-    if (prev.size() != row.size()) continue;
-    bool eq = true;
-    for (size_t i = 0; i < prev.size(); ++i) {
-      if (prev[i].Compare(row[i]) != 0) {
-        eq = false;
-        break;
-      }
-    }
-    if (eq) return true;
+    if (RowsEqual(prev, row)) return true;
   }
   return false;
 }
@@ -275,44 +382,69 @@ MaterializedScanOperator::MaterializedScanOperator(std::string cache_key,
       qualifier_(std::move(qualifier)),
       child_(std::move(child)) {}
 
+MaterializedScanOperator::MaterializedScanOperator(
+    std::string cache_key, std::string qualifier,
+    std::shared_ptr<SharedMaterialization> shared, size_t part,
+    size_t num_parts)
+    : cache_key_(std::move(cache_key)),
+      qualifier_(std::move(qualifier)),
+      shared_(std::move(shared)),
+      part_(part),
+      num_parts_(num_parts) {}
+
 Status MaterializedScanOperator::Open(ExecContext* ctx) {
-  pos_ = 0;
-  // Served from the CTE cache when available.
-  if (!cache_key_.empty()) {
-    auto it = ctx->ctes.find(cache_key_);
-    if (it != ctx->ctes.end()) {
-      rows_ = &it->second.rows;
-      schema_ = QualifySchema(it->second.schema, qualifier_);
-      return Status::OK();
+  // This materialization is the hot loop of the Sieve rewrite: the CTE body
+  // evaluates guards and the Δ operator over the base table.
+  // Executor::Materialize fans it out across partitions when the context
+  // enables parallelism, and the CteCache / call_once below make it run
+  // exactly once per query no matter which worker opens first.
+  Operator* producer = shared_ != nullptr ? shared_->producer : child_.get();
+  auto produce = [producer, ctx, this](MaterializedResult* out) -> Status {
+    if (producer == nullptr) {
+      return Status::Internal("materialized scan has no producer for " +
+                              cache_key_);
     }
-  }
-  if (child_ == nullptr) {
-    return Status::Internal("materialized scan has no producer for " +
-                            cache_key_);
-  }
-  // This drain is the hot loop of the Sieve rewrite: the CTE body evaluates
-  // guards and the Δ operator over the base table. Executor::Materialize
-  // fans it out across partitions when the context enables parallelism.
-  MaterializedResult result;
-  SIEVE_RETURN_IF_ERROR(
-      Executor::Materialize(child_.get(), ctx, &result.schema, &result.rows));
+    return Executor::Materialize(producer, ctx, &out->schema, &out->rows);
+  };
+
+  const MaterializedResult* result = nullptr;
   if (!cache_key_.empty()) {
-    auto [it, inserted] = ctx->ctes.emplace(cache_key_, std::move(result));
-    (void)inserted;
-    rows_ = &it->second.rows;
-    schema_ = QualifySchema(it->second.schema, qualifier_);
+    // Bare serial contexts may open a scan directly without going through
+    // Executor::Materialize; parallel contexts always carry the shared
+    // query-root cache already.
+    if (ctx->ctes == nullptr) ctx->ctes = std::make_shared<CteCache>();
+    SIEVE_ASSIGN_OR_RETURN(result,
+                           ctx->ctes->GetOrMaterialize(cache_key_, produce));
+  } else if (shared_ != nullptr) {
+    // Derived table shared by partition clones: the first opener drives the
+    // producer, everyone slices the shared rows.
+    SIEVE_ASSIGN_OR_RETURN(result, shared_->slot.GetOrProduce(produce));
   } else {
-    private_result_ = std::move(result);
-    rows_ = &private_result_.rows;
-    schema_ = QualifySchema(private_result_.schema, qualifier_);
+    private_result_ = MaterializedResult();
+    SIEVE_RETURN_IF_ERROR(produce(&private_result_));
+    result = &private_result_;
   }
+  rows_ = &result->rows;
+  schema_ = QualifySchema(result->schema, qualifier_);
+  PartitionSlice(rows_->size(), part_, num_parts_, &pos_, &end_);
   return Status::OK();
 }
 
 Result<bool> MaterializedScanOperator::Next(ExecContext* ctx, Row* out) {
   (void)ctx;
-  if (rows_ == nullptr || pos_ >= rows_->size()) return false;
+  if (rows_ == nullptr || pos_ >= end_) return false;
   *out = (*rows_)[pos_++];
+  return true;
+}
+
+bool MaterializedScanOperator::CreatePartitions(
+    size_t num_parts, std::vector<OperatorPtr>* out) const {
+  auto shared = std::make_shared<SharedMaterialization>();
+  shared->producer = child_.get();
+  for (size_t i = 0; i < num_parts; ++i) {
+    out->push_back(OperatorPtr(new MaterializedScanOperator(
+        cache_key_, qualifier_, shared, i, num_parts)));
+  }
   return true;
 }
 

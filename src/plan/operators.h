@@ -1,6 +1,7 @@
 #ifndef SIEVE_PLAN_OPERATORS_H_
 #define SIEVE_PLAN_OPERATORS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -22,25 +23,43 @@ using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Volcano-style physical operator. Open() prepares state; Next() produces
 /// one row at a time. Operators own their children.
+///
+/// Threading contract (applies to every subclass unless it says otherwise):
+/// Open and Next are driven by a single thread per operator instance.
+/// Parallelism enters in two ways, both preserving exact serial rows, row
+/// order and ExecStats totals:
+///   1. CreatePartitions (below) hands out clones that concurrent workers
+///      drive independently.
+///   2. Interior operators (UnionOperator, HashJoinOperator,
+///      HashAggregateOperator) fan their own input out across
+///      ExecContext::pool from inside Open when ctx->num_threads > 1, then
+///      serve the merged result from Next on the calling thread.
 class Operator {
  public:
   virtual ~Operator() = default;
 
+  /// Prepares the operator for a full drain; binds expressions, opens
+  /// children, and (for blocking operators) may consume the whole input.
   virtual Status Open(ExecContext* ctx) = 0;
   /// Produces the next row into *out; returns false at end of stream.
   virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
+  /// Output schema; valid after Open (leaf scans over base tables also
+  /// know it at construction).
   virtual const Schema& schema() const = 0;
   /// One-line description for EXPLAIN output.
   virtual std::string name() const = 0;
 
   /// Partition-parallel support: when this operator's pipeline can be split
-  /// into disjoint row partitions, fills *out with `num_parts` self-contained
-  /// clones, where clone i produces exactly partition i's rows and
-  /// concatenating partitions 0..num_parts-1 in order reproduces the serial
-  /// row stream (so results, including row order, are identical to a serial
-  /// run). Clones share no mutable state with this operator and may be
-  /// opened and driven on concurrent threads. Returns false (leaving *out
-  /// untouched) when the subtree cannot be partitioned.
+  /// into disjoint row partitions, fills *out with `num_parts` clones,
+  /// where clone i produces exactly partition i's rows and concatenating
+  /// partitions 0..num_parts-1 in order reproduces the serial row stream
+  /// (so results, including row order, are identical to a serial run).
+  /// Clones may be opened and driven on concurrent threads. They share no
+  /// mutable state with each other or with this operator except
+  /// exactly-once seeding guarded by std::call_once (a shared index probe,
+  /// a shared CTE materialization); when partitioning succeeds the
+  /// original operator must not itself be opened. Returns false (leaving
+  /// *out untouched) when the subtree cannot be partitioned.
   virtual bool CreatePartitions(size_t num_parts,
                                 std::vector<OperatorPtr>* out) const {
     (void)num_parts;
@@ -52,6 +71,26 @@ class Operator {
 /// Qualifies every column of `schema` with `qualifier` (stripping any
 /// existing qualifier), e.g. (id, owner) with "W" -> (W.id, W.owner).
 Schema QualifySchema(const Schema& schema, const std::string& qualifier);
+
+/// Contiguous slice [*begin, *end) of `total` items assigned to partition
+/// `part` of `num_parts`. Handles empty inputs and total < num_parts (the
+/// tail partitions come out empty). Shared by every partitioned scan so
+/// all of them slice identically.
+void PartitionSlice(size_t total, size_t part, size_t num_parts, size_t* begin,
+                    size_t* end);
+
+/// 64-bit hash of a full row (used by UNION/EXCEPT dedup).
+uint64_t RowHash64(const Row& row);
+
+/// Value-equality of two rows (SQL semantics via Value::Compare).
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Fingerprints a row for hashing/dedup (stable across runs).
+std::string RowFingerprint(const Row& row);
+
+/// Deep-copies a SELECT list (expressions cloned) so partition workers can
+/// bind their own copies — binding mutates expression nodes in place.
+std::vector<SelectItem> CloneItems(const std::vector<SelectItem>& items);
 
 // ---------------------------------------------------------------------------
 // Scans
@@ -137,7 +176,9 @@ class RowIdListScanOperator : public Operator {
   uint64_t ticks_ = 0;
 };
 
-/// Index range scan over a single range.
+/// Index range scan over a single range — the access path behind a guard's
+/// indexable condition (paper Section 4: guards are chosen precisely
+/// because they index-scan a small superset of the allowed tuples).
 class IndexRangeScanOperator : public RowIdListScanOperator {
  public:
   IndexRangeScanOperator(const TableEntry* entry, std::string qualifier,
@@ -183,11 +224,23 @@ class IndexUnionBitmapScanOperator : public RowIdListScanOperator {
   std::vector<IndexRange> ranges_;
 };
 
-/// Scan over a materialized result (CTE reference or derived table).
+/// Scan over a materialized result (CTE reference or derived table). In
+/// Sieve plans this is how the policy-filtered CTE (`sieve_<table>`) is
+/// consumed: the CTE body — guards plus the Δ operator over the base
+/// table — materializes on first Open through the query-wide CteCache and
+/// every other reference reuses the rows.
+///
+/// Threading: materialization happens exactly once per cache key per
+/// query, no matter which worker gets there first (CteCache). Partition
+/// clones additionally slice the materialized rows into contiguous ranges
+/// — this is what lets the probe side of a hash join over the policy-
+/// filtered CTE partition across workers. Clones of one CreatePartitions
+/// call share the producer subtree guarded by exactly-once semantics.
 class MaterializedScanOperator : public Operator {
  public:
-  /// `materialize` produces the data on first Open (allows CTE sharing via
-  /// the ExecContext cache).
+  /// `child` produces the data on first Open (allows CTE sharing via the
+  /// ExecContext's CteCache). An empty `cache_key` always materializes
+  /// privately (derived tables).
   MaterializedScanOperator(std::string cache_key, std::string qualifier,
                            OperatorPtr child);
 
@@ -195,15 +248,34 @@ class MaterializedScanOperator : public Operator {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
 
  private:
+  /// Materialization state shared by the partition clones of one
+  /// CreatePartitions call: `producer` points into the original operator's
+  /// child subtree and is driven by exactly one clone (the OnceMaterialized
+  /// slot for the private path; the CteCache's slot for named CTEs).
+  struct SharedMaterialization {
+    Operator* producer = nullptr;
+    OnceMaterialized slot;
+  };
+
+  MaterializedScanOperator(std::string cache_key, std::string qualifier,
+                           std::shared_ptr<SharedMaterialization> shared,
+                           size_t part, size_t num_parts);
+
   std::string cache_key_;  // empty -> always materialize privately
   std::string qualifier_;
   OperatorPtr child_;
   Schema schema_;
+  std::shared_ptr<SharedMaterialization> shared_;  // partition clones only
+  size_t part_ = 0;
+  size_t num_parts_ = 1;
   const std::vector<Row>* rows_ = nullptr;
   MaterializedResult private_result_;
   size_t pos_ = 0;
+  size_t end_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -252,7 +324,20 @@ class ProjectOperator : public Operator {
   std::unique_ptr<Evaluator> evaluator_;
 };
 
-/// Hash join on equi-key expressions (build = right side).
+/// Hash join on equi-key expressions (build = right side). This is the
+/// join at the heart of Sieve's rewrite when a query combines a protected
+/// table with other relations: the probe side is then the policy-filtered
+/// CTE whose tuples already passed the guards and the Δ operator.
+///
+/// Parallel interior: Open always builds the hash table once (serial pull
+/// of the build side; its own CTE inputs still materialize in parallel).
+/// When ctx->num_threads > 1 and the probe side supports
+/// CreatePartitions, the probe fans out across workers — each partition
+/// probes the shared read-only hash table with privately cloned key
+/// expressions and buffers its joined rows; buffers are concatenated in
+/// partition order, reproducing the serial output order exactly (probe
+/// rows in input order, matches in build-insertion order). Falls back to
+/// streaming serial probing otherwise.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(OperatorPtr left, OperatorPtr right,
@@ -272,24 +357,36 @@ class HashJoinOperator : public Operator {
     bool operator()(const std::vector<Value>& a,
                     const std::vector<Value>& b) const;
   };
+  using BuildTable = std::unordered_map<std::vector<Value>, std::vector<Row>,
+                                        VecValueHash, VecValueEq>;
+
+  /// Drains the build (right) side into build_; serial, run once per Open.
+  Status BuildHashTable(ExecContext* ctx);
+  /// Drives `parts` (partitions of the probe side) on the pool; fills
+  /// joined_ with the concatenated per-partition outputs.
+  Status ParallelProbe(ExecContext* ctx, std::vector<OperatorPtr>* parts);
 
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;
   Schema schema_;
-  std::unordered_map<std::vector<Value>, std::vector<Row>, VecValueHash,
-                     VecValueEq>
-      build_;
+  BuildTable build_;
   Row current_left_;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_pos_ = 0;
   std::unique_ptr<Evaluator> left_eval_;
   std::unique_ptr<Evaluator> right_eval_;
+  // Parallel-probe mode: the joined output, buffered at Open.
+  bool buffered_ = false;
+  std::vector<Row> joined_;
+  size_t out_pos_ = 0;
 };
 
 /// Nested-loop cross join (right side materialized). Residual predicates are
-/// applied by a FilterOperator above.
+/// applied by a FilterOperator above. Serial interior; its inputs may still
+/// parallelize (partitioned CTE materialization happens inside Open of the
+/// children's MaterializedScanOperators).
 class NestedLoopJoinOperator : public Operator {
  public:
   NestedLoopJoinOperator(OperatorPtr left, OperatorPtr right);
@@ -310,6 +407,18 @@ class NestedLoopJoinOperator : public Operator {
 };
 
 /// Hash aggregation implementing GROUP BY + COUNT/SUM/AVG/MIN/MAX.
+///
+/// Parallel interior: when ctx->num_threads > 1 and the child pipeline
+/// supports CreatePartitions, Open computes per-partition partial
+/// aggregates on the pool (each worker accumulates its slice with private
+/// clones of the group-by and aggregate expressions) and merges them at
+/// the barrier with per-function logic: COUNT/SUM add, MIN/MAX compare,
+/// AVG derives from merged sum and count at output time. Groups are merged
+/// in partition order, so group output order (first-occurrence order of
+/// the serial input stream) and each group's representative row are
+/// preserved exactly. SUM/AVG merge adds per-partition partial sums, which
+/// is bit-exact for integer-valued inputs (all workload datasets) and may
+/// differ from serial in the last ulp for arbitrary floating-point data.
 class HashAggregateOperator : public Operator {
  public:
   HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> group_by,
@@ -327,6 +436,9 @@ class HashAggregateOperator : public Operator {
     bool saw_value = false;
     Value min;
     Value max;
+
+    /// Folds another partition's partial state into this one.
+    void Merge(const AggState& other);
   };
   struct GroupState {
     Row key;
@@ -334,17 +446,84 @@ class HashAggregateOperator : public Operator {
     std::vector<AggState> aggs;
   };
 
+  /// Pulls `child` (already opened) to exhaustion, accumulating into
+  /// *groups / *group_index. `group_by` and `items` must be bound against
+  /// the child's schema. Used by both the serial path (on the members) and
+  /// each parallel worker (on private clones + local group tables).
+  static Status Accumulate(Operator* child, ExecContext* ctx,
+                           const std::vector<ExprPtr>& group_by,
+                           const std::vector<SelectItem>& items,
+                           size_t num_aggs, std::vector<GroupState>* groups,
+                           std::unordered_map<std::string, size_t>* group_index);
+
+  /// Computes the output schema from the bound items_ and `input` schema.
+  void BuildOutputSchema(const Schema& input);
+
+  /// Per-partition partial aggregation + ordered merge; fills groups_.
+  Status OpenParallel(ExecContext* ctx, std::vector<OperatorPtr>* parts);
+
   OperatorPtr child_;
   std::vector<ExprPtr> group_by_;
   std::vector<SelectItem> items_;
   Schema schema_;
+  Schema input_schema_;  // child schema used to evaluate output expressions
+  size_t num_aggs_ = 0;
   std::vector<GroupState> groups_;
   std::unordered_map<std::string, size_t> group_index_;
   size_t pos_ = 0;
 };
 
+/// Concurrency-safe exact dedup set used by the parallel UNION interior.
+/// Each offered row carries a tag encoding (child index, sequence in
+/// child) — i.e. its position in the serial output stream. Offer keeps the
+/// row iff its tag is the smallest seen so far for that row value, so
+/// after all offers the surviving tag per distinct row is exactly the
+/// serial first occurrence. Internally striped: concurrent offers for
+/// different hash stripes do not contend.
+///
+/// Threading: Offer may be called from any number of threads. IsWinner is
+/// called after every producing thread reached the barrier.
+class ConcurrentDedupSet {
+ public:
+  ConcurrentDedupSet();
+
+  /// Records `row` under `tag`; returns false when an equal row with a
+  /// smaller (earlier) tag already exists — the caller can drop the row
+  /// immediately, its earlier twin is guaranteed to be emitted.
+  bool Offer(const Row& row, uint64_t tag);
+
+  /// True when `tag` is the final (smallest) tag recorded for `row`; only
+  /// such rows are emitted, in tag order, reproducing the serial stream.
+  bool IsWinner(const Row& row, uint64_t tag) const;
+
+ private:
+  struct Entry {
+    Row row;
+    uint64_t min_tag;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  };
+
+  static constexpr size_t kNumStripes = 16;  // power of two
+  std::vector<Stripe> stripes_;
+};
+
 /// UNION / UNION ALL over any number of children (schemas must have equal
-/// arity; names follow the first child).
+/// arity; names follow the first child). This is the shape of the MySQL-
+/// profile IndexGuards rewrite (paper Section 5.3): one arm per guard,
+/// each forcing its guard's index, deduped because two guards can admit
+/// the same tuple.
+///
+/// Parallel interior: when ctx->num_threads > 1, Open drains all children
+/// concurrently on the pool (each child under its own worker context, its
+/// pipeline free to partition further), pre-filtering duplicates through a
+/// ConcurrentDedupSet keyed by serial stream position. The per-child
+/// buffers are concatenated in child order and, for UNION, reduced to the
+/// first-occurrence winners — reproducing the serial rows, row order and
+/// ExecStats totals exactly. UNION ALL skips the dedup set and just
+/// concatenates in child order.
 class UnionOperator : public Operator {
  public:
   UnionOperator(std::vector<OperatorPtr> children, bool all);
@@ -355,22 +534,28 @@ class UnionOperator : public Operator {
   std::string name() const override;
 
  private:
+  /// Concurrent child drain + ordered dedup merge; fills out_rows_.
+  Status OpenParallel(ExecContext* ctx);
+
   std::vector<OperatorPtr> children_;
   bool all_;
   Schema schema_;
   size_t current_ = 0;
-  // Hash-bucketed exact dedup: candidate rows compare against the rows
-  // already emitted under the same hash.
+  // Hash-bucketed exact dedup for the serial path: candidate rows compare
+  // against the rows already emitted under the same hash.
   std::unordered_map<uint64_t, std::vector<Row>> seen_;
+  // Parallel-interior mode: the merged output, buffered at Open.
+  bool buffered_ = false;
+  std::vector<Row> out_rows_;
+  size_t out_pos_ = 0;
 };
-
-/// 64-bit hash of a full row (used by UNION dedup).
-uint64_t RowHash64(const Row& row);
 
 /// EXCEPT / MINUS: distinct rows of the left input that do not appear in the
 /// right input. Section 3.1 uses this non-monotonic operator to argue that
 /// policies must be applied to base tables *before* query operators — which
-/// the rewriter guarantees by replacing table refs with policy-filtered CTEs.
+/// the rewriter guarantees by replacing table refs with policy-filtered
+/// CTEs. Serial interior (rare in Sieve plans); its CTE inputs still
+/// materialize in parallel.
 class ExceptOperator : public Operator {
  public:
   ExceptOperator(OperatorPtr left, OperatorPtr right);
@@ -389,9 +574,6 @@ class ExceptOperator : public Operator {
   std::unordered_map<uint64_t, std::vector<Row>> right_rows_;
   std::unordered_map<uint64_t, std::vector<Row>> emitted_;
 };
-
-/// Fingerprints a row for hashing/dedup (stable across runs).
-std::string RowFingerprint(const Row& row);
 
 }  // namespace sieve
 

@@ -30,16 +30,6 @@ std::string RangeToString(const IndexRange& r) {
   return out;
 }
 
-// Contiguous slice [begin, end) of `total` items assigned to partition
-// `part` of `num_parts`. Handles empty inputs and total < num_parts (the
-// tail partitions come out empty).
-void PartitionSlice(size_t total, size_t part, size_t num_parts,
-                    size_t* begin, size_t* end) {
-  size_t chunk = num_parts == 0 ? total : (total + num_parts - 1) / num_parts;
-  *begin = std::min(part * chunk, total);
-  *end = std::min(*begin + chunk, total);
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,9 @@ namespace sieve {
 ///      Theorem 1's benefit test ρ(x∩y)/ρ(x∪y) > ce/(cr+ce) passes, sweeping
 ///      candidates in ascending left-endpoint order and stopping per
 ///      Corollaries 1.1/1.2.
+///
+/// Threading: const and stateless — safe to call concurrently; runs at
+/// guard-generation time, never on the query execution path.
 class CandidateGuardGenerator {
  public:
   CandidateGuardGenerator(const Database* db, const CostModel* cost)

@@ -20,6 +20,12 @@ inline constexpr char kDeltaUdfName[] = "delta";
 ///      iff one allows the tuple.
 /// Both the UDF invocation and the per-policy checks are counted in
 /// ExecStats, which is what the inline-vs-Δ calibration (Figure 3) measures.
+///
+/// Threading: the registered UDF is evaluated concurrently by parallel scan
+/// partitions and interior-operator workers. It is race-free because the
+/// guard's policy partition is bound against the tuple schema exactly once
+/// (GuardStore::DeltaPartition::bind_once) and treated as immutable
+/// afterwards, and each worker counts into its own ExecStats.
 Status RegisterDeltaUdf(Database* db, GuardStore* guards);
 
 }  // namespace sieve

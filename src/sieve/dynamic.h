@@ -24,6 +24,9 @@ enum class RegenerationMode {
 /// Handles policy insertions in dynamic scenarios: marks affected guarded
 /// expressions outdated and, in eager mode, regenerates after the optimal
 /// number of insertions k* = sqrt(4·C_G / (ρ(oc_G)·α·ce·r_pq)).
+///
+/// Threading: mutates the policy and guard stores — call from the single
+/// control thread only, never while a query is executing in parallel.
 class DynamicPolicyManager {
  public:
   DynamicPolicyManager(Database* db, PolicyStore* policies, GuardStore* guards,

@@ -40,7 +40,10 @@ struct Guard {
 };
 
 /// The guarded policy expression G(P) = G1 ∨ … ∨ Gn for one
-/// (querier, purpose, table) key (Section 3.2).
+/// (querier, purpose, table) key (Section 3.2). Plain immutable data once
+/// stored in the GuardStore: the rewriter and concurrent Δ evaluations
+/// only read it (the Δ partition's one-time expression bind is handled
+/// separately in GuardStore::DeltaPartition).
 struct GuardedExpression {
   int64_t id = -1;  ///< key in rGE
   std::string querier;

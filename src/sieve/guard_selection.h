@@ -16,6 +16,9 @@ namespace sieve {
 /// its policies are removed from all other candidates, utilities are
 /// recomputed, and the loop repeats until every policy is covered exactly
 /// once.
+///
+/// Threading: const and stateless — safe to call concurrently; runs at
+/// guard-generation time, never on the query execution path.
 class GuardSelector {
  public:
   explicit GuardSelector(const CostModel* cost) : cost_(cost) {}
@@ -34,6 +37,10 @@ class GuardSelector {
 /// metadata filter -> candidate generation -> Algorithm 1 selection ->
 /// inline-vs-Δ choice per guard. This is the routine whose latency Figure 2
 /// reports.
+///
+/// Threading: Build is logically const but must not run concurrently with
+/// DDL/DML on `db` (it reads index histograms); the rewriter invokes it
+/// single-threaded before execution starts.
 class GuardedExpressionBuilder {
  public:
   GuardedExpressionBuilder(Database* db, const PolicyStore* policies,

@@ -22,9 +22,10 @@ struct SieveOptions {
   bool calibrate_cost_model = false;
   /// Regeneration mode for dynamic policy insertions.
   RegenerationMode regeneration_mode = RegenerationMode::kLazy;
-  /// Partition-parallel execution: guarded scans run on this many worker
-  /// threads. 1 (the default) preserves today's serial behavior; parallel
-  /// runs return the same rows in the same order with the same ExecStats
+  /// Partition-parallel execution: guarded scans *and* the interiors of
+  /// UNION / hash join / hash aggregate run on this many worker threads.
+  /// 1 (the default) preserves today's serial behavior; parallel runs
+  /// return the same rows in the same order with the same ExecStats
   /// totals, just faster on multi-core hardware.
   int num_threads = 1;
 };
@@ -33,6 +34,12 @@ struct SieveOptions {
 /// them into policy-compliant queries using guarded expressions and the Δ
 /// operator, and submits them to the underlying engine. One instance per
 /// Database.
+///
+/// Threading: one query at a time per instance — rewrite and policy
+/// mutation are not internally synchronized. Within one Execute call the
+/// engine parallelizes per SieveOptions::num_threads; everything the
+/// workers share (guard partitions, the CTE cache, indexes) is immutable
+/// or lock-protected during execution.
 class SieveMiddleware {
  public:
   SieveMiddleware(Database* db, const GroupResolver* resolver,

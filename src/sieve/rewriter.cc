@@ -178,6 +178,24 @@ void ReplaceTableRefs(SelectStmt* stmt, const std::string& table,
   }
 }
 
+// Number of references to `table` anywhere in the statement (every UNION
+// arm, derived tables, nested CTE bodies).
+size_t CountTableRefs(const SelectStmt& stmt, const std::string& table) {
+  size_t n = 0;
+  for (const SelectStmt* arm = &stmt; arm != nullptr;
+       arm = arm->union_next.get()) {
+    for (const auto& ref : arm->from) {
+      if (ref.subquery != nullptr) {
+        n += CountTableRefs(*ref.subquery, table);
+      } else if (EqualsIgnoreCase(ref.table_name, table)) {
+        ++n;
+      }
+    }
+    for (const auto& cte : arm->ctes) n += CountTableRefs(*cte.query, table);
+  }
+  return n;
+}
+
 // Collects distinct base-table names referenced anywhere in the statement.
 void CollectTables(const SelectStmt& stmt, std::vector<std::string>* out) {
   for (const SelectStmt* arm = &stmt; arm != nullptr;
@@ -304,7 +322,15 @@ Result<RewriteResult> QueryRewriter::Rewrite(const SelectStmt& query,
     info.strategy = strategy;
 
     // ---- Build guard arms ----
-    std::vector<ExprPtr> local = TableLocalConjuncts(query, table);
+    // Query-local predicate ride-along (Section 5.5) is only sound when the
+    // policy CTE has a single consumer: every reference to the table scans
+    // the same CTE, so predicates taken from the first arm's WHERE must not
+    // be folded in when another UNION arm or a second alias (self-join)
+    // also reads it — those consumers would silently lose rows.
+    const bool single_consumer =
+        query.union_next == nullptr && CountTableRefs(query, table) == 1;
+    std::vector<ExprPtr> local;
+    if (single_consumer) local = TableLocalConjuncts(query, table);
     std::vector<ExprPtr> arms;
     arms.reserve(ge->guards.size());
     for (const Guard& guard : ge->guards) {

@@ -53,6 +53,18 @@ struct RewriteResult {
 /// policies, build (or reuse) the guarded policy expression, pick the access
 /// strategy with the cost model + EXPLAIN, choose inline vs Δ per guard, and
 /// emit a WITH clause that replaces the table.
+///
+/// The plans this shapes are what the parallel executor later fans out: the
+/// MySQL-profile IndexGuards strategy emits a UNION of guard arms (driven
+/// concurrently by UnionOperator), and multi-table queries join the
+/// policy-filtered CTE (the probe side HashJoinOperator partitions).
+/// Query-local predicates ride along into the CTE body only when the CTE
+/// has a single consumer — one reference, no set-op chain — since every
+/// reference scans the same materialized CTE.
+///
+/// Threading: Rewrite runs single-threaded at query-intercept time, before
+/// any parallel execution starts; instances are not safe for concurrent use
+/// (guard regeneration mutates the GuardStore).
 class QueryRewriter {
  public:
   QueryRewriter(Database* db, PolicyStore* policies, GuardStore* guards,

@@ -5,8 +5,12 @@
 //
 // The sweep is also differential across execution modes: every query runs
 // serially and partition-parallel at num_threads ∈ {2, 4, 8}, and the
-// parallel runs must reproduce the serial row multiset and the serial
-// ExecStats totals exactly (per-worker counters merged at the barrier).
+// parallel runs must reproduce the serial rows *in the serial order* and
+// the serial ExecStats totals exactly (per-worker counters merged at the
+// barrier). The query mix covers every parallel interior: plain guarded
+// scans, UNION / UNION ALL over guard branches, the hash join of the
+// policy-filtered CTE against an unprotected table, and grouped + global
+// aggregates (COUNT/SUM/MIN/MAX/AVG partial-state merge).
 
 #include <set>
 
@@ -27,6 +31,98 @@ std::multiset<std::string> Fingerprints(const ResultSet& rs) {
     out.insert(fp);
   }
   return out;
+}
+
+// Ordered fingerprints: serial-vs-parallel equivalence is exact, including
+// row order (sieve-vs-reference only compares multisets, since the rewrite
+// legitimately reorders).
+std::vector<std::string> OrderedFingerprints(const ResultSet& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) out.push_back(RowFingerprint(row));
+  return out;
+}
+
+// Random WHERE clause over the wifi columns; `alias` optionally qualifies
+// every predicate (used to keep join predicates unambiguous).
+std::vector<std::string> RandomPreds(Rng& rng, const std::string& alias) {
+  std::string p = alias.empty() ? "" : alias + ".";
+  std::vector<std::string> preds;
+  if (rng.Chance(0.5)) {
+    preds.push_back(p + "wifiAP = " + std::to_string(rng.Uniform(0, 5)));
+  }
+  if (rng.Chance(0.5)) {
+    int h = static_cast<int>(rng.Uniform(6, 14));
+    preds.push_back(StrFormat("%sts_time BETWEEN '%02d:00' AND '%02d:00'",
+                              p.c_str(), h,
+                              h + static_cast<int>(rng.Uniform(1, 6))));
+  }
+  if (rng.Chance(0.3)) {
+    preds.push_back(StrFormat("%sowner IN (%lld, %lld, %lld)", p.c_str(),
+                              (long long)rng.Uniform(0, 9),
+                              (long long)rng.Uniform(0, 9),
+                              (long long)rng.Uniform(0, 9)));
+  }
+  return preds;
+}
+
+// The query mix: plain guarded scans plus the three interior-operator
+// shapes the parallel executor must reproduce exactly.
+std::vector<std::string> MakeQueries(Rng& rng) {
+  std::vector<std::string> queries;
+
+  // Plain scans (the PR-2 shapes).
+  for (int q = 0; q < 4; ++q) {
+    std::string sql = "SELECT * FROM wifi";
+    std::vector<std::string> preds = RandomPreds(rng, "");
+    if (!preds.empty()) sql += " WHERE " + Join(preds, " AND ");
+    queries.push_back(std::move(sql));
+  }
+
+  // UNION / UNION ALL of two guarded arms (duplicate-prone: the arms
+  // overlap whenever the same row satisfies both predicates).
+  {
+    const char* op = rng.Chance(0.5) ? "UNION" : "UNION ALL";
+    queries.push_back(StrFormat(
+        "SELECT * FROM wifi WHERE wifiAP = %lld %s "
+        "SELECT * FROM wifi WHERE owner IN (%lld, %lld)",
+        (long long)rng.Uniform(0, 5), op, (long long)rng.Uniform(0, 9),
+        (long long)rng.Uniform(0, 9)));
+  }
+
+  // Hash join: probe side is the policy-filtered wifi CTE, build side the
+  // unprotected aps lookup table — the Δ-join shape of rewritten
+  // multi-table queries.
+  {
+    std::string sql =
+        "SELECT w.id, w.owner, w.wifiAP, a.building FROM wifi w, aps a "
+        "WHERE w.wifiAP = a.ap";
+    std::vector<std::string> preds = RandomPreds(rng, "w");
+    if (!preds.empty()) sql += " AND " + Join(preds, " AND ");
+    queries.push_back(std::move(sql));
+  }
+
+  // Grouped aggregate over every merge rule (COUNT/SUM/MIN/MAX/AVG).
+  {
+    std::string sql =
+        "SELECT owner, COUNT(*) AS n, SUM(wifiAP) AS s, MIN(ts_time) AS mn, "
+        "MAX(ts_time) AS mx, AVG(wifiAP) AS av FROM wifi";
+    std::vector<std::string> preds = RandomPreds(rng, "");
+    if (!preds.empty()) sql += " WHERE " + Join(preds, " AND ");
+    sql += " GROUP BY owner";
+    queries.push_back(std::move(sql));
+  }
+
+  // Global aggregate (no GROUP BY): exercises the one-row-on-empty-input
+  // rule under partial-state merge.
+  {
+    std::string sql = "SELECT COUNT(*) AS n, AVG(owner) AS av FROM wifi";
+    std::vector<std::string> preds = RandomPreds(rng, "");
+    if (!preds.empty()) sql += " WHERE " + Join(preds, " AND ");
+    queries.push_back(std::move(sql));
+  }
+
+  return queries;
 }
 
 struct SweepConfig {
@@ -62,26 +158,7 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     ASSERT_TRUE(sieve.AddPolicy(std::move(p)).ok());
   }
 
-  // Random queries: filters over any column mix, sometimes aggregates.
-  for (int q = 0; q < 6; ++q) {
-    std::string sql = "SELECT * FROM wifi";
-    std::vector<std::string> preds;
-    if (rng.Chance(0.5)) {
-      preds.push_back("wifiAP = " + std::to_string(rng.Uniform(0, 5)));
-    }
-    if (rng.Chance(0.5)) {
-      int h = static_cast<int>(rng.Uniform(6, 14));
-      preds.push_back(StrFormat("ts_time BETWEEN '%02d:00' AND '%02d:00'", h,
-                                h + static_cast<int>(rng.Uniform(1, 6))));
-    }
-    if (rng.Chance(0.3)) {
-      preds.push_back(StrFormat("owner IN (%lld, %lld, %lld)",
-                                (long long)rng.Uniform(0, 9),
-                                (long long)rng.Uniform(0, 9),
-                                (long long)rng.Uniform(0, 9)));
-    }
-    if (!preds.empty()) sql += " WHERE " + Join(preds, " AND ");
-
+  for (const std::string& sql : MakeQueries(rng)) {
     QueryMetadata md{queriers[rng.Uniform(0, 2)], purposes[rng.Uniform(0, 2)]};
     // Group queriers are not people; querier "students" never queries.
     if (md.querier == std::string("students")) md.querier = "carol";
@@ -96,15 +173,16 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
         << " sql=" << sql;
 
     // Differential: partition-parallel execution must reproduce the serial
-    // rows and stat totals exactly, for both the Sieve rewrite and the
-    // reference semantics.
+    // rows, row order and stat totals exactly, for both the Sieve rewrite
+    // and the reference semantics.
+    std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
     for (int threads : {2, 4, 8}) {
       sieve.set_num_threads(threads);
       auto parallel = sieve.Execute(sql, md);
       ASSERT_TRUE(parallel.ok())
           << "threads=" << threads << " sql=" << sql << " -> "
           << parallel.status().ToString();
-      EXPECT_EQ(Fingerprints(*fast), Fingerprints(*parallel))
+      EXPECT_EQ(serial_rows, OrderedFingerprints(*parallel))
           << "threads=" << threads << " querier=" << md.querier
           << " purpose=" << md.purpose << " sql=" << sql;
       EXPECT_EQ(fast->stats, parallel->stats)

@@ -75,6 +75,16 @@ class MiniCampus {
     for (const char* col : {"owner", "wifiAP", "ts_time", "ts_date"}) {
       (void)db_.CreateIndex("wifi", col);
     }
+    // Unprotected AP lookup table (no policies target it): lets tests join
+    // the policy-filtered wifi CTE against a plain relation — the Δ-join
+    // plan shape of rewritten multi-table queries.
+    Schema aps({{"ap", DataType::kInt}, {"building", DataType::kString}});
+    (void)db_.CreateTable("aps", std::move(aps));
+    const char* buildings[] = {"DBH", "ICS", "Bren", "Lib", "Gym", "Cafe"};
+    for (int ap = 0; ap < 6; ++ap) {
+      (void)db_.Insert("aps", Row{Value::Int(ap), Value::String(buildings[ap])});
+    }
+    (void)db_.CreateIndex("aps", "ap");
     (void)db_.Analyze();
     groups_.AddMembership("alice", "faculty");
     groups_.AddMembership("bob", "students");

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links and file references.
+
+Two checks, run over every tracked *.md file in the repo:
+
+1. Markdown links `[text](target)` whose target is not an absolute URL or
+   a pure in-page anchor must resolve to an existing file or directory
+   (anchors after '#' are stripped; they are not validated).
+2. Inline-code path references (backtick spans) that look like repo paths
+   — contain a '/' and start with a known top-level directory, or name a
+   top-level *.md file — must exist. Trailing globs/wildcards and the
+   `.{h,cc}`-style brace shorthand are expanded.
+
+Exit code 0 when everything resolves, 1 otherwise (one line per problem).
+Run from anywhere: paths resolve against the repo root (the parent of
+this script's directory).
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+TOP_DIRS = ("src/", "tests/", "bench/", "examples/", "tools/", ".github/")
+
+
+# ISSUE.md is the per-PR task brief injected by the growth driver, not
+# repo documentation.
+SKIP = {"ISSUE.md"}
+
+
+def md_files():
+    for entry in sorted(os.listdir(REPO)):
+        if entry.endswith(".md") and entry not in SKIP:
+            yield os.path.join(REPO, entry)
+
+
+def expand_braces(path):
+    """a.{h,cc} -> [a.h, a.cc]; {x,y}.h -> [x.h, y.h]."""
+    m = re.search(r"\{([^}]+)\}", path)
+    if not m:
+        return [path]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(path[: m.start()] + alt + path[m.end():]))
+    return out
+
+
+def exists(path):
+    if glob.glob(os.path.join(REPO, path)):
+        return True
+    return os.path.exists(os.path.join(REPO, path))
+
+
+def check_file(md_path):
+    problems = []
+    rel = os.path.relpath(md_path, REPO)
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if path and not exists(path):
+                problems.append(f"{rel}:{lineno}: broken link -> {target}")
+
+        for span in CODE_RE.findall(line):
+            # Path-shaped spans only: skip code snippets, commands, flags.
+            if any(ch in span for ch in " ()<>$=*"):
+                continue
+            candidates = None
+            if span.startswith(TOP_DIRS):
+                candidates = expand_braces(span)
+            elif re.fullmatch(r"[A-Za-z0-9_.-]+\.md", span):
+                candidates = [span]
+            if not candidates:
+                continue
+            for path in candidates:
+                if not exists(path):
+                    problems.append(
+                        f"{rel}:{lineno}: missing file reference -> {path}")
+    return problems
+
+
+def main():
+    all_problems = []
+    count = 0
+    for md in md_files():
+        count += 1
+        all_problems.extend(check_file(md))
+    for p in all_problems:
+        print(p)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not all_problems else f'{len(all_problems)} problem(s)'}")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
