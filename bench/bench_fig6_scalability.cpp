@@ -125,9 +125,14 @@ int main() {
               "(|P|=%d per querier, %u hardware threads) ===\n\n",
               kSizes[2], std::thread::hardware_concurrency());
   TablePrinter threads_table({"threads", "SIEVE ms", "speedup vs 1T"});
+  auto set_threads = [&sieve](int threads) {
+    SieveOptions options = sieve.options();
+    options.num_threads = threads;
+    if (!sieve.set_options(options).ok()) std::abort();  // validated knob
+  };
   double one_thread_ms = -1;
   for (int threads : {1, 2, 4, 8}) {
-    sieve.set_num_threads(threads);
+    set_threads(threads);
     double sum_sieve = 0;
     int n = 0;
     for (int shop = 0; shop < kNumShops; ++shop) {
@@ -151,7 +156,7 @@ int main() {
                             .Set("threads", threads)
                             .Set("sieve_ms", ms));
   }
-  sieve.set_num_threads(1);
+  set_threads(1);
   threads_table.Print();
   std::printf("\nExpected shape: near-linear scaling while the Δ-heavy "
               "guarded scan dominates.\nOn machines with fewer cores than "
@@ -188,7 +193,7 @@ int main() {
   for (const InteriorQuery& q : interior_queries) {
     double base_ms = -1;
     for (int threads : {1, 2, 4, 8}) {
-      sieve.set_num_threads(threads);
+      set_threads(threads);
       double sum_sieve = 0;
       int n = 0;
       for (int shop = 0; shop < kNumShops; ++shop) {
@@ -213,7 +218,7 @@ int main() {
                               .Set("sieve_ms", ms));
     }
   }
-  sieve.set_num_threads(1);
+  set_threads(1);
   interior_table.Print();
   std::printf("\nExpected shape: the union/aggregate rows track the scan "
               "sweep (their input is\nthe same guarded CTE); the join row "

@@ -1,5 +1,6 @@
 // Quickstart: build a tiny database, define fine-grained access control
-// policies, and run queries through the Sieve middleware.
+// policies, and query through the session API — prepare once, execute
+// many times with bound parameters.
 //
 //   $ ./example_quickstart
 
@@ -7,6 +8,7 @@
 
 #include "engine/database.h"
 #include "sieve/middleware.h"
+#include "sieve/session.h"
 
 using namespace sieve;  // NOLINT — example brevity
 
@@ -66,33 +68,72 @@ int main() {
   mary.object_conditions = {ObjectCondition::Eq("owner", Value::Int(7))};
   (void)sieve.AddPolicy(mary);
 
-  // 5. Prof. Smith queries; Sieve rewrites and enforces.
-  QueryMetadata md{"prof_smith", "Attendance"};
-  const char* sql = "SELECT * FROM WiFi_Dataset AS W WHERE W.ts_date >= "
-                    "'2019-09-25'";
-
-  auto rewrite = sieve.Rewrite(sql, md);
-  if (!rewrite.ok()) {
-    std::printf("rewrite failed: %s\n", rewrite.status().ToString().c_str());
+  // 5. Prof. Smith opens a session (one per querier/connection) and
+  //    prepares the query ONCE: it is parsed and rewritten against the
+  //    professor's policies here, and the rewrite is cached. The `?` is a
+  //    parameter slot bound at execute time.
+  SieveSession session(&sieve, {"prof_smith", "Attendance"});
+  const char* sql =
+      "SELECT * FROM WiFi_Dataset AS W WHERE W.ts_date >= ?";
+  auto prepared = session.Prepare(sql);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("-- original query --\n%s\n\n-- rewritten by Sieve --\n%s\n\n",
-              sql, rewrite->sql.c_str());
-  for (const auto& info : rewrite->tables) {
+  std::printf("-- original query --\n%s\n\n-- rewritten by Sieve (once, at "
+              "Prepare) --\n%s\n\n",
+              sql, prepared->rewrite()->rewritten_sql.c_str());
+  for (const auto& info : prepared->rewrite()->tables) {
     std::printf("-- strategy: %s\n", info.ToString().c_str());
   }
 
-  auto result = sieve.Execute(sql, md);
-  if (!result.ok()) {
-    std::printf("execution failed: %s\n", result.status().ToString().c_str());
-    return 1;
+  // 6. Execute MANY times with different bindings: no re-parse, no
+  //    re-rewrite, no guard selection — just bind and run.
+  for (const char* day : {"2019-09-25", "2019-09-27"}) {
+    auto result = prepared->Execute({Value::String(day)});
+    if (!result.ok()) {
+      std::printf("execution failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n-- ts_date >= %s: %zu rows (policies restrict to John "
+                "9-10am @AP3 and all of Mary) --\n%s",
+                day, result->size(), result->ToString(5).c_str());
   }
-  std::printf("\n-- result (%zu rows; policies restricted it to John 9-10am "
-              "@AP3 and all of Mary) --\n%s\n",
-              result->size(), result->ToString(10).c_str());
 
-  // An unknown querier gets nothing: default deny.
-  auto denied = sieve.Execute(sql, {"eve", "Attendance"});
+  // 7. Large results can stream in chunks instead of materializing.
+  auto cursor = prepared->OpenCursor({Value::String("2019-09-25")});
+  if (cursor.ok()) {
+    std::vector<Row> batch;
+    size_t batches = 0, rows = 0;
+    while (true) {
+      auto more = cursor->Next(&batch, /*max_rows=*/8);
+      if (!more.ok() || !*more) break;
+      ++batches;
+      rows += batch.size();
+      batch.clear();
+    }
+    std::printf("\n-- cursor streamed %zu rows in %zu batches of <= 8 --\n",
+                rows, batches);
+  }
+
+  // 8. AddPolicy bumps the policy epoch: the prepared query transparently
+  //    re-prepares on its next execute, so new policies apply immediately.
+  Policy john_afternoon = john;
+  john_afternoon.object_conditions[1] = ObjectCondition::Range(
+      "ts_time", Value::Time(14 * 3600), Value::Time(16 * 3600));
+  (void)sieve.AddPolicy(john_afternoon);
+  auto after = prepared->Execute({Value::String("2019-09-25")});
+  std::printf("\n-- after AddPolicy (epoch %llu, cache invalidated): %zu "
+              "rows --\n",
+              static_cast<unsigned long long>(sieve.policy_epoch()),
+              after.ok() ? after->size() : 0);
+
+  // An unknown querier gets nothing: default deny. (The one-shot
+  // SieveMiddleware::Execute facade still works — it is a temporary
+  // session under the hood.)
+  auto denied = sieve.Execute("SELECT * FROM WiFi_Dataset AS W",
+                              {"eve", "Attendance"});
   std::printf("-- eve (no policies) sees %zu rows --\n",
               denied.ok() ? denied->size() : 0);
   return 0;

@@ -58,14 +58,21 @@ Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
                                         const QueryMetadata* metadata,
                                         double timeout_seconds,
                                         int num_threads) {
-  Optimizer optimizer(&catalog_, &profile_);
-  SIEVE_ASSIGN_OR_RETURN(PlannedQuery plan, optimizer.Plan(stmt));
-  ExecStats stats;
+  SIEVE_ASSIGN_OR_RETURN(
+      std::unique_ptr<QueryCursor> cursor,
+      OpenCursor(stmt, metadata, timeout_seconds, num_threads));
+  return cursor->Drain();
+}
+
+Result<std::unique_ptr<QueryCursor>> Database::OpenCursor(
+    const SelectStmt& stmt, const QueryMetadata* metadata,
+    double timeout_seconds, int num_threads) {
+  // The context (and with it the timeout epoch) is created before planning
+  // so planning time counts against the query budget, as it always has.
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.hooks = this;
   ctx.metadata = metadata;
-  ctx.stats = &stats;
   ctx.timeout_seconds = timeout_seconds;
   // One CTE cache per query, shared by every worker context so each CTE
   // body materializes exactly once no matter which worker gets there first.
@@ -74,7 +81,9 @@ Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
     ctx.num_threads = num_threads;
     ctx.pool = EnsurePool(static_cast<size_t>(num_threads));
   }
-  return Executor::Run(plan.root.get(), &ctx);
+  Optimizer optimizer(&catalog_, &profile_);
+  SIEVE_ASSIGN_OR_RETURN(PlannedQuery plan, optimizer.Plan(stmt));
+  return QueryCursor::Open(std::move(plan.root), ctx);
 }
 
 Result<ExplainInfo> Database::ExplainSql(const std::string& sql) {

@@ -63,11 +63,21 @@ class Database : public EngineHooks {
                                double timeout_seconds = 0.0,
                                int num_threads = 1);
 
-  /// Plans and runs an already-parsed statement.
+  /// Plans and runs an already-parsed statement. Implemented as
+  /// OpenCursor + QueryCursor::Drain, so one-shot and cursor execution
+  /// share a single code path (identical rows, order and ExecStats).
   Result<ResultSet> ExecuteStmt(const SelectStmt& stmt,
                                 const QueryMetadata* metadata = nullptr,
                                 double timeout_seconds = 0.0,
                                 int num_threads = 1);
+
+  /// Plans `stmt` and opens a pull-based cursor over it (chunked
+  /// QueryCursor::Next instead of a materialized ResultSet). `metadata`
+  /// must outlive the cursor. The timeout clock starts here and keeps
+  /// running between Next calls.
+  Result<std::unique_ptr<QueryCursor>> OpenCursor(
+      const SelectStmt& stmt, const QueryMetadata* metadata = nullptr,
+      double timeout_seconds = 0.0, int num_threads = 1);
 
   /// Plans `sql` and returns the access-path summary without executing —
   /// the EXPLAIN facility Sieve's strategy selector relies on (Section 5.5).

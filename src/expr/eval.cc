@@ -129,6 +129,13 @@ Result<Value> Evaluator::Eval(const Expr& expr, const Row& row) {
                              stats_);
     }
 
+    case ExprKind::kParameter: {
+      const auto& param = static_cast<const ParameterExpr&>(expr);
+      return Status::ExecutionError(
+          "unbound parameter " + param.ToSql() +
+          ": bind values through PreparedQuery::Execute");
+    }
+
     case ExprKind::kSubquery: {
       const auto& sub = static_cast<const SubqueryExpr&>(expr);
       if (hooks_ == nullptr) {

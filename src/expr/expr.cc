@@ -181,6 +181,11 @@ bool ExprEquals(const Expr& a, const Expr& b) {
       const auto& cb = static_cast<const ColumnRefExpr&>(b);
       return EqualsIgnoreCase(ca.FullName(), cb.FullName());
     }
+    case ExprKind::kParameter: {
+      const auto& pa = static_cast<const ParameterExpr&>(a);
+      const auto& pb = static_cast<const ParameterExpr&>(b);
+      return pa.slot() == pb.slot() && pa.name() == pb.name();
+    }
     case ExprKind::kComparison: {
       const auto& ca = static_cast<const ComparisonExpr&>(a);
       const auto& cb = static_cast<const ComparisonExpr&>(b);
@@ -312,6 +317,7 @@ Status BindExpr(Expr* expr, const Schema& schema) {
   switch (expr->kind()) {
     case ExprKind::kLiteral:
     case ExprKind::kSubquery:
+    case ExprKind::kParameter:  // nothing to resolve; substituted at execute
       return Status::OK();
     case ExprKind::kColumnRef:
       return BindColumnRef(static_cast<ColumnRefExpr*>(expr), schema);

@@ -15,6 +15,7 @@ namespace sieve {
 enum class ExprKind {
   kLiteral,
   kColumnRef,
+  kParameter,
   kComparison,
   kBetween,
   kInList,
@@ -100,6 +101,36 @@ class ColumnRefExpr : public Expr {
   std::string qualifier_;
   std::string name_;
   int bound_index_ = -1;
+};
+
+/// Query parameter placeholder: positional `?` or named `:name`. Slots are
+/// assigned by the parser (each `?` gets a fresh slot, every occurrence of
+/// the same `:name` shares one); BindParameters replaces the node with a
+/// literal at execute time, so downstream layers (optimizer, evaluator)
+/// never see one in a bound statement. Evaluating an unbound parameter is
+/// an execution error.
+class ParameterExpr : public Expr {
+ public:
+  ParameterExpr(size_t slot, std::string name)
+      : Expr(ExprKind::kParameter), slot_(slot), name_(std::move(name)) {}
+
+  /// Zero-based position in the prepared query's parameter list.
+  size_t slot() const { return slot_; }
+  /// Lower-cased name for `:name` parameters; empty for positional `?`.
+  const std::string& name() const { return name_; }
+
+  std::string ToSql() const override {
+    return name_.empty() ? "?" : ":" + name_;
+  }
+  ExprPtr Clone() const override {
+    // Slot and name are preserved: the rewriter clones parameterized
+    // predicates into CTE bodies, and every copy must bind the same value.
+    return std::make_shared<ParameterExpr>(slot_, name_);
+  }
+
+ private:
+  size_t slot_;
+  std::string name_;
 };
 
 /// left op right.

@@ -1,5 +1,8 @@
 #include "parser/ast.h"
 
+#include <functional>
+#include <optional>
+
 #include "common/string_util.h"
 
 namespace sieve {
@@ -125,6 +128,135 @@ std::string SelectStmt::ToSql() const {
     out += union_next->ToSql();
   }
   return out;
+}
+
+namespace {
+
+// Applies `fn` to every ExprPtr slot in the tree rooted at *slot (children
+// first, so `fn` may replace the node it is handed without re-walking).
+// The callback receives the slot and may reseat it.
+Status VisitExprSlots(ExprPtr* slot, const std::function<Status(ExprPtr*)>& fn) {
+  Expr* e = slot->get();
+  switch (e->kind()) {
+    case ExprKind::kComparison: {
+      auto* c = static_cast<ComparisonExpr*>(e);
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&c->mutable_left(), fn));
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&c->mutable_right(), fn));
+      break;
+    }
+    case ExprKind::kBetween: {
+      auto* b = static_cast<BetweenExpr*>(e);
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&b->mutable_input(), fn));
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&b->mutable_lo(), fn));
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&b->mutable_hi(), fn));
+      break;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e);
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&in->mutable_input(), fn));
+      for (auto& item : in->mutable_items()) {
+        SIEVE_RETURN_IF_ERROR(VisitExprSlots(&item, fn));
+      }
+      break;
+    }
+    case ExprKind::kAnd:
+      for (auto& c : static_cast<AndExpr*>(e)->mutable_children()) {
+        SIEVE_RETURN_IF_ERROR(VisitExprSlots(&c, fn));
+      }
+      break;
+    case ExprKind::kOr:
+      for (auto& c : static_cast<OrExpr*>(e)->mutable_children()) {
+        SIEVE_RETURN_IF_ERROR(VisitExprSlots(&c, fn));
+      }
+      break;
+    case ExprKind::kNot:
+      SIEVE_RETURN_IF_ERROR(
+          VisitExprSlots(&static_cast<NotExpr*>(e)->mutable_child(), fn));
+      break;
+    case ExprKind::kUdfCall:
+      for (auto& a : static_cast<UdfCallExpr*>(e)->mutable_args()) {
+        SIEVE_RETURN_IF_ERROR(VisitExprSlots(&a, fn));
+      }
+      break;
+    default:  // leaves: literal, column ref, parameter, subquery text
+      break;
+  }
+  return fn(slot);
+}
+
+// Applies `fn` to every expression slot of the statement: select items,
+// WHERE, GROUP BY, CTE bodies, derived tables and all set-op arms.
+Status VisitStmtExprSlots(SelectStmt* stmt,
+                          const std::function<Status(ExprPtr*)>& fn) {
+  for (SelectStmt* arm = stmt; arm != nullptr; arm = arm->union_next.get()) {
+    for (auto& cte : arm->ctes) {
+      SIEVE_RETURN_IF_ERROR(VisitStmtExprSlots(cte.query.get(), fn));
+    }
+    for (auto& item : arm->items) {
+      if (item.expr != nullptr) {
+        SIEVE_RETURN_IF_ERROR(VisitExprSlots(&item.expr, fn));
+      }
+    }
+    for (auto& ref : arm->from) {
+      if (ref.subquery != nullptr) {
+        SIEVE_RETURN_IF_ERROR(VisitStmtExprSlots(ref.subquery.get(), fn));
+      }
+    }
+    if (arm->where != nullptr) {
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&arm->where, fn));
+    }
+    for (auto& g : arm->group_by) {
+      SIEVE_RETURN_IF_ERROR(VisitExprSlots(&g, fn));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> CollectParameterSlots(const SelectStmt& stmt) {
+  std::vector<std::optional<std::string>> slots;
+  // The walk only reads; VisitStmtExprSlots is shared with BindParameters,
+  // which mutates, hence the const_cast.
+  Status st = VisitStmtExprSlots(
+      const_cast<SelectStmt*>(&stmt), [&slots](ExprPtr* slot) -> Status {
+        if ((*slot)->kind() != ExprKind::kParameter) return Status::OK();
+        const auto& param = static_cast<const ParameterExpr&>(**slot);
+        if (param.slot() >= slots.size()) slots.resize(param.slot() + 1);
+        std::optional<std::string>& name = slots[param.slot()];
+        if (!name.has_value() || *name == param.name()) {
+          name = param.name();
+          return Status::OK();
+        }
+        return Status::InvalidArgument(
+            "parameter slot " + std::to_string(param.slot()) +
+            " bound to two names: '" + *name + "' vs '" + param.name() + "'");
+      });
+  SIEVE_RETURN_IF_ERROR(st);
+  std::vector<std::string> out;
+  out.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].has_value()) {
+      return Status::InvalidArgument("parameter slot " + std::to_string(i) +
+                                     " never appears in the statement");
+    }
+    out.push_back(std::move(*slots[i]));
+  }
+  return out;
+}
+
+Status BindParameters(SelectStmt* stmt, const std::vector<Value>& params) {
+  return VisitStmtExprSlots(stmt, [&params](ExprPtr* slot) -> Status {
+    if ((*slot)->kind() != ExprKind::kParameter) return Status::OK();
+    const auto& param = static_cast<const ParameterExpr&>(**slot);
+    if (param.slot() >= params.size()) {
+      return Status::BindError("no value bound for parameter " +
+                               param.ToSql() + " (slot " +
+                               std::to_string(param.slot()) + ")");
+    }
+    *slot = MakeLiteral(params[param.slot()]);
+    return Status::OK();
+  });
 }
 
 SelectStmtPtr SelectStmt::Clone() const {

@@ -87,6 +87,19 @@ struct SelectStmt {
   SelectStmtPtr Clone() const;
 };
 
+/// The parameter signature of a parsed statement: one entry per slot, in
+/// slot order — the lower-cased name for `:name` parameters, "" for
+/// positional `?`. Fails on inconsistent slot numbering (never produced by
+/// the parser; guards against hand-built ASTs).
+Result<std::vector<std::string>> CollectParameterSlots(const SelectStmt& stmt);
+
+/// Replaces every ParameterExpr in the statement (WHERE clauses, select
+/// items, GROUP BY, CTE bodies, derived tables, set-op arms) with the
+/// literal `params[slot]`. The statement must be a private clone — callers
+/// must not bind a shared template in place. Fails with kBindError when a
+/// slot has no value.
+Status BindParameters(SelectStmt* stmt, const std::vector<Value>& params);
+
 }  // namespace sieve
 
 #endif  // SIEVE_PARSER_AST_H_

@@ -92,7 +92,9 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& sql) {
         continue;
       }
     }
-    if (std::string("=<>(),.*;+-/").find(c) != std::string::npos) {
+    // '?' and ':' are the prepared-statement placeholder markers
+    // (positional `?`, named `:name`); the parser assembles them.
+    if (std::string("=<>(),.*;+-/?:").find(c) != std::string::npos) {
       ++i;
       tokens.push_back({TokenType::kSymbol, std::string(1, c), begin, i});
       continue;

@@ -379,6 +379,22 @@ Result<ExprPtr> Parser::ParsePrimary() {
     return MakeLiteral(Value::String(t.text));
   }
 
+  // Prepared-statement placeholders.
+  if (t.type == TokenType::kSymbol && t.text == "?") {
+    Advance();
+    return std::make_shared<ParameterExpr>(next_param_slot_++, "");
+  }
+  if (t.type == TokenType::kSymbol && t.text == ":") {
+    Advance();
+    SIEVE_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    std::string key = ToLower(name);
+    auto it = named_param_slots_.find(key);
+    if (it == named_param_slots_.end()) {
+      it = named_param_slots_.emplace(key, next_param_slot_++).first;
+    }
+    return std::make_shared<ParameterExpr>(it->second, key);
+  }
+
   if (t.type == TokenType::kSymbol && t.text == "(") {
     // Scalar subquery in value position: capture raw text.
     if (PeekKeyword("select", 1)) {

@@ -1,6 +1,7 @@
 #ifndef SIEVE_PARSER_PARSER_H_
 #define SIEVE_PARSER_PARSER_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,9 +18,13 @@ namespace sieve {
 ///   [WHERE expr] [GROUP BY cols] [UNION [ALL] select]
 ///
 /// Expressions support AND/OR/NOT, comparisons, BETWEEN, [NOT] IN (list),
-/// UDF calls, qualified columns and correlated scalar subqueries
+/// UDF calls, qualified columns, correlated scalar subqueries
 /// ("(SELECT ...)" in value position, captured as raw text and executed by
-/// the engine per outer row).
+/// the engine per outer row), and prepared-statement placeholders: each
+/// positional `?` takes the next parameter slot, every occurrence of the
+/// same named `:name` (case-insensitive) shares one slot. Placeholders
+/// inside scalar subqueries are not supported (the subquery text is
+/// re-parsed per outer row, after binding has already happened).
 class Parser {
  public:
   /// Parses a full SELECT statement.
@@ -61,6 +66,10 @@ class Parser {
   const std::string* source_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // Parameter slot assignment (one counter per statement: nested SELECT
+  // arms and CTE bodies share the numbering).
+  size_t next_param_slot_ = 0;
+  std::map<std::string, size_t> named_param_slots_;  // lower-cased name
 };
 
 }  // namespace sieve

@@ -32,6 +32,10 @@ std::string ResultSet::ToString(size_t max_rows) const {
 
 namespace {
 
+// Chunk size QueryCursor::Drain pulls with; large enough that the
+// per-batch overhead vanishes, small enough to keep Row moves cache-warm.
+constexpr size_t kDrainBatchRows = 4096;
+
 // Serial pull loop: opens `root` and drains it into *schema / *rows.
 Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
                    std::vector<Row>* rows) {
@@ -114,6 +118,106 @@ Status RunWorkers(ExecContext* ctx, size_t n,
   }
   return first_error;
 }
+
+Result<std::unique_ptr<QueryCursor>> QueryCursor::Open(OperatorPtr root,
+                                                       const ExecContext& base) {
+  std::unique_ptr<QueryCursor> cursor(new QueryCursor());
+  cursor->root_ = std::move(root);
+  cursor->ctx_ = base;
+  cursor->ctx_.stats = &cursor->stats_;
+  // Bare serial contexts may arrive without a CTE cache (see Materialize).
+  if (cursor->ctx_.ctes == nullptr) {
+    cursor->ctx_.ctes = std::make_shared<CteCache>();
+  }
+  ExecContext* ctx = &cursor->ctx_;
+  if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    // CreatePartitions contract: partition clones replace the original
+    // root, which must then never be opened itself.
+    std::vector<OperatorPtr> parts;
+    if (cursor->root_->CreatePartitions(static_cast<size_t>(ctx->num_threads),
+                                        &parts) &&
+        !parts.empty()) {
+      SIEVE_RETURN_IF_ERROR(DrainPartitioned(parts, ctx, &cursor->schema_,
+                                             &cursor->buffered_));
+      cursor->partitioned_ = true;
+      return cursor;
+    }
+  }
+  SIEVE_RETURN_IF_ERROR(cursor->root_->Open(ctx));
+  cursor->schema_ = cursor->root_->schema();
+  return cursor;
+}
+
+Result<bool> QueryCursor::Next(std::vector<Row>* batch, size_t max_rows) {
+  // A zero batch would be indistinguishable from exhaustion for the
+  // caller; reject it (non-sticky: the cursor itself is fine).
+  if (max_rows == 0) {
+    return Status::InvalidArgument("QueryCursor::Next requires max_rows > 0");
+  }
+  SIEVE_RETURN_IF_ERROR(error_);
+  if (done_) return false;
+  size_t emitted = 0;
+  if (partitioned_) {
+    while (buffered_pos_ < buffered_.size() && emitted < max_rows) {
+      batch->push_back(std::move(buffered_[buffered_pos_++]));
+      ++emitted;
+    }
+    if (buffered_pos_ >= buffered_.size()) {
+      buffered_.clear();
+      done_ = true;
+    }
+  } else {
+    Row row;
+    while (emitted < max_rows) {
+      auto has = root_->Next(&ctx_, &row);
+      if (!has.ok()) {
+        error_ = has.status();
+        done_ = true;
+        Finalize();
+        return error_;
+      }
+      if (!*has) {
+        done_ = true;
+        break;
+      }
+      batch->push_back(std::move(row));
+      ++emitted;
+    }
+  }
+  rows_emitted_ += emitted;
+  if (done_) Finalize();
+  return emitted > 0;
+}
+
+// Mirror Executor::Run's accounting: rows_output counts the rows the
+// plan root produced, folded in exactly once when the stream completes
+// (exhaustion, sticky error, or Abandon).
+void QueryCursor::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  stats_.rows_output += rows_emitted_;
+}
+
+void QueryCursor::Abandon() {
+  done_ = true;
+  buffered_.clear();
+  buffered_pos_ = 0;
+  Finalize();
+}
+
+Result<ResultSet> QueryCursor::Drain() {
+  ResultSet result;
+  result.schema = schema_;
+  while (true) {
+    SIEVE_ASSIGN_OR_RETURN(bool more, Next(&result.rows, kDrainBatchRows));
+    if (!more) break;
+  }
+  result.stats = stats_;
+  result.elapsed_ms = timer_.ElapsedMillis();
+  return result;
+}
+
+double QueryCursor::elapsed_ms() const { return timer_.ElapsedMillis(); }
 
 Status Executor::Materialize(Operator* root, ExecContext* ctx, Schema* schema,
                              std::vector<Row>* rows) {

@@ -2,6 +2,7 @@
 #define SIEVE_PLAN_EXECUTOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,79 @@ struct ResultSet {
 /// partials).
 Status RunWorkers(ExecContext* ctx, size_t n,
                   const std::function<Status(size_t, ExecContext*)>& body);
+
+/// Incremental (pull-based) execution of one planned query: rows are
+/// emitted in chunks through Next instead of materializing the whole
+/// result up front. This is what backs the session API's ResultCursor.
+///
+/// Serial execution streams: each Next call pulls at most `max_rows` rows
+/// from the operator tree, so the peak footprint is one batch (plus
+/// whatever blocking operators buffer internally). Partition-parallel
+/// execution reuses the partition machinery wholesale: when the pipeline
+/// supports Operator::CreatePartitions, Open drains all partitions on the
+/// pool (exactly like Executor::Materialize) and Next serves slices of the
+/// buffer — rows, row order and ExecStats totals stay identical to a
+/// serial drain either way.
+///
+/// The timeout clock starts at Open and keeps running between Next calls;
+/// a cursor held open counts against the query's budget. Stats() totals
+/// (including rows_output) are final once the cursor is exhausted.
+/// Single-threaded use only; not movable (the ExecContext points into the
+/// cursor's own counters).
+class QueryCursor {
+ public:
+  /// Takes ownership of the plan root; `base` supplies catalog/hooks/
+  /// metadata/timeout/parallelism (its `stats` pointer is ignored — the
+  /// cursor accumulates into its own counters). Opens the plan: blocking
+  /// work (CTE materialization, hash builds, parallel partition drains)
+  /// happens here.
+  static Result<std::unique_ptr<QueryCursor>> Open(OperatorPtr root,
+                                                   const ExecContext& base);
+
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends up to `max_rows` rows to *batch (which is not cleared).
+  /// Returns true when rows were appended, false when the cursor is
+  /// exhausted. Execution errors (timeout, failure) are sticky;
+  /// `max_rows` must be > 0 (rejected non-stickily otherwise, since a
+  /// zero batch would be indistinguishable from exhaustion).
+  Result<bool> Next(std::vector<Row>* batch, size_t max_rows);
+
+  /// Pulls everything remaining into a ResultSet whose stats/elapsed match
+  /// a one-shot Executor::Run of the same plan.
+  Result<ResultSet> Drain();
+
+  /// Abandons the rest of the stream: the cursor reports exhaustion from
+  /// now on and stats() totals freeze at what was actually emitted.
+  void Abandon();
+
+  bool exhausted() const { return done_; }
+  /// Counter totals so far; final (and equal to the one-shot run's stats)
+  /// once exhausted() is true.
+  const ExecStats& stats() const { return stats_; }
+  double elapsed_ms() const;
+
+ private:
+  QueryCursor() = default;
+
+  OperatorPtr root_;
+  ExecContext ctx_;
+  ExecStats stats_;
+  Schema schema_;
+  Timer timer_;
+  std::vector<Row> buffered_;  // partition-parallel path
+  size_t buffered_pos_ = 0;
+  bool partitioned_ = false;
+  bool done_ = false;
+  bool finalized_ = false;  // rows_output folded into stats_ exactly once
+  uint64_t rows_emitted_ = 0;
+  Status error_ = Status::OK();  // sticky first failure
+
+  void Finalize();
+};
 
 /// Pulls a plan to completion under the ExecContext's timeout.
 class Executor {

@@ -101,6 +101,7 @@ Result<int64_t> PolicyStore::AddPolicy(Policy policy) {
   by_id_[policy.id] = policies_.size();
   int64_t id = policy.id;
   policies_.push_back(std::move(policy));
+  BumpVersion();
   return id;
 }
 
@@ -135,6 +136,7 @@ Status PolicyStore::RemovePolicy(int64_t id) {
       SIEVE_RETURN_IF_ERROR(db_->Delete(kConditionTable, rid));
     }
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -216,6 +218,7 @@ Status PolicyStore::LoadFromTables() {
   std::sort(policies_.begin(), policies_.end(),
             [](const Policy& a, const Policy& b) { return a.id < b.id; });
   for (size_t i = 0; i < policies_.size(); ++i) by_id_[policies_[i].id] = i;
+  BumpVersion();
   return Status::OK();
 }
 

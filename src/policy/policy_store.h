@@ -1,6 +1,8 @@
 #ifndef SIEVE_POLICY_POLICY_STORE_H_
 #define SIEVE_POLICY_POLICY_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
@@ -60,7 +62,13 @@ class PolicyStore {
   /// Distinct (querier, purpose) pairs appearing on `table`.
   std::vector<QueryMetadata> DistinctQueriers(const std::string& table) const;
 
+  /// Monotonic mutation counter, bumped by every corpus change (add,
+  /// remove, reload). Together with GuardStore::version it forms the
+  /// middleware's policy epoch that validates cached rewrites.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
   Status PersistPolicy(const Policy& policy);
 
   Database* db_;
@@ -69,6 +77,7 @@ class PolicyStore {
   int64_t next_id_ = 1;
   int64_t next_oc_id_ = 1;
   int64_t logical_clock_ = 1;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace sieve

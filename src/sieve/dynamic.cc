@@ -6,8 +6,9 @@ namespace sieve {
 
 double DynamicPolicyManager::QueriesPerInsert() const {
   if (inserts_seen_ <= 0) return 1.0;
-  double r = static_cast<double>(queries_seen_) /
-             static_cast<double>(inserts_seen_);
+  double r =
+      static_cast<double>(queries_seen_.load(std::memory_order_relaxed)) /
+      static_cast<double>(inserts_seen_);
   return r > 0 ? r : 1.0;
 }
 

@@ -1,6 +1,8 @@
 #ifndef SIEVE_SIEVE_DYNAMIC_H_
 #define SIEVE_SIEVE_DYNAMIC_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -41,7 +43,8 @@ class DynamicPolicyManager {
 
   /// r_pq: observed queries per policy insertion, used by Eq. 19. Defaults
   /// to 1 until told otherwise (call ObserveQuery per executed query).
-  void ObserveQuery() { ++queries_seen_; }
+  /// Atomic: concurrent sessions count their executions in parallel.
+  void ObserveQuery() { queries_seen_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Inserts the policy, bumps the affected key's counter and applies the
   /// regeneration mode. Returns the policy id.
@@ -76,7 +79,7 @@ class DynamicPolicyManager {
   RegenerationMode mode_ = RegenerationMode::kLazy;
   std::map<Key, int64_t> pending_;
   int64_t inserts_seen_ = 0;
-  int64_t queries_seen_ = 0;
+  std::atomic<int64_t> queries_seen_{0};
 };
 
 }  // namespace sieve

@@ -99,6 +99,7 @@ Result<int64_t> GuardStore::Put(GuardedExpression ge) {
   SIEVE_RETURN_IF_ERROR(Persist(ge));
   int64_t id = ge.id;
   memory_[key] = Entry{std::move(ge), /*outdated=*/false};
+  BumpVersion();
   return id;
 }
 
@@ -122,6 +123,9 @@ void GuardStore::MarkOutdated(const std::string& querier,
                               const std::string& table) {
   auto it = memory_.find(Key{querier, purpose, table});
   if (it != memory_.end()) it->second.outdated = true;
+  // Bump even when the key has no guards yet: the policy insert that
+  // triggered this call changes what a cached rewrite would produce.
+  BumpVersion();
 }
 
 const Guard* GuardStore::FindGuard(int64_t guard_id) const {

@@ -1,6 +1,8 @@
 #ifndef SIEVE_SIEVE_GUARD_STORE_H_
 #define SIEVE_SIEVE_GUARD_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,7 +74,13 @@ class GuardStore {
 
   size_t size() const { return memory_.size(); }
 
+  /// Monotonic mutation counter, bumped when guarded expressions change
+  /// (Put) or are invalidated (MarkOutdated). Together with
+  /// PolicyStore::version it forms the middleware's policy epoch.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
   struct Key {
     std::string querier, purpose, table;
     bool operator<(const Key& other) const;
@@ -94,6 +102,7 @@ class GuardStore {
   int64_t next_guard_id_ = 1;
   int64_t next_gg_row_id_ = 1;
   int64_t logical_clock_ = 1;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace sieve

@@ -1,8 +1,11 @@
 #include "sieve/middleware.h"
 
+#include <mutex>
+
 #include "common/string_util.h"
 #include "parser/parser.h"
 #include "sieve/delta.h"
+#include "sieve/session.h"
 
 namespace sieve {
 
@@ -21,24 +24,52 @@ Status SieveMiddleware::Init() {
 }
 
 Result<int64_t> SieveMiddleware::AddPolicy(Policy policy) {
+  // Exclusive: waits for in-flight executions/cursors, then mutates the
+  // stores. The store version bumps inside InsertPolicy advance the policy
+  // epoch, which invalidates every cached rewrite wholesale.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return dynamics_.InsertPolicy(std::move(policy));
+}
+
+Status SieveMiddleware::set_options(const SieveOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_threads must be >= 1, got %d", options.num_threads));
+  }
+  if (options.timeout_seconds < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("timeout_seconds must be >= 0, got %g",
+                  options.timeout_seconds));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  options_ = options;
+  dynamics_.set_mode(options.regeneration_mode);
+  return Status::OK();
 }
 
 Result<RewriteResult> SieveMiddleware::Rewrite(const std::string& sql,
                                                const QueryMetadata& md) {
+  // Exclusive: rewriting may regenerate outdated guards (a GuardStore
+  // mutation), which must not run concurrently with executions reading
+  // guard state through the Δ UDF.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return rewriter_.RewriteSql(sql, md);
 }
 
 Result<ResultSet> SieveMiddleware::Execute(const std::string& sql,
                                            const QueryMetadata& md) {
-  dynamics_.ObserveQuery();
-  SIEVE_ASSIGN_OR_RETURN(RewriteResult rewrite, rewriter_.RewriteSql(sql, md));
-  return db_->ExecuteStmt(*rewrite.stmt, &md, options_.timeout_seconds,
-                          options_.num_threads);
+  SieveSession session(this, md);
+  return session.Execute(sql);
 }
 
 Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
                                                     const QueryMetadata& md) {
+  // Shared: the reference rewrite only reads the policy corpus, and the
+  // execution must not interleave with policy mutations (same consistency
+  // contract as the Sieve path, so differential tests compare like with
+  // like). Intentionally skips dynamics_.ObserveQuery(): the oracle must
+  // not perturb the r_pq bookkeeping of the workload under test.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
   SelectStmtPtr rewritten = stmt->Clone();
 

@@ -1,7 +1,9 @@
 #ifndef SIEVE_SIEVE_MIDDLEWARE_H_
 #define SIEVE_SIEVE_MIDDLEWARE_H_
 
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "engine/database.h"
@@ -9,24 +11,30 @@
 #include "sieve/cost_model.h"
 #include "sieve/dynamic.h"
 #include "sieve/guard_store.h"
+#include "sieve/rewrite_cache.h"
 #include "sieve/rewriter.h"
 
 namespace sieve {
 
-/// Tuning knobs of the middleware.
+class SieveSession;
+class PreparedQuery;
+class ResultCursor;
+
+/// Tuning knobs of the middleware. Snapshotted at construction; updated
+/// atomically afterwards through SieveMiddleware::set_options.
 struct SieveOptions {
   /// Query timeout in seconds (the paper's experiments use 30 s; 0 = none).
   double timeout_seconds = 30.0;
   /// Run cost-model calibration micro-benchmarks at Init (otherwise the
-  /// compiled-in defaults are used).
+  /// compiled-in defaults are used). Only honored at Init.
   bool calibrate_cost_model = false;
   /// Regeneration mode for dynamic policy insertions.
   RegenerationMode regeneration_mode = RegenerationMode::kLazy;
   /// Partition-parallel execution: guarded scans *and* the interiors of
   /// UNION / hash join / hash aggregate run on this many worker threads.
-  /// 1 (the default) preserves today's serial behavior; parallel runs
-  /// return the same rows in the same order with the same ExecStats
-  /// totals, just faster on multi-core hardware.
+  /// 1 (the default) preserves serial behavior; parallel runs return the
+  /// same rows in the same order with the same ExecStats totals, just
+  /// faster on multi-core hardware.
   int num_threads = 1;
 };
 
@@ -35,11 +43,31 @@ struct SieveOptions {
 /// operator, and submits them to the underlying engine. One instance per
 /// Database.
 ///
-/// Threading: one query at a time per instance — rewrite and policy
-/// mutation are not internally synchronized. Within one Execute call the
-/// engine parallelizes per SieveOptions::num_threads; everything the
-/// workers share (guard partitions, the CTE cache, indexes) is immutable
-/// or lock-protected during execution.
+/// ## Sessions, epochs and the rewrite cache
+///
+/// The middleware is session-oriented: each querier/connection opens a
+/// cheap SieveSession (see sieve/session.h) and prepares its queries once
+/// — `Prepare` parses and rewrites, `Execute` binds parameters and runs
+/// the cached rewrite, amortizing guard selection across the query
+/// stream. Rewrites live in a shared RewriteCache keyed by (querier,
+/// purpose, engine profile, normalized SQL) and validated by the **policy
+/// epoch**: every PolicyStore/GuardStore mutation bumps a store version,
+/// policy_epoch() is their sum, and a cached rewrite is only served while
+/// its epoch is current — AddPolicy therefore invalidates every cached
+/// rewrite wholesale, so hot queries skip guard selection entirely while
+/// staying correct under policy churn.
+///
+/// ## Threading
+///
+/// Many sessions may prepare and execute concurrently. Internally a
+/// reader-writer lock partitions the work: executions (and open cursors)
+/// hold it shared; store mutations (AddPolicy, set_options) and
+/// cache-miss rewrites (which may regenerate guards) hold it exclusively.
+/// Consequently AddPolicy blocks until in-flight executions and open
+/// cursors finish, and vice versa — a query observes either the pre- or
+/// the post-insert policy corpus, never a torn mix. Each individual
+/// session (and its PreparedQuery/ResultCursor objects) is single-
+/// threaded; concurrency is across sessions.
 class SieveMiddleware {
  public:
   SieveMiddleware(Database* db, const GroupResolver* resolver,
@@ -57,21 +85,45 @@ class SieveMiddleware {
   Status Init();
 
   /// Adds a policy through the dynamic manager (marks guards outdated /
-  /// regenerates per the configured mode).
+  /// regenerates per the configured mode). Bumps the policy epoch, which
+  /// invalidates the rewrite cache; blocks while queries are executing.
   Result<int64_t> AddPolicy(Policy policy);
 
-  /// Rewrites without executing (inspection, tests, benches).
+  /// Rewrites without executing (inspection, tests, benches). Bypasses
+  /// the rewrite cache; may regenerate outdated guards.
   Result<RewriteResult> Rewrite(const std::string& sql,
                                 const QueryMetadata& md);
 
-  /// Full middleware path: rewrite + execute under the timeout.
+  /// One-shot compatibility path: equivalent to opening a temporary
+  /// SieveSession, preparing `sql` (through the shared rewrite cache) and
+  /// executing it without parameters. Prefer SieveSession for repeated
+  /// queries.
   Result<ResultSet> Execute(const std::string& sql, const QueryMetadata& md);
 
   /// Reference enforcement: appends the plain DNF of the querier's policies
   /// (no guards, no Δ, no hints) — the textbook query-rewrite semantics used
-  /// as the correctness oracle in tests.
+  /// as the correctness oracle in tests. Runs under the same
+  /// timeout/num_threads options as Execute so differential comparisons
+  /// measure the rewrite, not the configuration.
   Result<ResultSet> ExecuteReference(const std::string& sql,
                                      const QueryMetadata& md);
+
+  /// Atomically replaces the tuning options for subsequent executions.
+  /// Rejects invalid settings (num_threads < 1, negative timeout).
+  /// `calibrate_cost_model` changes are ignored after Init.
+  Status set_options(const SieveOptions& options);
+
+  /// Current policy epoch: the sum of the policy- and guard-store version
+  /// counters. Cached rewrites carry the epoch they were produced under
+  /// and are discarded when it no longer matches.
+  uint64_t policy_epoch() const {
+    return policies_.version() + guards_.version();
+  }
+
+  /// Hit/miss/invalidation counters of the shared rewrite cache.
+  RewriteCacheStats rewrite_cache_stats() const {
+    return rewrite_cache_.stats();
+  }
 
   Database& db() { return *db_; }
   PolicyStore& policies() { return policies_; }
@@ -79,12 +131,14 @@ class SieveMiddleware {
   CostModel& cost_model() { return cost_; }
   QueryRewriter& rewriter() { return rewriter_; }
   DynamicPolicyManager& dynamics() { return dynamics_; }
+  /// Options snapshot. Do not call concurrently with set_options.
   const SieveOptions& options() const { return options_; }
-  /// Adjusts the parallelism degree for subsequent Execute calls (used by
-  /// thread-sweep benches and the serial-vs-parallel equivalence tests).
-  void set_num_threads(int num_threads) { options_.num_threads = num_threads; }
 
  private:
+  friend class SieveSession;
+  friend class PreparedQuery;
+  friend class ResultCursor;
+
   Database* db_;
   const GroupResolver* resolver_;
   SieveOptions options_;
@@ -93,6 +147,10 @@ class SieveMiddleware {
   GuardStore guards_;
   QueryRewriter rewriter_;
   DynamicPolicyManager dynamics_;
+  RewriteCache rewrite_cache_;
+  /// Readers: executions and open cursors. Writers: policy/guard/options
+  /// mutations and cache-miss rewrites. See the class comment.
+  mutable std::shared_mutex state_mu_;
 };
 
 }  // namespace sieve

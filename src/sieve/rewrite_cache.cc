@@ -1,0 +1,129 @@
+#include "sieve/rewrite_cache.h"
+
+#include <cctype>
+
+namespace sieve {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  const size_t n = sql.size();
+  bool pending_space = false;
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '\'' || c == '"') {
+      // Copy quoted strings verbatim, honoring doubled-quote escapes; the
+      // lexer rejects unterminated literals later, so a lone quote just
+      // passes through untouched.
+      char quote = c;
+      out += sql[i++];
+      while (i < n) {
+        out += sql[i];
+        if (sql[i] == quote) {
+          if (i + 1 < n && sql[i + 1] == quote) {
+            out += sql[i + 1];
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+std::string RewriteCache::MakeKey(const std::string& querier,
+                                  const std::string& purpose,
+                                  const std::string& profile,
+                                  const std::string& normalized_sql) {
+  // '\x1f' (unit separator) cannot appear in identifiers or survive
+  // normalization, so the concatenation is unambiguous.
+  std::string key;
+  key.reserve(querier.size() + purpose.size() + profile.size() +
+              normalized_sql.size() + 3);
+  key += querier;
+  key += '\x1f';
+  key += purpose;
+  key += '\x1f';
+  key += profile;
+  key += '\x1f';
+  key += normalized_sql;
+  return key;
+}
+
+std::shared_ptr<const PreparedRewrite> RewriteCache::Lookup(
+    const std::string& key, uint64_t epoch, bool authoritative) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    if (authoritative) {
+      if (!entries_.empty()) {
+        entries_.clear();
+        ++stats_.invalidations;
+      }
+      epoch_ = epoch;
+      ++stats_.misses;
+    }
+    return nullptr;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (authoritative) ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RewriteCache::Insert(const std::string& key,
+                          std::shared_ptr<const PreparedRewrite> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry->epoch != epoch_) {
+    if (!entries_.empty()) {
+      entries_.clear();
+      ++stats_.invalidations;
+    }
+    epoch_ = entry->epoch;
+  }
+  if (entries_.size() >= kMaxEntries && entries_.find(key) == entries_.end()) {
+    entries_.erase(entries_.begin());
+  }
+  entries_[key] = std::move(entry);
+}
+
+RewriteCacheStats RewriteCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RewriteCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void RewriteCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace sieve

@@ -1,0 +1,112 @@
+#ifndef SIEVE_SIEVE_REWRITE_CACHE_H_
+#define SIEVE_SIEVE_REWRITE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "parser/ast.h"
+#include "sieve/rewriter.h"
+
+namespace sieve {
+
+/// Whitespace-normalizes SQL for cache keying: runs of whitespace outside
+/// quoted strings collapse to one space, leading/trailing whitespace is
+/// trimmed, `--` line comments are dropped. Case is deliberately preserved
+/// — folding it would conflate queries that differ only in string-literal
+/// case; a differently-cased keyword merely misses the cache.
+std::string NormalizeSql(const std::string& sql);
+
+/// One cached, immutable rewrite: everything a session needs to execute a
+/// prepared query without touching the rewriter again. `stmt` is a shared
+/// template (it may contain ParameterExpr placeholders) — executions must
+/// Clone() it and bind the clone; nothing may mutate it in place.
+struct PreparedRewrite {
+  std::string normalized_sql;            ///< cache-key form of the input
+  SelectStmtPtr stmt;                    ///< rewritten statement template
+  std::string rewritten_sql;             ///< rendered SQL of `stmt`
+  std::vector<TableRewriteInfo> tables;  ///< per-table rewrite diagnostics
+  bool default_denied = false;
+  /// Parameter signature of the *original* query, in slot order: the
+  /// lower-cased name for `:name` slots, "" for positional `?`.
+  std::vector<std::string> params;
+  /// Policy epoch the rewrite was produced under; stale when it no longer
+  /// matches SieveMiddleware::policy_epoch().
+  uint64_t epoch = 0;
+};
+
+/// Cumulative counters of one RewriteCache (snapshot semantics).
+struct RewriteCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  ///< wholesale clears on epoch change
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Shared, lock-protected cache of prepared rewrites keyed by
+/// (querier, purpose, engine profile, normalized SQL), validated by the
+/// policy epoch. The cache holds entries of exactly one epoch at a time:
+/// the first lookup or insert under a newer epoch drops every entry
+/// wholesale (the paper's guarded expressions are per-querier, but a
+/// policy insert can change group resolution and default-deny outcomes
+/// for any querier, so fine-grained invalidation is not worth the risk).
+///
+/// Threading: all methods are safe to call concurrently; returned entries
+/// are immutable shared_ptrs that stay valid after invalidation.
+class RewriteCache {
+ public:
+  static std::string MakeKey(const std::string& querier,
+                             const std::string& purpose,
+                             const std::string& profile,
+                             const std::string& normalized_sql);
+
+  /// Returns the entry for `key` if present and produced under `epoch`.
+  /// When `authoritative` (the default — callers hold the middleware's
+  /// state lock, so `epoch` is exact), a mismatched epoch advances the
+  /// cache and clears stale entries, and a miss is counted. The
+  /// non-authoritative form is for the optimistic pre-lock probe: its
+  /// `epoch` may be a torn read, so it never mutates the cache (a stale
+  /// probe must not wipe entries that are in fact current) and its miss
+  /// is silent — the authoritative retry right after counts it.
+  std::shared_ptr<const PreparedRewrite> Lookup(const std::string& key,
+                                                uint64_t epoch,
+                                                bool authoritative = true);
+
+  /// Inserts `entry` under its own epoch, clearing the cache first when
+  /// the epoch advanced (e.g. the rewrite itself regenerated guards).
+  /// The cache is bounded at kMaxEntries: inserting a new key at
+  /// capacity evicts an arbitrary entry (bounding memory matters more
+  /// than eviction quality here — entries are cheap to rebuild and hot
+  /// keys are re-inserted on their next prepare).
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedRewrite> entry);
+
+  /// Upper bound on cached rewrites. A one-shot Execute path with
+  /// inlined literals creates one entry per distinct SQL text; without a
+  /// bound a long-lived server under a stable policy corpus would grow
+  /// without limit.
+  static constexpr size_t kMaxEntries = 1024;
+
+  RewriteCacheStats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedRewrite>>
+      entries_;
+  RewriteCacheStats stats_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_REWRITE_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "common/string_util.h"
 #include "parser/parser.h"
@@ -160,6 +161,137 @@ ExprPtr StripBinding(const ExprPtr& e) {
   return clone;
 }
 
+// Strategy selection for parameterized queries (prepared statements): a
+// `?` has no value at rewrite time, so EXPLAIN cannot cost an index probe
+// on it. Real engines plan generic prepared statements with value-free
+// estimates; we use the index histogram's average per-key selectivity
+// (1 / distinct keys) for equality and IN parameters and the textbook
+// quarter default for ranges. The strategy selector can then still prefer
+// kIndexQuery for a selective-looking parameter predicate — the
+// execute-time planner builds the actual index range from the bound
+// literal.
+struct ParamSargEstimate {
+  std::string column;
+  double selectivity = 1.0;
+};
+
+double AverageEqSelectivity(const Index& index) {
+  size_t distinct = index.histogram().distinct_count();
+  if (distinct == 0) return 0.1;  // no statistics: Selinger default
+  return 1.0 / static_cast<double>(distinct);
+}
+
+bool ExprHasParameter(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kParameter:
+      return true;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      return ExprHasParameter(*c.left()) || ExprHasParameter(*c.right());
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(e);
+      return ExprHasParameter(*b.input()) || ExprHasParameter(*b.lo()) ||
+             ExprHasParameter(*b.hi());
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      if (ExprHasParameter(*in.input())) return true;
+      for (const auto& item : in.items()) {
+        if (ExprHasParameter(*item)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+// Index on the column `ref` names, when it belongs to `table` (respecting
+// the query's alias for it); outputs the bare column name.
+const Index* IndexedColumnOfTable(const ColumnRefExpr& ref,
+                                  const TableEntry& entry,
+                                  const std::string& qualifier,
+                                  std::string* column) {
+  if (!ref.qualifier().empty() &&
+      !EqualsIgnoreCase(ref.qualifier(), qualifier) &&
+      !EqualsIgnoreCase(ref.qualifier(), entry.table->name())) {
+    return nullptr;
+  }
+  if (entry.table->schema().FindColumn(ref.name()) < 0) return nullptr;
+  const Index* index = entry.indexes.Find(ref.name());
+  if (index == nullptr) return nullptr;
+  *column = ref.name();
+  return index;
+}
+
+std::optional<ParamSargEstimate> BestParameterSarg(
+    const SelectStmt& query, const TableEntry& entry,
+    const std::string& qualifier) {
+  if (query.where == nullptr) return std::nullopt;
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(query.where, &conjuncts);
+  std::optional<ParamSargEstimate> best;
+  auto consider = [&best](std::string column, double selectivity) {
+    if (!best.has_value() || selectivity < best->selectivity) {
+      best = ParamSargEstimate{std::move(column), selectivity};
+    }
+  };
+  for (const auto& conjunct : conjuncts) {
+    if (!ExprHasParameter(*conjunct)) continue;
+    std::string column;
+    switch (conjunct->kind()) {
+      case ExprKind::kComparison: {
+        const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+        const Expr* col_side = cmp.left().get();
+        const Expr* val_side = cmp.right().get();
+        if (col_side->kind() != ExprKind::kColumnRef) {
+          std::swap(col_side, val_side);
+        }
+        if (col_side->kind() != ExprKind::kColumnRef ||
+            val_side->kind() != ExprKind::kParameter ||
+            cmp.op() == CompareOp::kNe) {
+          break;
+        }
+        if (const Index* index = IndexedColumnOfTable(
+                static_cast<const ColumnRefExpr&>(*col_side), entry,
+                qualifier, &column)) {
+          consider(std::move(column), cmp.op() == CompareOp::kEq
+                                          ? AverageEqSelectivity(*index)
+                                          : 0.25);
+        }
+        break;
+      }
+      case ExprKind::kBetween: {
+        const auto& between = static_cast<const BetweenExpr&>(*conjunct);
+        if (between.input()->kind() != ExprKind::kColumnRef) break;
+        if (IndexedColumnOfTable(
+                static_cast<const ColumnRefExpr&>(*between.input()), entry,
+                qualifier, &column) != nullptr) {
+          consider(std::move(column), 0.25);
+        }
+        break;
+      }
+      case ExprKind::kInList: {
+        const auto& in = static_cast<const InListExpr&>(*conjunct);
+        if (in.negated() || in.input()->kind() != ExprKind::kColumnRef) break;
+        if (const Index* index = IndexedColumnOfTable(
+                static_cast<const ColumnRefExpr&>(*in.input()), entry,
+                qualifier, &column)) {
+          double per_key = AverageEqSelectivity(*index);
+          consider(std::move(column),
+                   std::min(1.0, per_key *
+                                     static_cast<double>(in.items().size())));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return best;
+}
+
 // Replaces references to `table` with the CTE `cte_name` in every UNION arm.
 void ReplaceTableRefs(SelectStmt* stmt, const std::string& table,
                       const std::string& cte_name) {
@@ -307,6 +439,23 @@ Result<RewriteResult> QueryRewriter::Rewrite(const SelectStmt& query,
             query_index_column = path.index_column;
           }
           break;
+        }
+      }
+      if (info.cost_index_query ==
+          std::numeric_limits<double>::infinity()) {
+        // EXPLAIN found no index probe — but a parameterized predicate on
+        // an indexed column still supports kIndexQuery at execute time;
+        // cost it with default selectivities (see BestParameterSarg).
+        std::string qualifier = table;
+        for (const auto& ref : query.from) {
+          if (EqualsIgnoreCase(ref.table_name, table)) {
+            qualifier = ref.EffectiveName();
+            break;
+          }
+        }
+        if (auto param_sarg = BestParameterSarg(query, *entry, qualifier)) {
+          info.cost_index_query = param_sarg->selectivity * n * cr_random;
+          query_index_column = param_sarg->column;
         }
       }
     }

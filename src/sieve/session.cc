@@ -1,0 +1,187 @@
+#include "sieve/session.h"
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+
+namespace sieve {
+
+namespace {
+
+/// Writer-vs-reader livelock guard: an Execute retries when a policy
+/// writer slipped in between its re-prepare and its epoch re-check. Each
+/// retry re-prepares authoritatively, so this bound is only reachable
+/// under a pathological back-to-back AddPolicy storm.
+constexpr int kMaxEpochRetries = 100;
+
+// Clones the rewrite template and substitutes the positional parameters.
+// The clone is what executes — the shared template is never mutated, so
+// concurrent sessions can execute the same cached rewrite.
+Result<SelectStmtPtr> BindTemplate(const PreparedRewrite& rewrite,
+                                   const std::vector<Value>& params) {
+  if (params.size() != rewrite.params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("query expects %zu parameter(s), got %zu",
+                  rewrite.params.size(), params.size()));
+  }
+  SelectStmtPtr bound = rewrite.stmt->Clone();
+  SIEVE_RETURN_IF_ERROR(BindParameters(bound.get(), params));
+  return bound;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
+    SieveMiddleware* mw, const QueryMetadata& md,
+    const std::string& normalized_sql, bool optimistic) {
+  const std::string key = RewriteCache::MakeKey(
+      md.querier, md.purpose, mw->db_->profile().name(), normalized_sql);
+
+  if (optimistic) {
+    // Lock-free fast path. A concurrent AddPolicy can make this epoch read
+    // tear, so the probe is non-authoritative: it never mutates the cache
+    // (a torn epoch must not wipe entries that are in fact current) and a
+    // hit is only a hint — Execute re-validates the entry's epoch under
+    // the shared state lock before running it. Its miss is not recorded;
+    // the authoritative retry below counts it.
+    if (auto hit = mw->rewrite_cache_.Lookup(key, mw->policy_epoch(),
+                                             /*authoritative=*/false)) {
+      return hit;
+    }
+  }
+
+  // Authoritative path: the writer lock both stabilizes the epoch and
+  // allows EnsureGuards to regenerate outdated guards (a GuardStore
+  // mutation) while no query is executing.
+  std::unique_lock<std::shared_mutex> lock(mw->state_mu_);
+  if (auto hit = mw->rewrite_cache_.Lookup(key, mw->policy_epoch())) {
+    return hit;
+  }
+
+  SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(normalized_sql));
+  auto entry = std::make_shared<PreparedRewrite>();
+  SIEVE_ASSIGN_OR_RETURN(entry->params, CollectParameterSlots(*stmt));
+  SIEVE_ASSIGN_OR_RETURN(RewriteResult rewrite,
+                         mw->rewriter_.Rewrite(*stmt, md));
+  entry->normalized_sql = normalized_sql;
+  entry->stmt = std::move(rewrite.stmt);
+  entry->rewritten_sql = std::move(rewrite.sql);
+  entry->tables = std::move(rewrite.tables);
+  entry->default_denied = rewrite.default_denied;
+  // Epoch is read *after* the rewrite: regenerating guards bumped the
+  // guard-store version, and the entry must carry the epoch it is valid
+  // under. Stable here — mutations need this same lock.
+  entry->epoch = mw->policy_epoch();
+  mw->rewrite_cache_.Insert(key, entry);
+  return std::shared_ptr<const PreparedRewrite>(std::move(entry));
+}
+
+Result<PreparedQuery> SieveSession::Prepare(const std::string& sql) {
+  SIEVE_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedRewrite> rewrite,
+      PrepareRewrite(mw_, md_, NormalizeSql(sql), /*optimistic=*/true));
+  return PreparedQuery(mw_, md_, std::move(rewrite));
+}
+
+Result<ResultSet> SieveSession::Execute(const std::string& sql,
+                                        const std::vector<Value>& params) {
+  SIEVE_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return prepared.Execute(params);
+}
+
+Status PreparedQuery::Refresh() {
+  SIEVE_ASSIGN_OR_RETURN(
+      rewrite_, SieveSession::PrepareRewrite(mw_, md_, rewrite_->normalized_sql,
+                                             /*optimistic=*/false));
+  return Status::OK();
+}
+
+Result<std::vector<Value>> PreparedQuery::ResolveNamed(
+    const std::vector<std::pair<std::string, Value>>& named) const {
+  const std::vector<std::string>& slots = rewrite_->params;
+  std::vector<Value> positional(slots.size(), Value::Null());
+  std::vector<bool> bound(slots.size(), false);
+  for (const auto& [name, value] : named) {
+    std::string key = ToLower(name);
+    bool found = false;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] != key) continue;
+      if (bound[i]) {
+        return Status::InvalidArgument("parameter :" + key + " bound twice");
+      }
+      positional[i] = value;
+      bound[i] = true;
+      found = true;
+    }
+    if (!found) {
+      return Status::InvalidArgument("query has no parameter named :" + key);
+    }
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (bound[i]) continue;
+    if (slots[i].empty()) {
+      return Status::InvalidArgument(
+          "positional parameter ? (slot " + std::to_string(i) +
+          ") cannot be bound by name; use Execute");
+    }
+    return Status::InvalidArgument("no binding for parameter :" + slots[i]);
+  }
+  return positional;
+}
+
+Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
+  for (int attempt = 0; attempt < kMaxEpochRetries; ++attempt) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
+      if (rewrite_->epoch == mw_->policy_epoch()) {
+        SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr bound,
+                               BindTemplate(*rewrite_, params));
+        mw_->dynamics_.ObserveQuery();
+        const SieveOptions& opts = mw_->options_;
+        return mw_->db_->ExecuteStmt(*bound, &md_, opts.timeout_seconds,
+                                     opts.num_threads);
+      }
+    }
+    // A policy mutation outdated the snapshot; re-prepare and try again.
+    SIEVE_RETURN_IF_ERROR(Refresh());
+  }
+  return Status::Internal(
+      "prepared query could not observe a stable policy epoch");
+}
+
+Result<ResultSet> PreparedQuery::ExecuteNamed(
+    const std::vector<std::pair<std::string, Value>>& named) {
+  SIEVE_ASSIGN_OR_RETURN(std::vector<Value> positional, ResolveNamed(named));
+  return Execute(positional);
+}
+
+Result<ResultCursor> PreparedQuery::OpenCursor(
+    const std::vector<Value>& params) {
+  for (int attempt = 0; attempt < kMaxEpochRetries; ++attempt) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
+      if (rewrite_->epoch == mw_->policy_epoch()) {
+        SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr bound,
+                               BindTemplate(*rewrite_, params));
+        mw_->dynamics_.ObserveQuery();
+        const SieveOptions& opts = mw_->options_;
+        // The cursor owns its metadata copy: the engine context keeps a
+        // pointer to it across Next calls, and the cursor may outlive
+        // this PreparedQuery.
+        auto md = std::make_unique<QueryMetadata>(md_);
+        SIEVE_ASSIGN_OR_RETURN(
+            std::unique_ptr<QueryCursor> cursor,
+            mw_->db_->OpenCursor(*bound, md.get(), opts.timeout_seconds,
+                                 opts.num_threads));
+        // The shared lock transfers into the cursor: the policy epoch
+        // stays pinned until the cursor is drained or destroyed.
+        return ResultCursor(std::move(lock), std::move(md), std::move(bound),
+                            std::move(cursor));
+      }
+    }
+    SIEVE_RETURN_IF_ERROR(Refresh());
+  }
+  return Status::Internal(
+      "prepared query could not observe a stable policy epoch");
+}
+
+}  // namespace sieve

@@ -1,0 +1,202 @@
+#ifndef SIEVE_SIEVE_SESSION_H_
+#define SIEVE_SIEVE_SESSION_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sieve/middleware.h"
+#include "sieve/rewrite_cache.h"
+
+namespace sieve {
+
+/// Streaming result of one prepared-query execution: rows are pulled in
+/// chunks through Next instead of materializing a full ResultSet, reusing
+/// the engine's partition machinery (serial executions stream; parallel
+/// ones buffer once and serve slices — rows and order are identical).
+///
+/// An open cursor pins the policy epoch it was opened under: it holds the
+/// middleware's state lock shared, so AddPolicy/set_options block until
+/// the cursor finishes. The pin is released as soon as the stream ends —
+/// exhaustion, a sticky execution error, Close(), or destruction,
+/// whichever comes first — so a finished cursor may outlive its scope
+/// without blocking writers.
+///
+/// IMPORTANT — while a cursor is live (opened, not yet finished), the
+/// owning thread must not call back into the middleware: no Prepare of
+/// new SQL (a cache miss takes the state lock exclusively → self-
+/// deadlock), no AddPolicy/set_options, and no concurrent Execute or
+/// second cursor (recursive shared acquisition of the state lock is
+/// undefined). Drain the cursor or Close() it first; interleaving work
+/// belongs in a different thread's session. Single-threaded like the
+/// session that produced it; movable.
+class ResultCursor {
+ public:
+  static constexpr size_t kDefaultBatchRows = 1024;
+
+  ResultCursor(ResultCursor&&) = default;
+  ResultCursor& operator=(ResultCursor&&) = default;
+
+  const Schema& schema() const { return cursor_->schema(); }
+
+  /// Appends up to `max_rows` (> 0) rows to *batch (not cleared).
+  /// Returns true when rows were appended, false once exhausted.
+  /// Execution errors are sticky.
+  Result<bool> Next(std::vector<Row>* batch,
+                    size_t max_rows = kDefaultBatchRows) {
+    auto more = cursor_->Next(batch, max_rows);
+    if (cursor_->exhausted()) ReleaseEpochPin();
+    return more;
+  }
+
+  /// Pulls everything remaining into a ResultSet (stats finalized).
+  Result<ResultSet> Drain() {
+    auto result = cursor_->Drain();
+    ReleaseEpochPin();
+    return result;
+  }
+
+  /// Abandons the rest of the stream and releases the epoch pin early —
+  /// the LIMIT-style exit: read the first rows, Close(), then resume
+  /// normal session work. The cursor only reports exhaustion afterwards;
+  /// stats() keeps the totals accumulated so far.
+  void Close() {
+    cursor_->Abandon();
+    ReleaseEpochPin();
+  }
+
+  bool exhausted() const { return cursor_->exhausted(); }
+  /// Counter totals so far; final — and byte-identical to a one-shot
+  /// Execute of the same query — once exhausted() is true.
+  const ExecStats& stats() const { return cursor_->stats(); }
+
+ private:
+  friend class PreparedQuery;
+  ResultCursor(std::shared_lock<std::shared_mutex> epoch_lock,
+               std::unique_ptr<QueryMetadata> metadata, SelectStmtPtr bound,
+               std::unique_ptr<QueryCursor> cursor)
+      : epoch_lock_(std::move(epoch_lock)),
+        metadata_(std::move(metadata)),
+        bound_stmt_(std::move(bound)),
+        cursor_(std::move(cursor)) {}
+
+  void ReleaseEpochPin() {
+    if (epoch_lock_.owns_lock()) epoch_lock_.unlock();
+  }
+
+  std::shared_lock<std::shared_mutex> epoch_lock_;  // pins the policy epoch
+  std::unique_ptr<QueryMetadata> metadata_;         // referenced by cursor_
+  SelectStmtPtr bound_stmt_;                        // keeps the plan's source alive
+  std::unique_ptr<QueryCursor> cursor_;
+};
+
+/// A query prepared once through SieveSession::Prepare: parsed, rewritten
+/// against the querier's policies and cached, ready to execute repeatedly
+/// with different parameter bindings. Holds an immutable snapshot of the
+/// rewrite; when AddPolicy bumps the policy epoch, the next Execute
+/// transparently re-prepares (through the shared cache), so results always
+/// reflect a consistent policy corpus — never a torn rewrite.
+///
+/// Single-threaded like its session; movable. Results are byte-identical
+/// — rows, row order and ExecStats — to a one-shot
+/// SieveMiddleware::Execute of the same SQL with literals in place of
+/// parameters bound to the same values.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  /// Executes with positional bindings: params[i] replaces slot i (each
+  /// `?` in parse order; every occurrence of one `:name` shares a slot).
+  /// Requires exactly parameter_count() values; binding NULL is allowed
+  /// and compares as SQL NULL (matches nothing).
+  Result<ResultSet> Execute(const std::vector<Value>& params = {});
+
+  /// Executes with named bindings. Every slot must carry a name (prepare
+  /// with `:name` placeholders, not `?`); names are case-insensitive, and
+  /// unknown or duplicate names are errors.
+  Result<ResultSet> ExecuteNamed(
+      const std::vector<std::pair<std::string, Value>>& named);
+
+  /// Opens a streaming cursor instead of materializing the result. The
+  /// cursor blocks policy mutations while open — see ResultCursor.
+  Result<ResultCursor> OpenCursor(const std::vector<Value>& params = {});
+
+  /// Number of parameter slots in the prepared statement.
+  size_t parameter_count() const { return rewrite_->params.size(); }
+  /// Slot names in slot order: lower-cased for `:name`, "" for `?`.
+  const std::vector<std::string>& parameter_names() const {
+    return rewrite_->params;
+  }
+
+  /// Whitespace-normalized original SQL.
+  const std::string& sql() const { return rewrite_->normalized_sql; }
+  /// Rewrite snapshot this query currently executes (diagnostics: per-table
+  /// strategy, default-deny flag, rewritten SQL, epoch). Refreshed when an
+  /// Execute observes a newer policy epoch.
+  std::shared_ptr<const PreparedRewrite> rewrite() const { return rewrite_; }
+  const QueryMetadata& metadata() const { return md_; }
+
+ private:
+  friend class SieveSession;
+  PreparedQuery(SieveMiddleware* middleware, QueryMetadata md,
+                std::shared_ptr<const PreparedRewrite> rewrite)
+      : mw_(middleware), md_(std::move(md)), rewrite_(std::move(rewrite)) {}
+
+  /// Re-prepares against the current policy epoch (authoritative: takes
+  /// the middleware's writer lock on a cache miss).
+  Status Refresh();
+  /// Maps named bindings onto the positional signature.
+  Result<std::vector<Value>> ResolveNamed(
+      const std::vector<std::pair<std::string, Value>>& named) const;
+
+  SieveMiddleware* mw_;
+  QueryMetadata md_;
+  std::shared_ptr<const PreparedRewrite> rewrite_;
+};
+
+/// One querier's connection to the middleware (Section 5 casts Sieve as a
+/// middleware in front of the DBMS; the session is the unit a connection
+/// pool hands out). Sessions are cheap — a pointer and the querier's
+/// metadata — so a server creates one per connection; any number may
+/// prepare and execute concurrently against one SieveMiddleware, sharing
+/// its rewrite cache and policy-epoch machinery.
+///
+/// Use one session (and its prepared queries) from one thread at a time.
+class SieveSession {
+ public:
+  SieveSession(SieveMiddleware* middleware, QueryMetadata md)
+      : mw_(middleware), md_(std::move(md)) {}
+
+  /// Parses and rewrites `sql` once (served from the shared RewriteCache
+  /// when the same querier prepared the same normalized SQL under the
+  /// current policy epoch). `?` and `:name` placeholders become parameter
+  /// slots bound at Execute time.
+  Result<PreparedQuery> Prepare(const std::string& sql);
+
+  /// Prepare + Execute in one call (still cache-amortized).
+  Result<ResultSet> Execute(const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  const QueryMetadata& metadata() const { return md_; }
+  SieveMiddleware& middleware() { return *mw_; }
+
+ private:
+  friend class PreparedQuery;
+
+  /// Cache-through rewrite: optimistic lock-free lookup, then the
+  /// authoritative path under the middleware's writer lock (rewriting may
+  /// regenerate outdated guards, which mutates the guard store).
+  static Result<std::shared_ptr<const PreparedRewrite>> PrepareRewrite(
+      SieveMiddleware* mw, const QueryMetadata& md,
+      const std::string& normalized_sql, bool optimistic);
+
+  SieveMiddleware* mw_;
+  QueryMetadata md_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_SIEVE_SESSION_H_

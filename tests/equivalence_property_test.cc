@@ -11,6 +11,12 @@
 // scans, UNION / UNION ALL over guard branches, the hash join of the
 // policy-filtered CTE against an unprotected table, and grouped + global
 // aggregates (COUNT/SUM/MIN/MAX/AVG partial-state merge).
+//
+// On top of that, the sweep is differential across *API surfaces*: every
+// query also runs through SieveSession::Prepare + repeated
+// PreparedQuery::Execute (second run hits the rewrite cache) and through a
+// small-batch ResultCursor, and both must reproduce the one-shot rows,
+// row order and ExecStats byte-identically in serial and parallel mode.
 
 #include <set>
 
@@ -18,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "sieve/session.h"
 #include "tests/test_fixtures.h"
 
 namespace sieve {
@@ -158,12 +165,18 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     ASSERT_TRUE(sieve.AddPolicy(std::move(p)).ok());
   }
 
+  auto set_threads = [&sieve](int threads) {
+    SieveOptions options = sieve.options();
+    options.num_threads = threads;
+    ASSERT_TRUE(sieve.set_options(options).ok());
+  };
+
   for (const std::string& sql : MakeQueries(rng)) {
     QueryMetadata md{queriers[rng.Uniform(0, 2)], purposes[rng.Uniform(0, 2)]};
     // Group queriers are not people; querier "students" never queries.
     if (md.querier == std::string("students")) md.querier = "carol";
 
-    sieve.set_num_threads(1);
+    set_threads(1);
     auto fast = sieve.Execute(sql, md);
     auto oracle = sieve.ExecuteReference(sql, md);
     ASSERT_TRUE(fast.ok()) << sql << " -> " << fast.status().ToString();
@@ -172,12 +185,45 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
         << "querier=" << md.querier << " purpose=" << md.purpose
         << " sql=" << sql;
 
+    // Differential across API surfaces: prepare once, execute twice (the
+    // second run is served by the rewrite cache) and drain a small-batch
+    // cursor — all must be byte-identical to the one-shot path.
+    std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
+    {
+      SieveSession session(&sieve, md);
+      auto prepared = session.Prepare(sql);
+      ASSERT_TRUE(prepared.ok()) << sql << " -> "
+                                 << prepared.status().ToString();
+      for (int run = 0; run < 2; ++run) {
+        auto repeated = prepared->Execute();
+        ASSERT_TRUE(repeated.ok())
+            << "run=" << run << " sql=" << sql << " -> "
+            << repeated.status().ToString();
+        EXPECT_EQ(serial_rows, OrderedFingerprints(*repeated))
+            << "prepared run=" << run << " sql=" << sql;
+        EXPECT_EQ(fast->stats, repeated->stats)
+            << "prepared run=" << run << " sql=" << sql;
+      }
+      auto cursor = prepared->OpenCursor();
+      ASSERT_TRUE(cursor.ok()) << sql;
+      ResultSet chunked;
+      chunked.schema = cursor->schema();
+      while (true) {
+        auto more = cursor->Next(&chunked.rows, /*max_rows=*/3);
+        ASSERT_TRUE(more.ok()) << sql << " -> " << more.status().ToString();
+        if (!*more) break;
+      }
+      EXPECT_EQ(serial_rows, OrderedFingerprints(chunked))
+          << "cursor sql=" << sql;
+      EXPECT_EQ(fast->stats, cursor->stats()) << "cursor sql=" << sql;
+    }
+
     // Differential: partition-parallel execution must reproduce the serial
     // rows, row order and stat totals exactly, for both the Sieve rewrite
-    // and the reference semantics.
-    std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
+    // and the reference semantics — and the prepared path must agree at
+    // every thread count too.
     for (int threads : {2, 4, 8}) {
-      sieve.set_num_threads(threads);
+      set_threads(threads);
       auto parallel = sieve.Execute(sql, md);
       ASSERT_TRUE(parallel.ok())
           << "threads=" << threads << " sql=" << sql << " -> "
@@ -193,8 +239,18 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
       ASSERT_TRUE(parallel_oracle.ok()) << "threads=" << threads;
       EXPECT_EQ(Fingerprints(*oracle), Fingerprints(*parallel_oracle))
           << "threads=" << threads << " sql=" << sql;
+
+      SieveSession session(&sieve, md);
+      auto prepared = session.Prepare(sql);
+      ASSERT_TRUE(prepared.ok()) << "threads=" << threads << " sql=" << sql;
+      auto repeated = prepared->Execute();
+      ASSERT_TRUE(repeated.ok()) << "threads=" << threads << " sql=" << sql;
+      EXPECT_EQ(serial_rows, OrderedFingerprints(*repeated))
+          << "prepared threads=" << threads << " sql=" << sql;
+      EXPECT_EQ(fast->stats, repeated->stats)
+          << "prepared threads=" << threads << " sql=" << sql;
     }
-    sieve.set_num_threads(1);
+    set_threads(1);
   }
 }
 

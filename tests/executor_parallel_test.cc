@@ -463,7 +463,9 @@ TEST(ParallelExecutionTest, DeltaGuardExecutionMatchesSerial) {
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ(Fingerprints(*serial), Fingerprints(*oracle));
   for (int threads : {2, 4, 8}) {
-    sieve.set_num_threads(threads);
+    SieveOptions options = sieve.options();
+    options.num_threads = threads;
+    ASSERT_TRUE(sieve.set_options(options).ok());
     auto parallel = sieve.Execute(sql, md);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     EXPECT_EQ(Fingerprints(*serial), Fingerprints(*parallel))

@@ -1,0 +1,419 @@
+// Unit tests for the session-oriented middleware API: SieveSession /
+// PreparedQuery / ResultCursor, parameter binding edge cases, the
+// policy-epoch rewrite cache and the validated SieveOptions update path.
+
+#include "sieve/session.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sieve/middleware.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve {
+namespace {
+
+std::vector<std::string> OrderedFingerprints(const ResultSet& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::string fp;
+    for (const auto& v : row) fp += v.ToString() + "|";
+    out.push_back(std::move(fp));
+  }
+  return out;
+}
+
+// Order-insensitive view, for comparing across *different* SQL texts
+// (e.g. `?` vs inlined literal): the strategy selector may pick different
+// access paths for them, which legitimately reorders rows.
+std::multiset<std::string> Fingerprints(const ResultSet& rs) {
+  std::vector<std::string> ordered = OrderedFingerprints(rs);
+  return {ordered.begin(), ordered.end()};
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : sieve_(&campus_.db(), &campus_.groups()) {
+    EXPECT_TRUE(sieve_.Init().ok());
+    // alice sees owners 0 and 1; owner 1 only 9:00-14:00.
+    EXPECT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(0, "alice", "any")).ok());
+    EXPECT_TRUE(
+        sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "any", 9, 14)).ok());
+  }
+
+  MiniCampus campus_;
+  SieveMiddleware sieve_;
+  QueryMetadata md_{"alice", "any"};
+};
+
+TEST_F(SessionTest, PrepareOnceExecuteManyMatchesOneShot) {
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP = 2";
+  auto one_shot = sieve_.Execute(sql, md_);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare(sql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->parameter_count(), 0u);
+  for (int run = 0; run < 3; ++run) {
+    auto repeated = prepared->Execute();
+    ASSERT_TRUE(repeated.ok()) << repeated.status().ToString();
+    EXPECT_EQ(OrderedFingerprints(*one_shot), OrderedFingerprints(*repeated))
+        << "run " << run;
+    EXPECT_EQ(one_shot->stats, repeated->stats) << "run " << run;
+  }
+}
+
+TEST_F(SessionTest, PositionalParametersMatchInlinedLiterals) {
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi WHERE wifiAP = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared->parameter_count(), 1u);
+  EXPECT_EQ(prepared->parameter_names()[0], "");
+
+  for (int ap = 0; ap < 4; ++ap) {
+    auto bound = prepared->Execute({Value::Int(ap)});
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    // Same rows and order as inlined literals. Stats may legitimately
+    // differ: at rewrite time a `?` is not sargable, so the strategy
+    // selector can pick a different (equally correct) access path than it
+    // would for the literal query.
+    auto literal = sieve_.Execute(
+        "SELECT * FROM wifi WHERE wifiAP = " + std::to_string(ap), md_);
+    ASSERT_TRUE(literal.ok());
+    EXPECT_EQ(Fingerprints(*literal), Fingerprints(*bound)) << "ap=" << ap;
+    // Re-binding the same value must be fully deterministic, stats included.
+    auto again = prepared->Execute({Value::Int(ap)});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(OrderedFingerprints(*bound), OrderedFingerprints(*again));
+    EXPECT_EQ(bound->stats, again->stats) << "ap=" << ap;
+  }
+}
+
+TEST_F(SessionTest, NamedParametersShareSlotsAndIgnoreCase) {
+  SieveSession session(&sieve_, md_);
+  // :lo appears twice and must share one slot; names are case-insensitive.
+  auto prepared = session.Prepare(
+      "SELECT * FROM wifi WHERE ts_time BETWEEN :lo AND :hi AND "
+      "ts_time >= :LO");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared->parameter_count(), 2u);
+  EXPECT_EQ(prepared->parameter_names()[0], "lo");
+  EXPECT_EQ(prepared->parameter_names()[1], "hi");
+
+  auto named = prepared->ExecuteNamed(
+      {{"HI", Value::String("12:00")}, {"lo", Value::String("09:00")}});
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  auto literal = sieve_.Execute(
+      "SELECT * FROM wifi WHERE ts_time BETWEEN '09:00' AND '12:00' AND "
+      "ts_time >= '09:00'",
+      md_);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ(Fingerprints(*literal), Fingerprints(*named));
+}
+
+TEST_F(SessionTest, StringParameterCoercesToTimeColumn) {
+  // Binding a string against a time column goes through the same literal
+  // coercion as an inlined quoted literal.
+  SieveSession session(&sieve_, md_);
+  auto prepared =
+      session.Prepare("SELECT * FROM wifi WHERE ts_time BETWEEN ? AND ?");
+  ASSERT_TRUE(prepared.ok());
+  auto bound =
+      prepared->Execute({Value::String("09:00"), Value::String("11:00")});
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto literal = sieve_.Execute(
+      "SELECT * FROM wifi WHERE ts_time BETWEEN '09:00' AND '11:00'", md_);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ(Fingerprints(*literal), Fingerprints(*bound));
+  EXPECT_GT(bound->size(), 0u);
+}
+
+TEST_F(SessionTest, MissingBindIsAnError) {
+  SieveSession session(&sieve_, md_);
+  auto prepared =
+      session.Prepare("SELECT * FROM wifi WHERE wifiAP = ? AND owner = ?");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->parameter_count(), 2u);
+
+  auto too_few = prepared->Execute({Value::Int(1)});
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_EQ(too_few.status().code(), StatusCode::kInvalidArgument);
+
+  auto too_many =
+      prepared->Execute({Value::Int(1), Value::Int(2), Value::Int(3)});
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kInvalidArgument);
+
+  auto none = prepared->Execute();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, NamedBindingErrors) {
+  SieveSession session(&sieve_, md_);
+  auto prepared =
+      session.Prepare("SELECT * FROM wifi WHERE wifiAP = :ap AND owner = ?");
+  ASSERT_TRUE(prepared.ok());
+
+  // The positional slot cannot be addressed by name.
+  auto positional_by_name = prepared->ExecuteNamed({{"ap", Value::Int(1)}});
+  ASSERT_FALSE(positional_by_name.ok());
+  EXPECT_EQ(positional_by_name.status().code(), StatusCode::kInvalidArgument);
+
+  auto all_named = session.Prepare(
+      "SELECT * FROM wifi WHERE wifiAP = :ap AND owner = :who");
+  ASSERT_TRUE(all_named.ok());
+  auto unknown = all_named->ExecuteNamed(
+      {{"ap", Value::Int(1)}, {"nobody", Value::Int(0)}});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  auto missing = all_named->ExecuteNamed({{"ap", Value::Int(1)}});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+
+  auto twice = all_named->ExecuteNamed({{"ap", Value::Int(1)},
+                                        {"AP", Value::Int(2)},
+                                        {"who", Value::Int(0)}});
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, NullBindMatchesNothing) {
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi WHERE owner = ?");
+  ASSERT_TRUE(prepared.ok());
+  auto result = prepared->Execute({Value::Null()});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 0u);  // SQL NULL comparison is never true
+}
+
+TEST_F(SessionTest, TypeMismatchedBindComparesFalseNotCrash) {
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi WHERE owner = ?");
+  ASSERT_TRUE(prepared.ok());
+  // Values order across type families; an int column never equals a string.
+  auto result = prepared->Execute({Value::String("bob")});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST_F(SessionTest, RewriteCacheHitsOnRepeatAndInvalidatesOnAddPolicy) {
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP = ?";
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  RewriteCacheStats before = sieve_.rewrite_cache_stats();
+
+  // Same SQL, different whitespace, same querier: cache hits.
+  for (int i = 0; i < 5; ++i) {
+    auto again = session.Prepare("SELECT *   FROM wifi\n WHERE wifiAP = ?");
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->rewrite().get(), prepared->rewrite().get())
+        << "expected the shared cached rewrite";
+  }
+  RewriteCacheStats after = sieve_.rewrite_cache_stats();
+  EXPECT_GE(after.hits, before.hits + 5);
+
+  // AddPolicy bumps the policy epoch: the next Execute transparently
+  // re-prepares and reflects the new corpus.
+  uint64_t epoch_before = sieve_.policy_epoch();
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(5, "alice", "any")).ok());
+  EXPECT_GT(sieve_.policy_epoch(), epoch_before);
+
+  auto result = prepared->Execute({Value::Int(3)});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto oracle =
+      sieve_.ExecuteReference("SELECT * FROM wifi WHERE wifiAP = 3", md_);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(result->size(), oracle->size());
+  bool saw_owner5 = false;
+  for (const auto& row : result->rows) saw_owner5 |= row[2].AsInt() == 5;
+  EXPECT_TRUE(saw_owner5) << "post-epoch execute must see the new policy";
+  EXPECT_GT(prepared->rewrite()->epoch, epoch_before)
+      << "prepared query must have refreshed its snapshot";
+  EXPECT_GE(sieve_.rewrite_cache_stats().invalidations, 1u);
+}
+
+TEST_F(SessionTest, CursorStreamsIdenticalRowsAndStats) {
+  const std::string sql = "SELECT * FROM wifi WHERE ts_time >= '08:00'";
+  auto one_shot = sieve_.Execute(sql, md_);
+  ASSERT_TRUE(one_shot.ok());
+  ASSERT_GT(one_shot->size(), 10u);
+
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared->OpenCursor();
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  EXPECT_EQ(cursor->schema().ToString(), one_shot->schema.ToString());
+
+  ResultSet chunked;
+  chunked.schema = cursor->schema();
+  size_t batches = 0;
+  while (true) {
+    auto more = cursor->Next(&chunked.rows, /*max_rows=*/7);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++batches;
+  }
+  EXPECT_TRUE(cursor->exhausted());
+  EXPECT_GT(batches, 1u) << "batch size 7 must take several pulls";
+  EXPECT_EQ(OrderedFingerprints(*one_shot), OrderedFingerprints(chunked));
+  EXPECT_EQ(one_shot->stats, cursor->stats());
+}
+
+TEST_F(SessionTest, CursorDrainMatchesExecute) {
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP = 1";
+  auto one_shot = sieve_.Execute(sql, md_);
+  ASSERT_TRUE(one_shot.ok());
+
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared->OpenCursor();
+  ASSERT_TRUE(cursor.ok());
+  auto drained = cursor->Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(OrderedFingerprints(*one_shot), OrderedFingerprints(*drained));
+  EXPECT_EQ(one_shot->stats, drained->stats);
+}
+
+TEST_F(SessionTest, ExhaustedCursorReleasesEpochPinForWriters) {
+  // A drained-but-still-alive cursor must not hold the shared state lock:
+  // AddPolicy on the same thread would otherwise deadlock.
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi WHERE wifiAP = 0");
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared->OpenCursor();
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Row> batch;
+  while (true) {
+    auto more = cursor->Next(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+  }
+  ASSERT_TRUE(cursor->exhausted());
+  // Cursor still in scope; this must complete without blocking.
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(7, "alice", "any")).ok());
+}
+
+TEST_F(SessionTest, ClosedCursorReleasesEpochPinEarly) {
+  // The LIMIT-style exit: read a few rows, Close(), then resume normal
+  // session work (AddPolicy would deadlock if the pin were still held).
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi");
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared->OpenCursor();
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Row> batch;
+  auto more = cursor->Next(&batch, /*max_rows=*/5);
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(batch.size(), 5u);
+  cursor->Close();
+  EXPECT_TRUE(cursor->exhausted());
+  EXPECT_EQ(cursor->stats().rows_output, 5u);  // frozen at emitted rows
+  // Abandoned stream stays ended, and the writer path is unblocked.
+  auto after_close = cursor->Next(&batch);
+  ASSERT_TRUE(after_close.ok());
+  EXPECT_FALSE(*after_close);
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(8, "alice", "any")).ok());
+}
+
+TEST_F(SessionTest, CursorRejectsZeroBatchWithoutEndingStream) {
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi WHERE wifiAP = 0");
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared->OpenCursor();
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Row> batch;
+  auto zero = cursor->Next(&batch, /*max_rows=*/0);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(cursor->exhausted());  // caller bug, not end of stream
+  auto rest = cursor->Drain();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_GT(rest->size(), 0u);
+}
+
+TEST_F(SessionTest, StaleOptimisticProbeDoesNotWipeFreshEntries) {
+  // A non-authoritative Lookup with a torn (stale) epoch must neither
+  // clear current entries nor regress the cache epoch.
+  RewriteCache cache;
+  auto entry = std::make_shared<PreparedRewrite>();
+  entry->epoch = 5;
+  cache.Insert("k", entry);
+  EXPECT_EQ(cache.Lookup("k", /*epoch=*/3, /*authoritative=*/false),
+            nullptr);
+  EXPECT_EQ(cache.size(), 1u);  // survived the stale probe
+  EXPECT_NE(cache.Lookup("k", /*epoch=*/5), nullptr);  // still served
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST_F(SessionTest, DefaultDenyVisibleInRewriteDiagnostics) {
+  SieveSession session(&sieve_, QueryMetadata{"eve", "any"});
+  auto prepared = session.Prepare("SELECT * FROM wifi");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->rewrite()->default_denied);
+  auto result = prepared->Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST_F(SessionTest, SetOptionsValidates) {
+  SieveOptions bad = sieve_.options();
+  bad.num_threads = 0;
+  auto st = sieve_.set_options(bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  bad = sieve_.options();
+  bad.timeout_seconds = -1.0;
+  st = sieve_.set_options(bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  SieveOptions good = sieve_.options();
+  good.num_threads = 4;
+  good.timeout_seconds = 12.5;
+  ASSERT_TRUE(sieve_.set_options(good).ok());
+  EXPECT_EQ(sieve_.options().num_threads, 4);
+  EXPECT_EQ(sieve_.options().timeout_seconds, 12.5);
+}
+
+TEST_F(SessionTest, SetOptionsTimeoutAppliesToPreparedExecution) {
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare("SELECT * FROM wifi");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->Execute().ok());
+
+  SieveOptions options = sieve_.options();
+  options.timeout_seconds = 1e-7;  // effectively instant
+  ASSERT_TRUE(sieve_.set_options(options).ok());
+  auto timed_out = prepared->Execute();
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(SessionTest, UnboundParameterInsideScalarSubqueryFailsCleanly) {
+  // Placeholders inside scalar subqueries are documented as unsupported:
+  // the subquery text is re-parsed per outer row after binding happened.
+  SieveSession session(&sieve_, md_);
+  auto prepared = session.Prepare(
+      "SELECT * FROM wifi WHERE owner = "
+      "(SELECT MAX(w2.owner) FROM wifi AS w2 WHERE w2.wifiAP = ?)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // The outer statement has no visible slot; the stray inner placeholder
+  // surfaces as a clean execution error, not a crash.
+  EXPECT_EQ(prepared->parameter_count(), 0u);
+  auto result = prepared->Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace sieve
