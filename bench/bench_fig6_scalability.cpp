@@ -3,9 +3,12 @@
 // per querier grows from 100 to 1200. Paper: speedup grows ~linearly from
 // 1.6x (100 policies) to 5.6x (1200 policies).
 //
-// Extension: a partition-parallel thread sweep on the same guarded-scan
+// Extensions: a partition-parallel thread sweep on the same guarded-scan
 // workload (num_threads 1, 2, 4, 8) showing how guarded-expression
-// enforcement scales with cores. Both sections are emitted to
+// enforcement scales with cores; an interior-operator sweep (UNION / join
+// / aggregate tops); and a batch-size sweep comparing the vectorized
+// executor (native batches) against row-at-a-time execution
+// (batch_size = 1) per operator shape. All sections are emitted to
 // BENCH_fig6.json so the perf trajectory accumulates across commits.
 
 #include <thread>
@@ -225,6 +228,86 @@ int main() {
               "adds the partitioned probe on top. On a\n1-core container "
               "all rows are flat — correctness (rows, order, stats) is\n"
               "asserted by the test suite, not here.\n");
+
+  // ---- Batch-size sweep: vectorized vs row-at-a-time execution ----
+  // Single-threaded on purpose: this isolates the interpretation overhead
+  // the batch executor amortizes (virtual Next dispatch, per-row predicate
+  // walks, per-row timeout checks) from parallel speedup. batch_size = 1
+  // is the legacy Volcano behavior; 1024 is the default vectorized path.
+  std::printf("\n=== Extension: batch-size sweep (vectorized vs "
+              "row-at-a-time, 1 thread, |P|=%d per querier) ===\n\n",
+              kSizes[2]);
+  struct ShapeQuery {
+    const char* label;
+    std::string sql;
+  };
+  const ShapeQuery shape_queries[] = {
+      {"scan_filter", sql},  // the guarded scan: Filter(guards) over the CTE
+      {"union", interior_queries[0].sql},
+      {"join", interior_queries[1].sql},
+      {"aggregate", interior_queries[2].sql},
+  };
+  auto set_batch = [&sieve](int batch) {
+    SieveOptions options = sieve.options();
+    options.num_threads = 1;
+    options.batch_size = batch;
+    if (!sieve.set_options(options).ok()) std::abort();  // validated knob
+  };
+  TablePrinter batch_table({"query", "batch_size", "SIEVE ms",
+                            "speedup vs batch=1"});
+  double scan_filter_speedup = 0;
+  for (const ShapeQuery& q : shape_queries) {
+    double row_at_a_time_ms = -1;
+    for (int batch : {1, 64, 1024}) {
+      if (batch != 1 && row_at_a_time_ms <= 0) {
+        // No batch=1 baseline (timeout/failure): a speedup would be
+        // meaningless, so skip the shape instead of recording 0x rows
+        // into the accumulated perf trajectory.
+        std::fprintf(stderr,
+                     "warning: no batch=1 baseline for %s; skipping\n",
+                     q.label);
+        break;
+      }
+      set_batch(batch);
+      double sum_sieve = 0;
+      int n = 0;
+      for (int shop = 0; shop < kNumShops; ++shop) {
+        QueryMetadata md{StrFormat("fig6_shop%d_s%d", shop, kSizes[2]),
+                         "Marketing"};
+        double s = TimeQuery([&] { return sieve.Execute(q.sql, md); });
+        if (s < 0) continue;
+        sum_sieve += s;
+        ++n;
+      }
+      if (n == 0) continue;
+      double ms = sum_sieve / n;
+      if (batch == 1) row_at_a_time_ms = ms;
+      double speedup = row_at_a_time_ms > 0 ? row_at_a_time_ms / ms : 0;
+      if (batch == 1024 && std::string(q.label) == "scan_filter") {
+        scan_filter_speedup = speedup;
+      }
+      batch_table.AddRow(
+          {q.label, StrFormat("%d", batch), StrFormat("%.1f", ms),
+           batch == 1 ? std::string("-") : StrFormat("%.2fx", speedup)});
+      json_rows.push_back(JsonRow()
+                              .Set("section", std::string("batch_size"))
+                              .Set("query", std::string(q.label))
+                              .Set("policies", kSizes[2])
+                              .Set("threads", 1)
+                              .Set("batch_size", batch)
+                              .Set("sieve_ms", ms)
+                              .Set("speedup_vs_batch1", speedup));
+    }
+  }
+  set_batch(1024);
+  batch_table.Print();
+  std::printf("\nExpected shape: native batches (1024) >= 2x the "
+              "batch_size=1 row-at-a-time path\non the scan_filter guard "
+              "sweep (measured: %.2fx); the other shapes gain\nwherever "
+              "their input pipeline dominates. Unlike the thread sweeps, "
+              "this one\nholds on 1-core machines too — it amortizes "
+              "interpretation, not hardware.\n",
+              scan_filter_speedup);
 
   if (!WriteBenchJson("fig6_scalability", "BENCH_fig6.json", json_rows)) {
     std::fprintf(stderr, "warning: could not write BENCH_fig6.json\n");

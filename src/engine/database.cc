@@ -41,9 +41,10 @@ Status Database::Analyze() {
 Result<ResultSet> Database::ExecuteSql(const std::string& sql,
                                        const QueryMetadata* metadata,
                                        double timeout_seconds,
-                                       int num_threads) {
+                                       int num_threads, int batch_size) {
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
-  return ExecuteStmt(*stmt, metadata, timeout_seconds, num_threads);
+  return ExecuteStmt(*stmt, metadata, timeout_seconds, num_threads,
+                     batch_size);
 }
 
 ThreadPool* Database::EnsurePool(size_t num_threads) {
@@ -57,16 +58,16 @@ ThreadPool* Database::EnsurePool(size_t num_threads) {
 Result<ResultSet> Database::ExecuteStmt(const SelectStmt& stmt,
                                         const QueryMetadata* metadata,
                                         double timeout_seconds,
-                                        int num_threads) {
+                                        int num_threads, int batch_size) {
   SIEVE_ASSIGN_OR_RETURN(
       std::unique_ptr<QueryCursor> cursor,
-      OpenCursor(stmt, metadata, timeout_seconds, num_threads));
+      OpenCursor(stmt, metadata, timeout_seconds, num_threads, batch_size));
   return cursor->Drain();
 }
 
 Result<std::unique_ptr<QueryCursor>> Database::OpenCursor(
     const SelectStmt& stmt, const QueryMetadata* metadata,
-    double timeout_seconds, int num_threads) {
+    double timeout_seconds, int num_threads, int batch_size) {
   // The context (and with it the timeout epoch) is created before planning
   // so planning time counts against the query budget, as it always has.
   ExecContext ctx;
@@ -74,6 +75,7 @@ Result<std::unique_ptr<QueryCursor>> Database::OpenCursor(
   ctx.hooks = this;
   ctx.metadata = metadata;
   ctx.timeout_seconds = timeout_seconds;
+  ctx.batch_size = batch_size < 1 ? 1 : batch_size;
   // One CTE cache per query, shared by every worker context so each CTE
   // body materializes exactly once no matter which worker gets there first.
   ctx.ctes = std::make_shared<CteCache>();

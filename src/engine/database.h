@@ -54,14 +54,18 @@ class Database : public EngineHooks {
   // -------------------------------------------------------------------------
 
   /// Parses, plans and runs `sql`. `timeout_seconds` 0 disables the timeout.
-  /// `num_threads` > 1 enables partition-parallel execution — scan
-  /// pipelines plus the UNION / hash-join / hash-aggregate operator
-  /// interiors — on an internal thread pool (1 = serial, the default).
-  /// Parallel runs reproduce the serial rows, row order and ExecStats.
+  /// `num_threads` > 1 enables parallel execution — morsel-partitioned
+  /// scan pipelines plus the UNION / hash-join / hash-aggregate / EXCEPT
+  /// operator interiors — on an internal thread pool (1 = serial, the
+  /// default). `batch_size` is the rows-per-batch unit of the vectorized
+  /// executor (1 reproduces legacy row-at-a-time execution; values < 1
+  /// are clamped to 1). Every (num_threads, batch_size) combination
+  /// reproduces identical rows, row order and ExecStats.
   Result<ResultSet> ExecuteSql(const std::string& sql,
                                const QueryMetadata* metadata = nullptr,
                                double timeout_seconds = 0.0,
-                               int num_threads = 1);
+                               int num_threads = 1,
+                               int batch_size = static_cast<int>(kDefaultBatchSize));
 
   /// Plans and runs an already-parsed statement. Implemented as
   /// OpenCursor + QueryCursor::Drain, so one-shot and cursor execution
@@ -69,7 +73,8 @@ class Database : public EngineHooks {
   Result<ResultSet> ExecuteStmt(const SelectStmt& stmt,
                                 const QueryMetadata* metadata = nullptr,
                                 double timeout_seconds = 0.0,
-                                int num_threads = 1);
+                                int num_threads = 1,
+                                int batch_size = static_cast<int>(kDefaultBatchSize));
 
   /// Plans `stmt` and opens a pull-based cursor over it (chunked
   /// QueryCursor::Next instead of a materialized ResultSet). `metadata`
@@ -77,7 +82,8 @@ class Database : public EngineHooks {
   /// running between Next calls.
   Result<std::unique_ptr<QueryCursor>> OpenCursor(
       const SelectStmt& stmt, const QueryMetadata* metadata = nullptr,
-      double timeout_seconds = 0.0, int num_threads = 1);
+      double timeout_seconds = 0.0, int num_threads = 1,
+      int batch_size = static_cast<int>(kDefaultBatchSize));
 
   /// Plans `sql` and returns the access-path summary without executing —
   /// the EXPLAIN facility Sieve's strategy selector relies on (Section 5.5).

@@ -23,7 +23,245 @@ bool CompareValues(CompareOp op, const Value& a, const Value& b) {
   return false;
 }
 
+// Truth value of `v` under tri-state logic: -1 NULL, 0 false, 1 true.
+int8_t TriFromValue(const Value& v) {
+  if (v.is_null()) return -1;
+  return v.AsBool() ? 1 : 0;
+}
+
+// A comparison/BETWEEN/IN operand resolved once per batch: either a
+// constant or a bound column index. Anything else (nested expressions,
+// UDFs) makes the enclosing node fall back to row-at-a-time evaluation.
+struct OperandRef {
+  const Value* constant = nullptr;
+  int column = -1;
+  const ColumnRefExpr* ref = nullptr;  // for the out-of-range error message
+
+  const Value& Get(const Row& row) const {
+    return constant != nullptr ? *constant
+                               : row[static_cast<size_t>(column)];
+  }
+
+  Status CheckBounds(const Row& row) const {
+    if (constant == nullptr && static_cast<size_t>(column) >= row.size()) {
+      return Status::ExecutionError("column index out of range: " +
+                                    ref->FullName());
+    }
+    return Status::OK();
+  }
+};
+
+// Resolves `e` to an OperandRef, late-binding unbound column refs against
+// `schema` exactly like the row-at-a-time path. Returns false when the
+// operand is not batchable.
+Result<bool> ResolveOperand(const Expr& e, const Schema& schema,
+                            OperandRef* out) {
+  if (e.kind() == ExprKind::kLiteral) {
+    out->constant = &static_cast<const LiteralExpr&>(e).value();
+    return true;
+  }
+  if (e.kind() == ExprKind::kColumnRef) {
+    const auto& ref = static_cast<const ColumnRefExpr&>(e);
+    if (ref.bound_index() < 0) {
+      auto* mutable_ref = const_cast<ColumnRefExpr*>(&ref);
+      SIEVE_RETURN_IF_ERROR(BindExpr(mutable_ref, schema));
+    }
+    out->column = ref.bound_index();
+    out->ref = &ref;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+Status Evaluator::EvalPredicateBatch(const Expr& expr, const Row* rows,
+                                     size_t num_rows,
+                                     std::vector<uint8_t>* pass) {
+  pass->assign(num_rows, 0);
+  if (num_rows == 0) return Status::OK();
+  std::vector<uint32_t> active(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) active[i] = static_cast<uint32_t>(i);
+  std::vector<int8_t> tri(num_rows, 0);
+  SIEVE_RETURN_IF_ERROR(EvalBoolBatch(expr, rows, active, &tri));
+  for (size_t i = 0; i < num_rows; ++i) {
+    (*pass)[i] = tri[i] == 1 ? 1 : 0;  // NULL → false (WHERE semantics)
+  }
+  return Status::OK();
+}
+
+Status Evaluator::EvalBoolBatch(const Expr& expr, const Row* rows,
+                                const std::vector<uint32_t>& active,
+                                std::vector<int8_t>* tri) {
+  // Row-at-a-time fallback for sub-expressions the column-wise loops do
+  // not cover (UDF calls, subqueries, non-constant IN lists, nested
+  // comparisons): evaluates exactly the active rows, so semantics and
+  // ExecStats counters match the serial interpreter by construction.
+  auto row_wise = [&](const Expr& e) -> Status {
+    for (uint32_t i : active) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, Eval(e, rows[i]));
+      (*tri)[i] = TriFromValue(v);
+    }
+    return Status::OK();
+  };
+
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      int8_t t = TriFromValue(static_cast<const LiteralExpr&>(expr).value());
+      for (uint32_t i : active) (*tri)[i] = t;
+      return Status::OK();
+    }
+
+    case ExprKind::kColumnRef: {
+      OperandRef ref;
+      SIEVE_ASSIGN_OR_RETURN(bool ok, ResolveOperand(expr, *schema_, &ref));
+      if (!ok) return row_wise(expr);
+      for (uint32_t i : active) {
+        SIEVE_RETURN_IF_ERROR(ref.CheckBounds(rows[i]));
+        (*tri)[i] = TriFromValue(ref.Get(rows[i]));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      OperandRef left, right;
+      SIEVE_ASSIGN_OR_RETURN(bool lok,
+                             ResolveOperand(*cmp.left(), *schema_, &left));
+      SIEVE_ASSIGN_OR_RETURN(bool rok,
+                             ResolveOperand(*cmp.right(), *schema_, &right));
+      if (!lok || !rok) return row_wise(expr);
+      const CompareOp op = cmp.op();
+      for (uint32_t i : active) {
+        const Row& row = rows[i];
+        SIEVE_RETURN_IF_ERROR(left.CheckBounds(row));
+        SIEVE_RETURN_IF_ERROR(right.CheckBounds(row));
+        const Value& l = left.Get(row);
+        const Value& r = right.Get(row);
+        if (stats_ != nullptr) ++stats_->comparisons;
+        (*tri)[i] = (l.is_null() || r.is_null())
+                        ? static_cast<int8_t>(-1)
+                        : static_cast<int8_t>(CompareValues(op, l, r));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      OperandRef input, lo, hi;
+      SIEVE_ASSIGN_OR_RETURN(bool iok,
+                             ResolveOperand(*between.input(), *schema_, &input));
+      SIEVE_ASSIGN_OR_RETURN(bool lok,
+                             ResolveOperand(*between.lo(), *schema_, &lo));
+      SIEVE_ASSIGN_OR_RETURN(bool hok,
+                             ResolveOperand(*between.hi(), *schema_, &hi));
+      if (!iok || !lok || !hok) return row_wise(expr);
+      for (uint32_t i : active) {
+        const Row& row = rows[i];
+        SIEVE_RETURN_IF_ERROR(input.CheckBounds(row));
+        SIEVE_RETURN_IF_ERROR(lo.CheckBounds(row));
+        SIEVE_RETURN_IF_ERROR(hi.CheckBounds(row));
+        const Value& v = input.Get(row);
+        const Value& l = lo.Get(row);
+        const Value& h = hi.Get(row);
+        if (stats_ != nullptr) ++stats_->comparisons;
+        (*tri)[i] = (v.is_null() || l.is_null() || h.is_null())
+                        ? static_cast<int8_t>(-1)
+                        : static_cast<int8_t>(v.Compare(l) >= 0 &&
+                                              v.Compare(h) <= 0);
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      const auto* set = in.ConstantSet();
+      OperandRef input;
+      SIEVE_ASSIGN_OR_RETURN(bool iok,
+                             ResolveOperand(*in.input(), *schema_, &input));
+      if (set == nullptr || !iok) return row_wise(expr);
+      const bool negated = in.negated();
+      for (uint32_t i : active) {
+        const Row& row = rows[i];
+        SIEVE_RETURN_IF_ERROR(input.CheckBounds(row));
+        const Value& v = input.Get(row);
+        if (v.is_null()) {
+          (*tri)[i] = -1;
+          continue;
+        }
+        if (stats_ != nullptr) ++stats_->comparisons;
+        bool found = set->count(v) > 0;
+        (*tri)[i] = static_cast<int8_t>(negated ? !found : found);
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kAnd: {
+      // Mirror of the short-circuit conjunction: a row leaves the active
+      // set at its first false/NULL child, so child k only ever sees the
+      // rows for which the serial interpreter would have evaluated it.
+      const auto& conj = static_cast<const AndExpr&>(expr);
+      for (uint32_t i : active) (*tri)[i] = 1;
+      std::vector<uint32_t> act = active;
+      std::vector<uint32_t> next;
+      std::vector<int8_t> child_tri(tri->size(), 0);
+      for (const auto& child : conj.children()) {
+        if (act.empty()) break;
+        SIEVE_RETURN_IF_ERROR(EvalBoolBatch(*child, rows, act, &child_tri));
+        next.clear();
+        for (uint32_t i : act) {
+          if (child_tri[i] == 1) {
+            next.push_back(i);
+          } else {
+            (*tri)[i] = 0;  // NULL collapses to false, like the row path
+          }
+        }
+        act.swap(next);
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kOr: {
+      // Mirror of the short-circuit disjunction: a row leaves the active
+      // set at its first true child; rows with only false/NULL children
+      // end at false (the row path never returns NULL from OR).
+      const auto& disj = static_cast<const OrExpr&>(expr);
+      for (uint32_t i : active) (*tri)[i] = 0;
+      std::vector<uint32_t> act = active;
+      std::vector<uint32_t> next;
+      std::vector<int8_t> child_tri(tri->size(), 0);
+      for (const auto& child : disj.children()) {
+        if (act.empty()) break;
+        SIEVE_RETURN_IF_ERROR(EvalBoolBatch(*child, rows, act, &child_tri));
+        next.clear();
+        for (uint32_t i : act) {
+          if (child_tri[i] == 1) {
+            (*tri)[i] = 1;
+          } else {
+            next.push_back(i);
+          }
+        }
+        act.swap(next);
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kNot: {
+      const auto& neg = static_cast<const NotExpr&>(expr);
+      std::vector<int8_t> child_tri(tri->size(), 0);
+      SIEVE_RETURN_IF_ERROR(EvalBoolBatch(*neg.child(), rows, active,
+                                          &child_tri));
+      for (uint32_t i : active) {
+        (*tri)[i] = child_tri[i] == -1 ? static_cast<int8_t>(-1)
+                                       : static_cast<int8_t>(!child_tri[i]);
+      }
+      return Status::OK();
+    }
+
+    default:
+      return row_wise(expr);
+  }
+}
 
 Result<Value> Evaluator::Eval(const Expr& expr, const Row& row) {
   switch (expr.kind()) {

@@ -1,6 +1,7 @@
 #ifndef SIEVE_EXPR_EVAL_H_
 #define SIEVE_EXPR_EVAL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,9 +37,22 @@ class EngineHooks {
                                 ExecStats* stats) = 0;
 };
 
-/// Expression evaluator over one row at a time. Short-circuits AND/OR (the
-/// paper's α models exactly this behaviour for policy disjunctions) and
-/// counts atomic comparisons into ExecStats.
+/// Expression evaluator. The row-at-a-time entry points (Eval,
+/// EvalPredicate) short-circuit AND/OR (the paper's α models exactly this
+/// behaviour for policy disjunctions) and count atomic comparisons into
+/// ExecStats.
+///
+/// EvalPredicateBatch is the vectorized entry point: one walk of the
+/// expression tree drives column-wise inner loops over a whole batch of
+/// rows, so the per-tuple interpretation overhead (virtual dispatch down
+/// the tree, operand resolution) is paid once per batch instead of once
+/// per row. AND/OR narrow a per-node active-row set exactly the way
+/// short-circuiting prunes per row, so the (node, row) evaluation pairs —
+/// and therefore every ExecStats counter — are identical to evaluating
+/// the rows one at a time. Sub-expressions with per-row side effects (UDF
+/// calls such as the Δ operator, correlated subqueries, non-constant IN
+/// lists) fall back to row-at-a-time evaluation for exactly the active
+/// rows, preserving semantics and counters by construction.
 class Evaluator {
  public:
   Evaluator(const Schema* schema, EngineHooks* hooks,
@@ -50,7 +64,20 @@ class Evaluator {
   /// Boolean evaluation; NULL is treated as false (SQL WHERE semantics).
   Result<bool> EvalPredicate(const Expr& expr, const Row& row);
 
+  /// Batched predicate evaluation over `rows[0..num_rows)`: sets
+  /// (*pass)[i] to the value EvalPredicate(expr, rows[i]) would return,
+  /// with identical ExecStats side effects, in one tree walk. `pass` is
+  /// resized to num_rows.
+  Status EvalPredicateBatch(const Expr& expr, const Row* rows,
+                            size_t num_rows, std::vector<uint8_t>* pass);
+
  private:
+  /// Tri-state truth value per row: -1 NULL, 0 false, 1 true. Entries of
+  /// `tri` outside `active` are left untouched.
+  Status EvalBoolBatch(const Expr& expr, const Row* rows,
+                       const std::vector<uint32_t>& active,
+                       std::vector<int8_t>* tri);
+
   const Schema* schema_;
   EngineHooks* hooks_;
   const QueryMetadata* metadata_;

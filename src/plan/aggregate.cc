@@ -58,52 +58,51 @@ Status HashAggregateOperator::Accumulate(
     std::vector<GroupState>* groups,
     std::unordered_map<std::string, size_t>* group_index) {
   Evaluator evaluator(&child->schema(), ctx->hooks, ctx->metadata, ctx->stats);
-  Row row;
-  uint64_t rows_seen = 0;
+  RowBatch batch(static_cast<size_t>(ctx->batch_size));
   while (true) {
-    if ((++rows_seen & 1023) == 0) {
-      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    }
-    SIEVE_ASSIGN_OR_RETURN(bool has, child->Next(ctx, &row));
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, child->NextBatch(ctx, &batch));
     if (!has) break;
-
-    Row key;
-    key.reserve(group_by.size());
-    for (const auto& g : group_by) {
-      SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*g, row));
-      key.push_back(std::move(v));
-    }
-    std::string fp = RowFingerprint(key);
-    auto it = group_index->find(fp);
-    size_t group_pos;
-    if (it == group_index->end()) {
-      group_pos = groups->size();
-      GroupState state;
-      state.key = key;
-      state.first_row = row;
-      state.aggs.resize(num_aggs);
-      groups->push_back(std::move(state));
-      group_index->emplace(std::move(fp), group_pos);
-    } else {
-      group_pos = it->second;
-    }
-
-    // Update aggregate states in SELECT-list order.
-    size_t agg_pos = 0;
-    for (const auto& item : items) {
-      if (item.agg == AggFn::kNone) continue;
-      AggState& agg = (*groups)[group_pos].aggs[agg_pos++];
-      if (item.agg == AggFn::kCountStar) {
-        ++agg.count;
-        continue;
+    for (size_t r = 0; r < batch.size(); ++r) {
+      const Row& row = batch[r];
+      Row key;
+      key.reserve(group_by.size());
+      for (const auto& g : group_by) {
+        SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*g, row));
+        key.push_back(std::move(v));
       }
-      SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*item.expr, row));
-      if (v.is_null()) continue;
-      ++agg.count;
-      agg.sum += v.AsDouble();
-      if (!agg.saw_value || v.Compare(agg.min) < 0) agg.min = v;
-      if (!agg.saw_value || v.Compare(agg.max) > 0) agg.max = v;
-      agg.saw_value = true;
+      std::string fp = RowFingerprint(key);
+      auto it = group_index->find(fp);
+      size_t group_pos;
+      if (it == group_index->end()) {
+        group_pos = groups->size();
+        GroupState state;
+        state.key = key;
+        state.first_row = row;
+        state.aggs.resize(num_aggs);
+        groups->push_back(std::move(state));
+        group_index->emplace(std::move(fp), group_pos);
+      } else {
+        group_pos = it->second;
+      }
+
+      // Update aggregate states in SELECT-list order.
+      size_t agg_pos = 0;
+      for (const auto& item : items) {
+        if (item.agg == AggFn::kNone) continue;
+        AggState& agg = (*groups)[group_pos].aggs[agg_pos++];
+        if (item.agg == AggFn::kCountStar) {
+          ++agg.count;
+          continue;
+        }
+        SIEVE_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*item.expr, row));
+        if (v.is_null()) continue;
+        ++agg.count;
+        agg.sum += v.AsDouble();
+        if (!agg.saw_value || v.Compare(agg.min) < 0) agg.min = v;
+        if (!agg.saw_value || v.Compare(agg.max) > 0) agg.max = v;
+        agg.saw_value = true;
+      }
     }
   }
   return Status::OK();
@@ -121,7 +120,7 @@ Status HashAggregateOperator::Open(ExecContext* ctx) {
   bool accumulated = false;
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
     std::vector<OperatorPtr> parts;
-    if (child_->CreatePartitions(static_cast<size_t>(ctx->num_threads),
+    if (child_->CreatePartitions(PlanPartitionCount(*child_, *ctx),
                                  &parts) &&
         !parts.empty()) {
       SIEVE_RETURN_IF_ERROR(OpenParallel(ctx, &parts));

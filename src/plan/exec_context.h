@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "expr/eval.h"
+#include "plan/row_batch.h"
 #include "storage/catalog.h"
 
 namespace sieve {
@@ -112,8 +113,16 @@ struct ExecContext {
   /// every pool-carrying context guarantees.
   std::shared_ptr<CteCache> ctes;
 
+  /// Rows per execution batch (Operator::NextBatch). The default is the
+  /// vectorized fast path; 1 reproduces the legacy row-at-a-time behavior
+  /// (same rows, order and ExecStats at every value — only the
+  /// amortization changes). Always >= 1.
+  int batch_size = static_cast<int>(kDefaultBatchSize);
+
   /// Partition parallelism: 1 (the default) is today's serial behavior.
-  /// When > 1, `pool` must point at a live thread pool.
+  /// When > 1, `pool` must point at a live thread pool, and partitionable
+  /// pipelines split into several morsels per worker that the pool's
+  /// claim queue hands out dynamically (see Executor::Materialize).
   int num_threads = 1;
   ThreadPool* pool = nullptr;
   /// Set when a sibling partition failed; checked cooperatively so the
@@ -146,6 +155,7 @@ struct ExecContext {
     worker.timeout_seconds = timeout_seconds;
     worker.timer = timer;  // same epoch: the deadline is shared
     worker.ctes = ctes;    // shared: CTEs materialize once per query
+    worker.batch_size = batch_size;
     worker.num_threads = num_threads;
     worker.pool = pool;
     worker.cancel = cancel_flag;

@@ -1,5 +1,6 @@
 #include "plan/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <utility>
@@ -36,16 +37,36 @@ namespace {
 // per-batch overhead vanishes, small enough to keep Row moves cache-warm.
 constexpr size_t kDrainBatchRows = 4096;
 
-// Serial pull loop: opens `root` and drains it into *schema / *rows.
+// Morsels handed out per worker thread. Several morsels per worker is
+// what turns static slicing into dynamic scheduling: ParallelFor's atomic
+// claim counter is the shared work queue, and a worker that finishes a
+// cheap morsel immediately claims the next one instead of idling behind a
+// skewed sibling. Larger values smooth skew further but multiply
+// per-morsel Open overhead (operator clones, expression binds).
+constexpr size_t kMorselsPerThread = 8;
+
+// Minimum rows a morsel should cover (one default batch): below this the
+// per-morsel Open overhead outweighs any scheduling benefit, so small
+// inputs get fewer (down to one) morsels.
+constexpr size_t kMinMorselRows = kDefaultBatchSize;
+
+// Serial pull loop: opens `root` and drains it batch-at-a-time into
+// *schema / *rows (ctx->batch_size rows per NextBatch interpretation
+// pass).
 Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
                    std::vector<Row>* rows) {
   SIEVE_RETURN_IF_ERROR(root->Open(ctx));
   *schema = root->schema();
-  Row row;
+  RowBatch batch(static_cast<size_t>(ctx->batch_size));
   while (true) {
-    SIEVE_ASSIGN_OR_RETURN(bool has, root->Next(ctx, &row));
+    SIEVE_ASSIGN_OR_RETURN(bool has, root->NextBatch(ctx, &batch));
     if (!has) break;
-    rows->push_back(std::move(row));
+    // Plain push_back: letting the vector grow geometrically is O(R)
+    // amortized, whereas reserving size+batch per batch would reallocate
+    // (and move every drained row) once per batch.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows->push_back(std::move(batch[i]));
+    }
   }
   return Status::OK();
 }
@@ -119,6 +140,17 @@ Status RunWorkers(ExecContext* ctx, size_t n,
   return first_error;
 }
 
+size_t PlanPartitionCount(const Operator& root, const ExecContext& ctx) {
+  const size_t threads = static_cast<size_t>(ctx.num_threads);
+  const size_t rows = root.EstimatedPartitionRows();
+  // Unknown size: fall back to one static slice per worker (the dynamic
+  // claim queue still smooths *across* pipelines sharing the pool).
+  if (rows == Operator::kUnknownRows) return threads;
+  const size_t by_size = rows / kMinMorselRows;
+  if (by_size <= 1) return 1;
+  return std::min(by_size, threads * kMorselsPerThread);
+}
+
 Result<std::unique_ptr<QueryCursor>> QueryCursor::Open(OperatorPtr root,
                                                        const ExecContext& base) {
   std::unique_ptr<QueryCursor> cursor(new QueryCursor());
@@ -130,12 +162,13 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Open(OperatorPtr root,
     cursor->ctx_.ctes = std::make_shared<CteCache>();
   }
   ExecContext* ctx = &cursor->ctx_;
+  cursor->fetch_batch_.reset(static_cast<size_t>(ctx->batch_size));
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
     // CreatePartitions contract: partition clones replace the original
     // root, which must then never be opened itself.
     std::vector<OperatorPtr> parts;
-    if (cursor->root_->CreatePartitions(static_cast<size_t>(ctx->num_threads),
-                                        &parts) &&
+    if (cursor->root_->CreatePartitions(
+            PlanPartitionCount(*cursor->root_, *ctx), &parts) &&
         !parts.empty()) {
       SIEVE_RETURN_IF_ERROR(DrainPartitioned(parts, ctx, &cursor->schema_,
                                              &cursor->buffered_));
@@ -167,20 +200,22 @@ Result<bool> QueryCursor::Next(std::vector<Row>* batch, size_t max_rows) {
       done_ = true;
     }
   } else {
-    Row row;
     while (emitted < max_rows) {
-      auto has = root_->Next(&ctx_, &row);
-      if (!has.ok()) {
-        error_ = has.status();
-        done_ = true;
-        Finalize();
-        return error_;
+      if (fetch_pos_ >= fetch_batch_.size()) {
+        auto has = root_->NextBatch(&ctx_, &fetch_batch_);
+        if (!has.ok()) {
+          error_ = has.status();
+          done_ = true;
+          Finalize();
+          return error_;
+        }
+        if (!*has) {
+          done_ = true;
+          break;
+        }
+        fetch_pos_ = 0;
       }
-      if (!*has) {
-        done_ = true;
-        break;
-      }
-      batch->push_back(std::move(row));
+      batch->push_back(std::move(fetch_batch_[fetch_pos_++]));
       ++emitted;
     }
   }
@@ -202,6 +237,8 @@ void QueryCursor::Abandon() {
   done_ = true;
   buffered_.clear();
   buffered_pos_ = 0;
+  fetch_batch_.clear();
+  fetch_pos_ = 0;
   Finalize();
 }
 
@@ -226,9 +263,11 @@ Status Executor::Materialize(Operator* root, ExecContext* ctx, Schema* schema,
   // root — lazy creation after workers exist would split the cache.
   if (ctx->ctes == nullptr) ctx->ctes = std::make_shared<CteCache>();
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    // Several morsels per worker, claimed dynamically from the pool's
+    // shared atomic counter (see MorselCount) — skewed morsels no longer
+    // pin a static slice to one thread.
     std::vector<OperatorPtr> parts;
-    if (root->CreatePartitions(static_cast<size_t>(ctx->num_threads),
-                               &parts) &&
+    if (root->CreatePartitions(PlanPartitionCount(*root, *ctx), &parts) &&
         !parts.empty()) {
       return DrainPartitioned(parts, ctx, schema, rows);
     }

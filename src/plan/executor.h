@@ -37,6 +37,20 @@ struct ResultSet {
 Status RunWorkers(ExecContext* ctx, size_t n,
                   const std::function<Status(size_t, ExecContext*)>& body);
 
+/// Number of partition morsels a parallel drain should split `root`
+/// into: several per worker thread (capped so each morsel covers at least
+/// ~a batch of rows), handed out dynamically through ThreadPool::
+/// ParallelFor's shared atomic claim counter. A skewed guard branch or a
+/// highly selective filter then occupies one thread for one morsel at a
+/// time instead of pinning a whole static 1/num_threads slice to it while
+/// the other workers idle. Sizing uses Operator::EstimatedPartitionRows;
+/// a subtree that cannot size itself before Open (a not-yet-materialized
+/// CTE) gets one static slice per worker, and tiny inputs collapse to a
+/// single morsel instead of paying dozens of near-empty clone Opens.
+/// Morsels are contiguous slices stitched back in source order, so rows,
+/// row order and ExecStats stay identical to a serial run at any count.
+size_t PlanPartitionCount(const Operator& root, const ExecContext& ctx);
+
 /// Incremental (pull-based) execution of one planned query: rows are
 /// emitted in chunks through Next instead of materializing the whole
 /// result up front. This is what backs the session API's ResultCursor.
@@ -99,6 +113,8 @@ class QueryCursor {
   ExecStats stats_;
   Schema schema_;
   Timer timer_;
+  RowBatch fetch_batch_;  // serial path: rows pulled but not yet served
+  size_t fetch_pos_ = 0;
   std::vector<Row> buffered_;  // partition-parallel path
   size_t buffered_pos_ = 0;
   bool partitioned_ = false;

@@ -61,18 +61,21 @@ Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
   right_eval_ = std::make_unique<Evaluator>(&right_->schema(), ctx->hooks,
                                             ctx->metadata, ctx->stats);
   build_.clear();
-  Row row;
+  RowBatch batch(static_cast<size_t>(ctx->batch_size));
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    std::vector<Value> key;
-    key.reserve(right_keys_.size());
-    for (const auto& k : right_keys_) {
-      SIEVE_ASSIGN_OR_RETURN(Value v, right_eval_->Eval(*k, row));
-      key.push_back(std::move(v));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Row& row = batch[i];
+      std::vector<Value> key;
+      key.reserve(right_keys_.size());
+      for (const auto& k : right_keys_) {
+        SIEVE_ASSIGN_OR_RETURN(Value v, right_eval_->Eval(*k, row));
+        key.push_back(std::move(v));
+      }
+      build_[std::move(key)].push_back(std::move(row));
     }
-    build_[std::move(key)].push_back(row);
   }
   return Status::OK();
 }
@@ -81,12 +84,14 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   buffered_ = false;
   joined_.clear();
   out_pos_ = 0;
+  probe_batch_.reset(static_cast<size_t>(ctx->batch_size));
+  probe_pos_ = 0;
   // Parallel probe: the build side drains once on the calling thread (its
   // own CTE inputs still materialize in parallel inside its Open), then
-  // the partitioned probe side fans out against the finished table.
+  // the probe side fans out as morsels against the finished table.
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
     std::vector<OperatorPtr> parts;
-    if (left_->CreatePartitions(static_cast<size_t>(ctx->num_threads),
+    if (left_->CreatePartitions(PlanPartitionCount(*left_, *ctx),
                                 &parts) &&
         !parts.empty()) {
       SIEVE_RETURN_IF_ERROR(BuildHashTable(ctx));
@@ -131,22 +136,33 @@ Status HashJoinOperator::ParallelProbe(ExecContext* ctx,
         }
         Evaluator eval(&part->schema(), worker->hooks, worker->metadata,
                        worker->stats);
-        Row row;
+        RowBatch batch(static_cast<size_t>(worker->batch_size));
         while (true) {
-          SIEVE_ASSIGN_OR_RETURN(bool has, part->Next(worker, &row));
+          SIEVE_ASSIGN_OR_RETURN(bool has, part->NextBatch(worker, &batch));
           if (!has) return Status::OK();
-          std::vector<Value> key;
-          key.reserve(keys.size());
-          for (const auto& k : keys) {
-            SIEVE_ASSIGN_OR_RETURN(Value v, eval.Eval(*k, row));
-            key.push_back(std::move(v));
-          }
-          auto it = build.find(key);
-          if (it == build.end()) continue;
-          for (const Row& right_row : it->second) {
-            Row out = row;
-            out.insert(out.end(), right_row.begin(), right_row.end());
-            worker_rows[i].push_back(std::move(out));
+          for (size_t r = 0; r < batch.size(); ++r) {
+            Row& row = batch[r];
+            std::vector<Value> key;
+            key.reserve(keys.size());
+            for (const auto& k : keys) {
+              SIEVE_ASSIGN_OR_RETURN(Value v, eval.Eval(*k, row));
+              key.push_back(std::move(v));
+            }
+            auto it = build.find(key);
+            if (it == build.end()) continue;
+            const std::vector<Row>& matches = it->second;
+            for (size_t m = 0; m < matches.size(); ++m) {
+              Row out;
+              out.reserve(row.size() + matches[m].size());
+              if (m + 1 == matches.size()) {
+                // Last match: the probe row is dead — steal its cells.
+                for (Value& v : row) out.push_back(std::move(v));
+              } else {
+                out.insert(out.end(), row.begin(), row.end());
+              }
+              out.insert(out.end(), matches[m].begin(), matches[m].end());
+              worker_rows[i].push_back(std::move(out));
+            }
           }
         }
       }));
@@ -161,6 +177,48 @@ Status HashJoinOperator::ParallelProbe(ExecContext* ctx,
     for (Row& row : rows) joined_.push_back(std::move(row));
   }
   return Status::OK();
+}
+
+Result<bool> HashJoinOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->clear();
+  if (buffered_) {
+    while (out_pos_ < joined_.size() && !out->full()) {
+      out->PushBack(std::move(joined_[out_pos_++]));
+    }
+    return !out->empty();
+  }
+  while (!out->full()) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Row& right_row = (*matches_)[match_pos_++];
+      Row* o = out->AddRow();
+      o->reserve(current_left_.size() + right_row.size());
+      if (match_pos_ == matches_->size()) {
+        // Last match of this probe row: steal its cells.
+        for (Value& v : current_left_) o->push_back(std::move(v));
+      } else {
+        o->insert(o->end(), current_left_.begin(), current_left_.end());
+      }
+      o->insert(o->end(), right_row.begin(), right_row.end());
+      continue;
+    }
+    if (probe_pos_ >= probe_batch_.size()) {
+      SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+      SIEVE_ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &probe_batch_));
+      if (!has) break;
+      probe_pos_ = 0;
+    }
+    current_left_ = std::move(probe_batch_[probe_pos_++]);
+    std::vector<Value> key;
+    key.reserve(left_keys_.size());
+    for (const auto& k : left_keys_) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, left_eval_->Eval(*k, current_left_));
+      key.push_back(std::move(v));
+    }
+    auto it = build_.find(key);
+    matches_ = it == build_.end() ? nullptr : &it->second;
+    match_pos_ = 0;
+  }
+  return !out->empty();
 }
 
 Result<bool> HashJoinOperator::Next(ExecContext* ctx, Row* out) {
@@ -212,12 +270,14 @@ Status NestedLoopJoinOperator::Open(ExecContext* ctx) {
   SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
   schema_ = ConcatSchemas(left_->schema(), right_->schema());
   right_rows_.clear();
-  Row row;
+  RowBatch batch(static_cast<size_t>(ctx->batch_size));
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    right_rows_.push_back(row);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      right_rows_.push_back(std::move(batch[i]));
+    }
   }
   left_valid_ = false;
   right_pos_ = 0;
@@ -240,7 +300,9 @@ Result<bool> NestedLoopJoinOperator::Next(ExecContext* ctx, Row* out) {
       SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     }
     const Row& right_row = right_rows_[right_pos_++];
-    *out = current_left_;
+    out->clear();
+    out->reserve(current_left_.size() + right_row.size());
+    out->insert(out->end(), current_left_.begin(), current_left_.end());
     out->insert(out->end(), right_row.begin(), right_row.end());
     return true;
   }

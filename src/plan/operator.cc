@@ -77,6 +77,7 @@ Status FilterOperator::Open(ExecContext* ctx) {
   evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
                                            ctx->metadata, ctx->stats);
   rows_seen_ = 0;
+  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
   return Status::OK();
 }
 
@@ -90,6 +91,31 @@ Result<bool> FilterOperator::Next(ExecContext* ctx, Row* out) {
     SIEVE_ASSIGN_OR_RETURN(bool pass, evaluator_->EvalPredicate(*predicate_, *out));
     if (pass) return true;
   }
+}
+
+Result<bool> FilterOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->clear();
+  while (out->empty()) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+    if (!has) return false;
+    if (child_batch_.size() == 1) {
+      // Degenerate batch (batch_size = 1): the batched walk would only add
+      // setup overhead, so keep the legacy per-row interpretation.
+      SIEVE_ASSIGN_OR_RETURN(
+          bool pass, evaluator_->EvalPredicate(*predicate_, child_batch_[0]));
+      if (pass) out->PushBack(std::move(child_batch_[0]));
+      continue;
+    }
+    // One predicate-tree walk covers the whole batch — this is where the
+    // guard / Δ policy checks batch across tuples.
+    SIEVE_RETURN_IF_ERROR(evaluator_->EvalPredicateBatch(
+        *predicate_, child_batch_.data(), child_batch_.size(), &pass_));
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      if (pass_[i]) out->PushBack(std::move(child_batch_[i]));
+    }
+  }
+  return true;
 }
 
 std::string FilterOperator::name() const {
@@ -133,6 +159,52 @@ Status ProjectOperator::Open(ExecContext* ctx) {
   }
   evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
                                            ctx->metadata, ctx->stats);
+  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
+
+  // Move plan: when every item is a bound column ref, the consumed input
+  // row's cells can be stolen instead of copied — a column moves at its
+  // last referencing item, earlier duplicates copy.
+  move_source_.clear();
+  move_max_col_ = -1;
+  std::vector<int> cols;
+  cols.reserve(items_.size());
+  for (const auto& item : items_) {
+    if (item.expr->kind() != ExprKind::kColumnRef) break;
+    int idx = static_cast<const ColumnRefExpr&>(*item.expr).bound_index();
+    if (idx < 0) break;
+    cols.push_back(idx);
+  }
+  if (cols.size() == items_.size()) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      bool read_later = false;
+      for (size_t k = j + 1; k < cols.size(); ++k) {
+        if (cols[k] == cols[j]) read_later = true;
+      }
+      move_source_.push_back(read_later ? -(cols[j] + 1) : cols[j]);
+      move_max_col_ = std::max(move_max_col_, cols[j]);
+    }
+  }
+  return Status::OK();
+}
+
+Status ProjectOperator::ProjectRow(Row* input, Row* out) {
+  out->clear();
+  out->reserve(items_.size());
+  if (!move_source_.empty() &&
+      static_cast<size_t>(move_max_col_) < input->size()) {
+    for (int src : move_source_) {
+      if (src >= 0) {
+        out->push_back(std::move((*input)[static_cast<size_t>(src)]));
+      } else {
+        out->push_back((*input)[static_cast<size_t>(-src - 1)]);
+      }
+    }
+    return Status::OK();
+  }
+  for (const auto& item : items_) {
+    SIEVE_ASSIGN_OR_RETURN(Value v, evaluator_->Eval(*item.expr, *input));
+    out->push_back(std::move(v));
+  }
   return Status::OK();
 }
 
@@ -140,11 +212,16 @@ Result<bool> ProjectOperator::Next(ExecContext* ctx, Row* out) {
   Row input;
   SIEVE_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &input));
   if (!has) return false;
+  SIEVE_RETURN_IF_ERROR(ProjectRow(&input, out));
+  return true;
+}
+
+Result<bool> ProjectOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
-  out->reserve(items_.size());
-  for (const auto& item : items_) {
-    SIEVE_ASSIGN_OR_RETURN(Value v, evaluator_->Eval(*item.expr, input));
-    out->push_back(std::move(v));
+  SIEVE_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+  if (!has) return false;
+  for (size_t i = 0; i < child_batch_.size(); ++i) {
+    SIEVE_RETURN_IF_ERROR(ProjectRow(&child_batch_[i], out->AddRow()));
   }
   return true;
 }
@@ -241,6 +318,7 @@ Status UnionOperator::Open(ExecContext* ctx) {
   }
   current_ = 0;
   seen_.clear();
+  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
   return Status::OK();
 }
 
@@ -320,6 +398,43 @@ Result<bool> UnionOperator::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
+Result<bool> UnionOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->clear();
+  if (buffered_) {
+    while (out_pos_ < out_rows_.size() && !out->full()) {
+      out->PushBack(std::move(out_rows_[out_pos_++]));
+    }
+    return !out->empty();
+  }
+  while (out->empty() && current_ < children_.size()) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has,
+                           children_[current_]->NextBatch(ctx, &child_batch_));
+    if (!has) {
+      ++current_;
+      continue;
+    }
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      Row& row = child_batch_[i];
+      if (!all_) {
+        uint64_t h = RowHash64(row);
+        auto& bucket = seen_[h];
+        bool duplicate = false;
+        for (const Row& prev : bucket) {
+          if (RowsEqual(prev, row)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        bucket.push_back(row);
+      }
+      out->PushBack(std::move(row));
+    }
+  }
+  return !out->empty();
+}
+
 std::string UnionOperator::name() const {
   return all_ ? "UnionAll" : "Union";
 }
@@ -342,25 +457,98 @@ bool ExceptOperator::Contains(
   return false;
 }
 
-Status ExceptOperator::Open(ExecContext* ctx) {
-  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
-  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
-  if (left_->schema().num_columns() != right_->schema().num_columns()) {
-    return Status::ExecutionError("EXCEPT arms produce different column counts");
-  }
+Status ExceptOperator::DrainRightSet(ExecContext* ctx) {
   right_rows_.clear();
-  emitted_.clear();
-  Row row;
+  RowBatch batch(static_cast<size_t>(ctx->batch_size));
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    SIEVE_ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    right_rows_[RowHash64(row)].push_back(row);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      right_rows_[RowHash64(batch[i])].push_back(std::move(batch[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status ExceptOperator::Open(ExecContext* ctx) {
+  buffered_ = false;
+  out_rows_.clear();
+  out_pos_ = 0;
+  emitted_.clear();
+  left_batch_.reset(static_cast<size_t>(ctx->batch_size));
+
+  // Parallel interior: build the subtrahend set once, then partition the
+  // minuend probe across morsels (the set is read-only from then on).
+  if (ctx->num_threads > 1 && ctx->pool != nullptr) {
+    std::vector<OperatorPtr> parts;
+    if (left_->CreatePartitions(PlanPartitionCount(*left_, *ctx),
+                                &parts) &&
+        !parts.empty()) {
+      SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
+      SIEVE_RETURN_IF_ERROR(DrainRightSet(ctx));
+      SIEVE_RETURN_IF_ERROR(OpenParallel(ctx, &parts));
+      buffered_ = true;
+      return Status::OK();
+    }
+  }
+
+  SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
+  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = left_->schema();
+  if (schema_.num_columns() != right_->schema().num_columns()) {
+    return Status::ExecutionError("EXCEPT arms produce different column counts");
+  }
+  return DrainRightSet(ctx);
+}
+
+Status ExceptOperator::OpenParallel(ExecContext* ctx,
+                                    std::vector<OperatorPtr>* parts) {
+  const size_t n = parts->size();
+  std::vector<std::vector<Row>> kept(n);
+  std::vector<Schema> worker_schemas(n);
+  const std::unordered_map<uint64_t, std::vector<Row>>& right = right_rows_;
+
+  SIEVE_RETURN_IF_ERROR(
+      RunWorkers(ctx, n, [&](size_t i, ExecContext* worker) {
+        Operator* part = (*parts)[i].get();
+        SIEVE_RETURN_IF_ERROR(part->Open(worker));
+        worker_schemas[i] = part->schema();
+        RowBatch batch(static_cast<size_t>(worker->batch_size));
+        while (true) {
+          SIEVE_ASSIGN_OR_RETURN(bool has, part->NextBatch(worker, &batch));
+          if (!has) return Status::OK();
+          for (size_t r = 0; r < batch.size(); ++r) {
+            if (Contains(right, batch[r])) continue;
+            kept[i].push_back(std::move(batch[r]));
+          }
+        }
+      }));
+
+  schema_ = worker_schemas.front();
+  if (schema_.num_columns() != right_->schema().num_columns()) {
+    return Status::ExecutionError("EXCEPT arms produce different column counts");
+  }
+
+  // Ordered distinct merge: morsels concatenate to the serial minuend
+  // stream, and this streaming dedup is exactly the serial emitted_
+  // filter — so rows and row order match a serial run.
+  for (std::vector<Row>& rows : kept) {
+    for (Row& row : rows) {
+      if (Contains(emitted_, row)) continue;
+      emitted_[RowHash64(row)].push_back(row);
+      out_rows_.push_back(std::move(row));
+    }
   }
   return Status::OK();
 }
 
 Result<bool> ExceptOperator::Next(ExecContext* ctx, Row* out) {
+  if (buffered_) {
+    if (out_pos_ >= out_rows_.size()) return false;
+    *out = std::move(out_rows_[out_pos_++]);
+    return true;
+  }
   while (true) {
     SIEVE_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, out));
     if (!has) return false;
@@ -369,6 +557,29 @@ Result<bool> ExceptOperator::Next(ExecContext* ctx, Row* out) {
     emitted_[RowHash64(*out)].push_back(*out);
     return true;
   }
+}
+
+Result<bool> ExceptOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->clear();
+  if (buffered_) {
+    while (out_pos_ < out_rows_.size() && !out->full()) {
+      out->PushBack(std::move(out_rows_[out_pos_++]));
+    }
+    return !out->empty();
+  }
+  while (out->empty()) {
+    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+    SIEVE_ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &left_batch_));
+    if (!has) return false;
+    for (size_t i = 0; i < left_batch_.size(); ++i) {
+      Row& row = left_batch_[i];
+      if (Contains(right_rows_, row)) continue;
+      if (Contains(emitted_, row)) continue;
+      emitted_[RowHash64(row)].push_back(row);
+      out->PushBack(std::move(row));
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -435,6 +646,19 @@ Result<bool> MaterializedScanOperator::Next(ExecContext* ctx, Row* out) {
   if (rows_ == nullptr || pos_ >= end_) return false;
   *out = (*rows_)[pos_++];
   return true;
+}
+
+Result<bool> MaterializedScanOperator::NextBatch(ExecContext* ctx,
+                                                 RowBatch* out) {
+  out->clear();
+  if (rows_ == nullptr || pos_ >= end_) return false;
+  SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+  while (pos_ < end_ && !out->full()) {
+    // Copy, not move: the materialized result is shared by every consumer
+    // of the CTE (and by sibling partition clones).
+    *out->AddRow() = (*rows_)[pos_++];
+  }
+  return !out->empty();
 }
 
 bool MaterializedScanOperator::CreatePartitions(

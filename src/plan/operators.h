@@ -14,6 +14,7 @@
 #include "index/bitmap.h"
 #include "parser/ast.h"
 #include "plan/exec_context.h"
+#include "plan/row_batch.h"
 #include "storage/catalog.h"
 
 namespace sieve {
@@ -21,19 +22,34 @@ namespace sieve {
 class Operator;
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Volcano-style physical operator. Open() prepares state; Next() produces
-/// one row at a time. Operators own their children.
+/// Physical operator. Open() prepares state; rows are pulled either one
+/// at a time (Next, the legacy Volcano interface) or — the default
+/// executor path — a batch at a time (NextBatch). Operators own their
+/// children.
+///
+/// Batch contract: NextBatch clears *out, appends rows in stream order
+/// and returns false exactly when the stream is exhausted and nothing was
+/// appended. A true return with a partially filled (or, for expanding
+/// operators such as joins, occasionally over-filled) batch is valid —
+/// callers must keep pulling until false. The hot operators override
+/// NextBatch natively (whole-morsel scans, one predicate-tree walk per
+/// filter batch, batched join probes and aggregate updates); everything
+/// else inherits the row-at-a-time adapter below, so the two interfaces
+/// always produce identical rows, row order and ExecStats. Timeout/cancel
+/// checks are per batch, not per row; a batch capacity of 1 therefore
+/// reproduces the legacy row-at-a-time behavior exactly.
 ///
 /// Threading contract (applies to every subclass unless it says otherwise):
-/// Open and Next are driven by a single thread per operator instance.
-/// Parallelism enters in two ways, both preserving exact serial rows, row
-/// order and ExecStats totals:
+/// Open, Next and NextBatch are driven by a single thread per operator
+/// instance. Parallelism enters in two ways, both preserving exact serial
+/// rows, row order and ExecStats totals:
 ///   1. CreatePartitions (below) hands out clones that concurrent workers
-///      drive independently.
+///      drive independently; the executor creates several morsels per
+///      worker and hands them out dynamically (see Executor::Materialize).
 ///   2. Interior operators (UnionOperator, HashJoinOperator,
-///      HashAggregateOperator) fan their own input out across
-///      ExecContext::pool from inside Open when ctx->num_threads > 1, then
-///      serve the merged result from Next on the calling thread.
+///      HashAggregateOperator, ExceptOperator) fan their own input out
+///      across ExecContext::pool from inside Open when ctx->num_threads
+///      > 1, then serve the merged result on the calling thread.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -43,6 +59,21 @@ class Operator {
   virtual Status Open(ExecContext* ctx) = 0;
   /// Produces the next row into *out; returns false at end of stream.
   virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
+  /// Clears *out and appends up to out->capacity() rows (see the batch
+  /// contract in the class comment). The default adapter drives Next row
+  /// by row; hot operators override it with native batch loops.
+  virtual Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) {
+    out->clear();
+    while (!out->full()) {
+      Row* slot = out->AddRow();
+      SIEVE_ASSIGN_OR_RETURN(bool has, Next(ctx, slot));
+      if (!has) {
+        out->PopBack();
+        break;
+      }
+    }
+    return !out->empty();
+  }
   /// Output schema; valid after Open (leaf scans over base tables also
   /// know it at construction).
   virtual const Schema& schema() const = 0;
@@ -66,6 +97,18 @@ class Operator {
     (void)out;
     return false;
   }
+
+  /// Sentinel for EstimatedPartitionRows: the subtree cannot size itself
+  /// before Open.
+  static constexpr size_t kUnknownRows = static_cast<size_t>(-1);
+
+  /// Best-effort row-count hint for partition planning: how many input
+  /// rows a partitioned drain of this subtree covers (an upper bound is
+  /// fine — leaf scans report table slots, filters forward their child's
+  /// hint). PlanPartitionCount uses it to size morsels so tiny inputs are
+  /// not split into dozens of near-empty clones; kUnknownRows (e.g. a
+  /// not-yet-materialized CTE) falls back to one static slice per worker.
+  virtual size_t EstimatedPartitionRows() const { return kUnknownRows; }
 };
 
 /// Qualifies every column of `schema` with `qualifier` (stripping any
@@ -113,10 +156,14 @@ class SeqScanOperator : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: emits a whole morsel of live rows per call (one
+  /// timeout check, one stats update).
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
   bool CreatePartitions(size_t num_parts,
                         std::vector<OperatorPtr>* out) const override;
+  size_t EstimatedPartitionRows() const override;
 
  private:
   SeqScanOperator(const TableEntry* entry, std::string qualifier,
@@ -150,7 +197,11 @@ class RowIdListScanOperator : public Operator {
  public:
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: fetches a whole morsel of row ids per call.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
+  /// Upper bound: the probe has not run yet, so report the table's slots.
+  size_t EstimatedPartitionRows() const override;
 
  protected:
   RowIdListScanOperator(const TableEntry* entry, std::string qualifier,
@@ -246,6 +297,8 @@ class MaterializedScanOperator : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: copies a whole slice of the materialized rows.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
   bool CreatePartitions(size_t num_parts,
@@ -286,42 +339,72 @@ class MaterializedScanOperator : public Operator {
 /// Partitionable when its child is: each partition filters its own slice
 /// with a private deep clone of the predicate (binding mutates expression
 /// nodes, so partitions must not share them).
+///
+/// The batch path is where policy checks batch across tuples: one
+/// Evaluator::EvalPredicateBatch call walks the guard/Δ predicate tree
+/// once and drives column-wise inner loops over the whole child batch,
+/// instead of re-interpreting the tree per row.
 class FilterOperator : public Operator {
  public:
   FilterOperator(OperatorPtr child, ExprPtr predicate);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override;
   bool CreatePartitions(size_t num_parts,
                         std::vector<OperatorPtr>* out) const override;
+  size_t EstimatedPartitionRows() const override {
+    return child_->EstimatedPartitionRows();
+  }
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
   std::unique_ptr<Evaluator> evaluator_;
   uint64_t rows_seen_ = 0;
+  RowBatch child_batch_;        // batch path: reused input buffer
+  std::vector<uint8_t> pass_;   // batch path: per-row predicate verdicts
 };
 
 /// Projection of scalar expressions (no aggregates). Partitionable when its
 /// child is (expressions are deep-cloned per partition, like FilterOperator).
+///
+/// Pure column projections (every item a bound column ref) move values out
+/// of the consumed input row instead of copying — a column's last
+/// referencing item steals the cell, so wide string columns are never
+/// duplicated on the scan→project hot path.
 class ProjectOperator : public Operator {
  public:
   ProjectOperator(OperatorPtr child, std::vector<SelectItem> items);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
   bool CreatePartitions(size_t num_parts,
                         std::vector<OperatorPtr>* out) const override;
+  size_t EstimatedPartitionRows() const override {
+    return child_->EstimatedPartitionRows();
+  }
 
  private:
+  /// Builds one output row from `input` (moving cells when allowed).
+  Status ProjectRow(Row* input, Row* out);
+
   OperatorPtr child_;
   std::vector<SelectItem> items_;
   Schema schema_;
   std::unique_ptr<Evaluator> evaluator_;
+  /// move_source_[j] >= 0: item j is a bound column ref whose cell may be
+  /// moved out of the input row (no later item reads the same column);
+  /// -(col + 1): copy of column `col` (an earlier duplicate reference).
+  /// Non-empty only when every item is a bound column ref.
+  std::vector<int> move_source_;
+  int move_max_col_ = -1;  // largest column index the move path touches
+  RowBatch child_batch_;  // batch path: reused input buffer
 };
 
 /// Hash join on equi-key expressions (build = right side). This is the
@@ -346,6 +429,10 @@ class HashJoinOperator : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: probes a whole input batch per key-expression
+  /// bind, emitting joined rows batch-at-a-time (buffered slices in
+  /// parallel-probe mode).
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
 
@@ -377,6 +464,8 @@ class HashJoinOperator : public Operator {
   size_t match_pos_ = 0;
   std::unique_ptr<Evaluator> left_eval_;
   std::unique_ptr<Evaluator> right_eval_;
+  RowBatch probe_batch_;   // batch path: reused probe-side input buffer
+  size_t probe_pos_ = 0;   // next unconsumed row of probe_batch_
   // Parallel-probe mode: the joined output, buffered at Open.
   bool buffered_ = false;
   std::vector<Row> joined_;
@@ -530,6 +619,8 @@ class UnionOperator : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: dedups a whole child batch per call.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
 
@@ -540,6 +631,7 @@ class UnionOperator : public Operator {
   std::vector<OperatorPtr> children_;
   bool all_;
   Schema schema_;
+  RowBatch child_batch_;  // serial batch path: reused input buffer
   size_t current_ = 0;
   // Hash-bucketed exact dedup for the serial path: candidate rows compare
   // against the rows already emitted under the same hash.
@@ -554,25 +646,46 @@ class UnionOperator : public Operator {
 /// right input. Section 3.1 uses this non-monotonic operator to argue that
 /// policies must be applied to base tables *before* query operators — which
 /// the rewriter guarantees by replacing table refs with policy-filtered
-/// CTEs. Serial interior (rare in Sieve plans); its CTE inputs still
-/// materialize in parallel.
+/// CTEs.
+///
+/// Parallel interior: Open always builds the subtrahend (right) hash set
+/// once on the calling thread. When ctx->num_threads > 1 and the minuend
+/// (left) pipeline supports CreatePartitions, the probe fans out across
+/// workers — each morsel filters its rows against the shared read-only
+/// right set and buffers the survivors; buffers are concatenated in
+/// morsel order and reduced to distinct first occurrences on the calling
+/// thread, reproducing the serial rows, row order and ExecStats exactly.
+/// Falls back to streaming serial probing otherwise.
 class ExceptOperator : public Operator {
  public:
   ExceptOperator(OperatorPtr left, OperatorPtr right);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
-  const Schema& schema() const override { return left_->schema(); }
+  /// Native batch path: probes a whole minuend batch per call.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
+  const Schema& schema() const override { return schema_; }
   std::string name() const override { return "Except"; }
 
  private:
   bool Contains(const std::unordered_map<uint64_t, std::vector<Row>>& set,
                 const Row& row) const;
 
+  /// Drains the (already opened) right side into right_rows_.
+  Status DrainRightSet(ExecContext* ctx);
+  /// Parallel minuend probe + ordered distinct merge; fills out_rows_.
+  Status OpenParallel(ExecContext* ctx, std::vector<OperatorPtr>* parts);
+
   OperatorPtr left_;
   OperatorPtr right_;
+  Schema schema_;
   std::unordered_map<uint64_t, std::vector<Row>> right_rows_;
   std::unordered_map<uint64_t, std::vector<Row>> emitted_;
+  RowBatch left_batch_;  // serial batch path: reused input buffer
+  // Parallel-interior mode: the surviving rows, buffered at Open.
+  bool buffered_ = false;
+  std::vector<Row> out_rows_;
+  size_t out_pos_ = 0;
 };
 
 }  // namespace sieve

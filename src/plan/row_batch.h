@@ -1,0 +1,85 @@
+#ifndef SIEVE_PLAN_ROW_BATCH_H_
+#define SIEVE_PLAN_ROW_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace sieve {
+
+/// Default rows per batch for batch-at-a-time execution. Exposed as the
+/// `SieveOptions::batch_size` knob; 1 reproduces the legacy row-at-a-time
+/// behavior (every NextBatch call degenerates to one Next call).
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// Reusable, capacity-bounded buffer of rows — the unit of work of the
+/// batch-at-a-time executor (Operator::NextBatch). A batch amortizes the
+/// per-tuple middleware overhead the row-at-a-time interpreter pays on
+/// every row: one virtual dispatch, one timeout/cancel check and one
+/// predicate-tree interpretation now cover up to `capacity` rows.
+///
+/// Row slots are recycled: clear() resets the live count without
+/// destroying the underlying Row vectors, so a scan that refills the same
+/// batch reuses each slot's heap allocation (and, via Value copy
+/// assignment, each string cell's buffer) instead of reallocating per
+/// row. Single-threaded like the operator that fills it; each parallel
+/// worker drives its own batch.
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity = kDefaultBatchSize)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  Row& operator[](size_t i) { return slots_[i]; }
+  const Row& operator[](size_t i) const { return slots_[i]; }
+
+  /// Live prefix as a contiguous span (for batch expression evaluation).
+  const Row* data() const { return slots_.data(); }
+
+  /// Resets the live count; keeps every slot's allocation for reuse.
+  void clear() { size_ = 0; }
+
+  /// Ensures the batch's capacity is `capacity` (used when the configured
+  /// batch size only becomes known at Open). Does not shrink live rows.
+  void reset(size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    size_ = 0;
+  }
+
+  /// Appends and returns a cleared row slot, reusing its prior heap
+  /// allocation when the slot was filled before.
+  Row* AddRow() {
+    if (size_ == slots_.size()) slots_.emplace_back();
+    Row* row = &slots_[size_++];
+    row->clear();
+    return row;
+  }
+
+  /// Drops the most recently added row (used by the row-at-a-time adapter
+  /// when Next reports end-of-stream into a fresh slot).
+  void PopBack() { --size_; }
+
+  /// Appends by move.
+  void PushBack(Row&& row) {
+    if (size_ == slots_.size()) {
+      slots_.push_back(std::move(row));
+      ++size_;
+      return;
+    }
+    slots_[size_++] = std::move(row);
+  }
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<Row> slots_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_PLAN_ROW_BATCH_H_

@@ -74,6 +74,21 @@ Result<bool> SeqScanOperator::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
+Result<bool> SeqScanOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->clear();
+  SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+  const Table& table = *entry_->table;
+  uint64_t scanned = 0;
+  while (next_id_ < scan_end_ && !out->full()) {
+    RowId id = next_id_++;
+    if (!table.IsLive(id)) continue;
+    *out->AddRow() = table.Get(id);  // slot reuse: assignment recycles cells
+    ++scanned;
+  }
+  if (ctx->stats != nullptr) ctx->stats->tuples_scanned += scanned;
+  return !out->empty();
+}
+
 bool SeqScanOperator::CreatePartitions(size_t num_parts,
                                        std::vector<OperatorPtr>* out) const {
   size_t slots = entry_->table->num_slots();
@@ -85,6 +100,10 @@ bool SeqScanOperator::CreatePartitions(size_t num_parts,
         static_cast<RowId>(end))));
   }
   return true;
+}
+
+size_t SeqScanOperator::EstimatedPartitionRows() const {
+  return entry_->table->num_slots();
 }
 
 std::string SeqScanOperator::name() const {
@@ -145,6 +164,26 @@ Result<bool> RowIdListScanOperator::Next(ExecContext* ctx, Row* out) {
     return true;
   }
   return false;
+}
+
+Result<bool> RowIdListScanOperator::NextBatch(ExecContext* ctx,
+                                              RowBatch* out) {
+  out->clear();
+  SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+  const Table& table = *entry_->table;
+  uint64_t fetched = 0;
+  while (pos_ < end_ && !out->full()) {
+    RowId id = (*ids_)[pos_++];
+    if (!table.IsLive(id)) continue;
+    *out->AddRow() = table.Get(id);
+    ++fetched;
+  }
+  if (ctx->stats != nullptr) ctx->stats->index_probe_rows += fetched;
+  return !out->empty();
+}
+
+size_t RowIdListScanOperator::EstimatedPartitionRows() const {
+  return entry_->table->num_slots();
 }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,10 @@ Status SieveMiddleware::set_options(const SieveOptions& options) {
         StrFormat("timeout_seconds must be >= 0, got %g",
                   options.timeout_seconds));
   }
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument(
+        StrFormat("batch_size must be >= 1, got %d", options.batch_size));
+  }
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   options_ = options;
   dynamics_.set_mode(options.regeneration_mode);
@@ -126,7 +130,7 @@ Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
     }
   }
   return db_->ExecuteStmt(*rewritten, &md, options_.timeout_seconds,
-                          options_.num_threads);
+                          options_.num_threads, options_.batch_size);
 }
 
 }  // namespace sieve

@@ -31,11 +31,18 @@ struct SieveOptions {
   /// Regeneration mode for dynamic policy insertions.
   RegenerationMode regeneration_mode = RegenerationMode::kLazy;
   /// Partition-parallel execution: guarded scans *and* the interiors of
-  /// UNION / hash join / hash aggregate run on this many worker threads.
-  /// 1 (the default) preserves serial behavior; parallel runs return the
-  /// same rows in the same order with the same ExecStats totals, just
-  /// faster on multi-core hardware.
+  /// UNION / hash join / hash aggregate / EXCEPT run on this many worker
+  /// threads (morsel-scheduled — see ARCHITECTURE.md). 1 (the default)
+  /// preserves serial behavior; parallel runs return the same rows in the
+  /// same order with the same ExecStats totals, just faster on multi-core
+  /// hardware.
   int num_threads = 1;
+  /// Rows per execution batch of the vectorized executor: scans emit
+  /// whole morsels, guard/Δ predicates are interpreted once per batch,
+  /// timeout checks amortize across the batch. 1 reproduces the legacy
+  /// row-at-a-time execution; every value returns identical rows, order
+  /// and ExecStats. Must be >= 1 (validated by set_options).
+  int batch_size = static_cast<int>(kDefaultBatchSize);
 };
 
 /// The Sieve middleware facade (Section 5): intercepts queries, rewrites

@@ -138,7 +138,7 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
         mw_->dynamics_.ObserveQuery();
         const SieveOptions& opts = mw_->options_;
         return mw_->db_->ExecuteStmt(*bound, &md_, opts.timeout_seconds,
-                                     opts.num_threads);
+                                     opts.num_threads, opts.batch_size);
       }
     }
     // A policy mutation outdated the snapshot; re-prepare and try again.
@@ -171,7 +171,7 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
         SIEVE_ASSIGN_OR_RETURN(
             std::unique_ptr<QueryCursor> cursor,
             mw_->db_->OpenCursor(*bound, md.get(), opts.timeout_seconds,
-                                 opts.num_threads));
+                                 opts.num_threads, opts.batch_size));
         // The shared lock transfers into the cursor: the policy epoch
         // stays pinned until the cursor is drained or destroyed.
         return ResultCursor(std::move(lock), std::move(md), std::move(bound),

@@ -3,14 +3,19 @@
 // reference semantics eval(E(P), t) — on both engine profiles. This is the
 // paper's sound+secure correctness criterion as a property test.
 //
-// The sweep is also differential across execution modes: every query runs
-// serially and partition-parallel at num_threads ∈ {2, 4, 8}, and the
-// parallel runs must reproduce the serial rows *in the serial order* and
-// the serial ExecStats totals exactly (per-worker counters merged at the
-// barrier). The query mix covers every parallel interior: plain guarded
-// scans, UNION / UNION ALL over guard branches, the hash join of the
-// policy-filtered CTE against an unprotected table, and grouped + global
-// aggregates (COUNT/SUM/MIN/MAX/AVG partial-state merge).
+// The sweep is also differential across execution modes: every query's
+// reference is the legacy serial row-at-a-time run (num_threads = 1,
+// batch_size = 1), and every (batch_size ∈ {1, 3, 64, 1024}) ×
+// (num_threads ∈ {1, 2, 4, 8}) combination — vectorized batches, morsel-
+// parallel drains, and both together — must reproduce the reference rows
+// *in the reference order* and the reference ExecStats totals exactly
+// (per-worker counters merged at the barrier; batched predicate walks
+// counting comparison for comparison with the short-circuit interpreter).
+// The query mix covers every parallel interior: plain guarded scans,
+// UNION / UNION ALL over guard branches, the hash join of the policy-
+// filtered CTE against an unprotected table, grouped + global aggregates
+// (COUNT/SUM/MIN/MAX/AVG partial-state merge), and EXCEPT (parallel
+// minuend probe + ordered distinct merge).
 //
 // On top of that, the sweep is differential across *API surfaces*: every
 // query also runs through SieveSession::Prepare + repeated
@@ -97,6 +102,16 @@ std::vector<std::string> MakeQueries(Rng& rng) {
         (long long)rng.Uniform(0, 9)));
   }
 
+  // EXCEPT: the non-monotonic Section-3.1 operator — parallel minuend
+  // probe against the once-built subtrahend set, distinct first-occurrence
+  // merge.
+  {
+    queries.push_back(StrFormat(
+        "SELECT * FROM wifi WHERE wifiAP < %lld EXCEPT "
+        "SELECT * FROM wifi WHERE owner = %lld",
+        (long long)rng.Uniform(1, 5), (long long)rng.Uniform(0, 9)));
+  }
+
   // Hash join: probe side is the policy-filtered wifi CTE, build side the
   // unprotected aps lookup table — the Δ-join shape of rewritten
   // multi-table queries.
@@ -165,9 +180,10 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     ASSERT_TRUE(sieve.AddPolicy(std::move(p)).ok());
   }
 
-  auto set_threads = [&sieve](int threads) {
+  auto set_exec = [&sieve](int threads, int batch) {
     SieveOptions options = sieve.options();
     options.num_threads = threads;
+    options.batch_size = batch;
     ASSERT_TRUE(sieve.set_options(options).ok());
   };
 
@@ -176,7 +192,8 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     // Group queriers are not people; querier "students" never queries.
     if (md.querier == std::string("students")) md.querier = "carol";
 
-    set_threads(1);
+    // Reference: the legacy serial row-at-a-time interpreter.
+    set_exec(1, 1);
     auto fast = sieve.Execute(sql, md);
     auto oracle = sieve.ExecuteReference(sql, md);
     ASSERT_TRUE(fast.ok()) << sql << " -> " << fast.status().ToString();
@@ -185,10 +202,34 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
         << "querier=" << md.querier << " purpose=" << md.purpose
         << " sql=" << sql;
 
+    // Differential across execution modes: every batch-size × thread
+    // combination must reproduce the row-at-a-time reference rows, row
+    // order and ExecStats totals exactly.
+    std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
+    for (int batch : {1, 3, 64, 1024}) {
+      for (int threads : {1, 2, 4, 8}) {
+        if (batch == 1 && threads == 1) continue;  // the reference itself
+        set_exec(threads, batch);
+        auto swept = sieve.Execute(sql, md);
+        ASSERT_TRUE(swept.ok())
+            << "batch=" << batch << " threads=" << threads << " sql=" << sql
+            << " -> " << swept.status().ToString();
+        EXPECT_EQ(serial_rows, OrderedFingerprints(*swept))
+            << "batch=" << batch << " threads=" << threads
+            << " querier=" << md.querier << " purpose=" << md.purpose
+            << " sql=" << sql;
+        EXPECT_EQ(fast->stats, swept->stats)
+            << "batch=" << batch << " threads=" << threads << " sql=" << sql
+            << " reference=" << fast->stats.ToString()
+            << " swept=" << swept->stats.ToString();
+      }
+    }
+    set_exec(1, 1024);
+
     // Differential across API surfaces: prepare once, execute twice (the
     // second run is served by the rewrite cache) and drain a small-batch
-    // cursor — all must be byte-identical to the one-shot path.
-    std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
+    // cursor — all must be byte-identical to the one-shot path (which the
+    // sweep above proved identical to the row-at-a-time reference).
     {
       SieveSession session(&sieve, md);
       auto prepared = session.Prepare(sql);
@@ -218,23 +259,11 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
       EXPECT_EQ(fast->stats, cursor->stats()) << "cursor sql=" << sql;
     }
 
-    // Differential: partition-parallel execution must reproduce the serial
-    // rows, row order and stat totals exactly, for both the Sieve rewrite
-    // and the reference semantics — and the prepared path must agree at
-    // every thread count too.
+    // Differential across thread counts for the reference semantics and
+    // the prepared path too (both at the default batch size — the grid
+    // above already covered the one-shot Sieve path).
     for (int threads : {2, 4, 8}) {
-      set_threads(threads);
-      auto parallel = sieve.Execute(sql, md);
-      ASSERT_TRUE(parallel.ok())
-          << "threads=" << threads << " sql=" << sql << " -> "
-          << parallel.status().ToString();
-      EXPECT_EQ(serial_rows, OrderedFingerprints(*parallel))
-          << "threads=" << threads << " querier=" << md.querier
-          << " purpose=" << md.purpose << " sql=" << sql;
-      EXPECT_EQ(fast->stats, parallel->stats)
-          << "threads=" << threads << " sql=" << sql
-          << " serial=" << fast->stats.ToString()
-          << " parallel=" << parallel->stats.ToString();
+      set_exec(threads, 1024);
       auto parallel_oracle = sieve.ExecuteReference(sql, md);
       ASSERT_TRUE(parallel_oracle.ok()) << "threads=" << threads;
       EXPECT_EQ(Fingerprints(*oracle), Fingerprints(*parallel_oracle))
@@ -250,7 +279,7 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
       EXPECT_EQ(fast->stats, repeated->stats)
           << "prepared threads=" << threads << " sql=" << sql;
     }
-    set_threads(1);
+    set_exec(1, 1024);
   }
 }
 
