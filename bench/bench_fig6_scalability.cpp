@@ -8,8 +8,12 @@
 // enforcement scales with cores; an interior-operator sweep (UNION / join
 // / aggregate tops); and a batch-size sweep comparing the vectorized
 // executor (native batches) against row-at-a-time execution
-// (batch_size = 1) per operator shape. All sections are emitted to
-// BENCH_fig6.json so the perf trajectory accumulates across commits.
+// (batch_size = 1) per operator shape; and a columnar section recording
+// the typed-column guard kernels (fixed 1024 and adaptive batch sizing)
+// against the row-at-a-time reference on the guard-dominated scan. All
+// sections are emitted to BENCH_fig6.json — with the build's -march and
+// SIMD width in the metadata object — so the perf trajectory accumulates
+// across commits.
 
 #include <thread>
 
@@ -256,6 +260,7 @@ int main() {
   TablePrinter batch_table({"query", "batch_size", "SIEVE ms",
                             "speedup vs batch=1"});
   double scan_filter_speedup = 0;
+  double scan_filter_row_ms = -1;
   for (const ShapeQuery& q : shape_queries) {
     double row_at_a_time_ms = -1;
     for (int batch : {1, 64, 1024}) {
@@ -283,8 +288,9 @@ int main() {
       double ms = sum_sieve / n;
       if (batch == 1) row_at_a_time_ms = ms;
       double speedup = row_at_a_time_ms > 0 ? row_at_a_time_ms / ms : 0;
-      if (batch == 1024 && std::string(q.label) == "scan_filter") {
-        scan_filter_speedup = speedup;
+      if (std::string(q.label) == "scan_filter") {
+        if (batch == 1) scan_filter_row_ms = ms;
+        if (batch == 1024) scan_filter_speedup = speedup;
       }
       batch_table.AddRow(
           {q.label, StrFormat("%d", batch), StrFormat("%.1f", ms),
@@ -308,6 +314,64 @@ int main() {
               "this one\nholds on 1-core machines too — it amortizes "
               "interpretation, not hardware.\n",
               scan_filter_speedup);
+
+  // ---- Columnar guard kernels: fixed + adaptive batch vs row-at-a-time ----
+  // The acceptance bar for the columnar RowBatch layout: the guard-dominated
+  // scan_filter shape, where the comparison/AND/OR predicate tree compiles to
+  // branch-free typed-column loops, at the default vectorized batch (1024)
+  // and at the adaptive width (batch_size = 0: sized from the operator's
+  // column count to a ~48KB working set), both against the batch_size = 1
+  // row-at-a-time reference measured above. The build's -march and SIMD
+  // width land in the JSON metadata so regressions are attributable to the
+  // instruction set they ran with.
+  std::printf("\n=== Extension: columnar guard kernels (scan_filter, "
+              "1 thread, -march=%s, %d-bit SIMD) ===\n\n",
+              MarchFlag(), SimdVectorWidthBits());
+  TablePrinter columnar_table({"batch_size", "SIEVE ms",
+                               "speedup vs row-at-a-time"});
+  double columnar_speedup = 0;
+  if (scan_filter_row_ms > 0) {
+    for (int batch : {1024, 0}) {
+      set_batch(batch);
+      double sum_sieve = 0;
+      int n = 0;
+      for (int shop = 0; shop < kNumShops; ++shop) {
+        QueryMetadata md{StrFormat("fig6_shop%d_s%d", shop, kSizes[2]),
+                         "Marketing"};
+        double s = TimeQuery([&] { return sieve.Execute(sql, md); });
+        if (s < 0) continue;
+        sum_sieve += s;
+        ++n;
+      }
+      if (n == 0) continue;
+      double ms = sum_sieve / n;
+      double speedup = scan_filter_row_ms / ms;
+      if (batch == 1024) columnar_speedup = speedup;
+      columnar_table.AddRow(
+          {batch == 0 ? std::string("adaptive") : StrFormat("%d", batch),
+           StrFormat("%.1f", ms), StrFormat("%.2fx", speedup)});
+      json_rows.push_back(JsonRow()
+                              .Set("section", std::string("columnar"))
+                              .Set("query", std::string("scan_filter"))
+                              .Set("policies", kSizes[2])
+                              .Set("threads", 1)
+                              .Set("batch_size", batch)
+                              .Set("row_at_a_time_ms", scan_filter_row_ms)
+                              .Set("sieve_ms", ms)
+                              .Set("speedup_vs_row", speedup));
+    }
+    set_batch(1024);
+    columnar_table.Print();
+    std::printf("\nTarget: >= 1.5x over row-at-a-time on the guard-dominated "
+                "scan (measured:\n%.2fx at batch 1024). The adaptive row "
+                "sizes each operator's batch from its\ncolumn count, trading "
+                "peak amortization for cache residency on wide rows.\n",
+                columnar_speedup);
+  } else {
+    std::fprintf(stderr,
+                 "warning: no scan_filter row-at-a-time baseline; "
+                 "skipping the columnar section\n");
+  }
 
   if (!WriteBenchJson("fig6_scalability", "BENCH_fig6.json", json_rows)) {
     std::fprintf(stderr, "warning: could not write BENCH_fig6.json\n");

@@ -172,15 +172,47 @@ class JsonRow {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Writes `rows` to `path` as {"bench": <name>, "rows": [...]}, so the perf
-/// trajectory of a harness can accumulate across commits and be diffed by
-/// tooling. Returns false on IO failure.
+/// Widest SIMD register width (bits) the compiler could auto-vectorize
+/// the guard kernels to, probed from the target macros of this build.
+/// Recorded in bench JSON metadata so perf numbers are attributable to
+/// the instruction set they ran with.
+inline int SimdVectorWidthBits() {
+#if defined(__AVX512F__)
+  return 512;
+#elif defined(__AVX2__) || defined(__AVX__)
+  return 256;
+#elif defined(__SSE2__) || defined(__aarch64__) || defined(__ARM_NEON)
+  return 128;
+#else
+  return 64;
+#endif
+}
+
+/// The -march the tree was built with (CMake's SIEVE_MARCH cache entry,
+/// exported as SIEVE_MARCH_FLAG); "default" when unset.
+inline const char* MarchFlag() {
+#ifdef SIEVE_MARCH_FLAG
+  if (SIEVE_MARCH_FLAG[0] != '\0') return SIEVE_MARCH_FLAG;
+#endif
+  return "default";
+}
+
+/// Writes `rows` to `path` as {"bench": <name>, "metadata": {...},
+/// "rows": [...]}, so the perf trajectory of a harness can accumulate
+/// across commits and be diffed by tooling. The metadata object always
+/// records the build's -march and SIMD width (see above); `extra` fields
+/// are appended to it. Returns false on IO failure.
 inline bool WriteBenchJson(const std::string& bench_name,
                            const std::string& path,
-                           const std::vector<JsonRow>& rows) {
+                           const std::vector<JsonRow>& rows,
+                           const JsonRow& extra_metadata = JsonRow()) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_name.c_str());
+  JsonRow metadata = extra_metadata;
+  metadata.Set("march", std::string(MarchFlag()))
+      .Set("vector_width_bits", SimdVectorWidthBits());
+  std::fprintf(f, "{\"bench\": \"%s\", \"metadata\": %s, \"rows\": [",
+               bench_name.c_str(), metadata.ToJson().c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f, "%s%s", i > 0 ? ",\n  " : "\n  ",
                  rows[i].ToJson().c_str());

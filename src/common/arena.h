@@ -1,0 +1,117 @@
+#ifndef SIEVE_COMMON_ARENA_H_
+#define SIEVE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace sieve {
+
+/// Chunked bump allocator backing batch-local memory (column arrays, null
+/// bytes, selection vectors, copied string payloads). Allocation is a
+/// pointer bump inside the current block; Clear() rewinds every block to
+/// empty but keeps the memory, so a batch that is refilled thousands of
+/// times per query touches the allocator's free lists exactly once.
+///
+/// Alignment: Allocate aligns to `align` (a power of two, at most
+/// alignof(std::max_align_t)); AllocateArray<T> aligns to alignof(T).
+/// Memory is never constructed or destroyed — only trivially copyable
+/// payloads belong here (the batch keeps non-trivial cells elsewhere).
+/// Single-threaded like the batch that owns it.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = kMinBlockBytes)
+      : next_block_bytes_(initial_block_bytes < kMinBlockBytes
+                              ? kMinBlockBytes
+                              : initial_block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align`.
+  void* Allocate(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    Block* block = current_ < blocks_.size() ? blocks_[current_].get() : nullptr;
+    while (true) {
+      if (block != nullptr) {
+        uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+        uintptr_t cursor = (base + block->used + align - 1) & ~(align - 1);
+        if (cursor + bytes <= base + block->size) {
+          block->used = (cursor - base) + bytes;
+          return reinterpret_cast<void*>(cursor);
+        }
+        // Current block is full: advance to the next retained block (if
+        // any) — Clear() keeps blocks so refills walk the same chain.
+        if (current_ + 1 < blocks_.size()) {
+          block = blocks_[++current_].get();
+          continue;
+        }
+      }
+      block = NewBlock(bytes + align);
+    }
+  }
+
+  /// Returns an uninitialized array of `count` Ts (T trivially copyable).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena arrays hold trivially copyable payloads only");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copies `s` into the arena and returns a view of the copy.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return std::string_view();
+    char* dst = AllocateArray<char>(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return std::string_view(dst, s.size());
+  }
+
+  /// Rewinds every block to empty without releasing memory. Invalidates
+  /// all previously returned pointers.
+  void Clear() {
+    for (auto& block : blocks_) block->used = 0;
+    current_ = 0;
+  }
+
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const auto& block : blocks_) total += block->size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinBlockBytes = 4 << 10;
+  static constexpr size_t kMaxBlockBytes = 1 << 20;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  Block* NewBlock(size_t min_bytes) {
+    size_t size = next_block_bytes_;
+    while (size < min_bytes) size *= 2;
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+    auto block = std::make_unique<Block>();
+    block->data = std::make_unique<char[]>(size);
+    block->size = size;
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    return blocks_.back().get();
+  }
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+  size_t current_ = 0;
+  size_t next_block_bytes_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_ARENA_H_

@@ -64,6 +64,18 @@ struct BatchState {
   std::exception_ptr first_error;
 };
 
+// Message of the in-flight exception; callable only from inside a catch
+// block (rethrows and re-catches the active exception).
+std::string CurrentExceptionMessage() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -83,7 +95,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       try {
         (*fn_ptr)(i);
       } catch (...) {
-        error = std::current_exception();
+        // Park the failure wrapped with its task index — a bare rethrow at
+        // the barrier gave no hint which item failed. The original
+        // exception nests inside the wrapper.
+        try {
+          std::throw_with_nested(
+              ParallelForTaskError(i, CurrentExceptionMessage()));
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
       std::lock_guard<std::mutex> lock(state->mu);
       if (error != nullptr &&

@@ -6,10 +6,30 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace sieve {
+
+/// Thrown by ThreadPool::ParallelFor when a work item throws: names the
+/// failing index and the original message, so the failure is attributable
+/// at the barrier instead of surfacing as an anonymous rethrow. The
+/// original exception rides along as the nested exception
+/// (std::rethrow_if_nested recovers its concrete type).
+class ParallelForTaskError : public std::runtime_error {
+ public:
+  ParallelForTaskError(size_t task_index, const std::string& message)
+      : std::runtime_error("parallel task " + std::to_string(task_index) +
+                           " failed: " + message),
+        task_index_(task_index) {}
+
+  size_t task_index() const { return task_index_; }
+
+ private:
+  size_t task_index_;
+};
 
 /// Fixed-size worker pool backing partition-parallel query execution.
 /// Tasks are plain callables; Submit returns a future that completes when
@@ -42,8 +62,11 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
-  /// If any invocation threw, the first exception (by index) is rethrown
-  /// after every invocation has finished — no task is left running.
+  /// If any invocation threw, the first failure (by index — deterministic
+  /// regardless of scheduling) is rethrown after every invocation has
+  /// finished — no task is left running. The rethrown exception is a
+  /// ParallelForTaskError naming the failing index, with the original
+  /// exception nested inside.
   /// Safe to call from inside a pool task (see class comment): the caller
   /// claims unstarted indices itself and only sleeps while indices it did
   /// not claim finish on other threads.

@@ -75,7 +75,9 @@ Result<std::unique_ptr<QueryCursor>> Database::OpenCursor(
   ctx.hooks = this;
   ctx.metadata = metadata;
   ctx.timeout_seconds = timeout_seconds;
-  ctx.batch_size = batch_size < 1 ? 1 : batch_size;
+  // 0 = adaptive per-operator sizing (see EffectiveBatchSize); negatives
+  // clamp to the legacy row-at-a-time size.
+  ctx.batch_size = batch_size < 0 ? 1 : batch_size;
   // One CTE cache per query, shared by every worker context so each CTE
   // body materializes exactly once no matter which worker gets there first.
   ctx.ctes = std::make_shared<CteCache>();

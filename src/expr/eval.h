@@ -9,6 +9,7 @@
 #include "common/metadata.h"
 #include "common/status.h"
 #include "expr/expr.h"
+#include "plan/row_batch.h"
 #include "storage/table.h"
 
 namespace sieve {
@@ -43,16 +44,18 @@ class EngineHooks {
 /// ExecStats.
 ///
 /// EvalPredicateBatch is the vectorized entry point: one walk of the
-/// expression tree drives column-wise inner loops over a whole batch of
-/// rows, so the per-tuple interpretation overhead (virtual dispatch down
-/// the tree, operand resolution) is paid once per batch instead of once
-/// per row. AND/OR narrow a per-node active-row set exactly the way
-/// short-circuiting prunes per row, so the (node, row) evaluation pairs —
-/// and therefore every ExecStats counter — are identical to evaluating
-/// the rows one at a time. Sub-expressions with per-row side effects (UDF
-/// calls such as the Δ operator, correlated subqueries, non-constant IN
-/// lists) fall back to row-at-a-time evaluation for exactly the active
-/// rows, preserving semantics and counters by construction.
+/// expression tree drives tight loops directly over the batch's typed
+/// column arrays (null bytes + contiguous primitives), so comparison and
+/// AND/OR guard nodes compile to branch-free kernels the auto-vectorizer
+/// can SIMD — no Value objects are constructed on the hot path. AND/OR
+/// narrow a per-node active-row set exactly the way short-circuiting
+/// prunes per row, so the (node, row) evaluation pairs — and therefore
+/// every ExecStats counter — are identical to evaluating the rows one at
+/// a time. Sub-expressions with per-row side effects (UDF calls such as
+/// the Δ operator, correlated subqueries, non-constant IN lists) fall
+/// back to row-at-a-time evaluation for exactly the active rows
+/// (materialized from the columns on demand), preserving semantics and
+/// counters by construction.
 class Evaluator {
  public:
   Evaluator(const Schema* schema, EngineHooks* hooks,
@@ -64,17 +67,26 @@ class Evaluator {
   /// Boolean evaluation; NULL is treated as false (SQL WHERE semantics).
   Result<bool> EvalPredicate(const Expr& expr, const Row& row);
 
-  /// Batched predicate evaluation over `rows[0..num_rows)`: sets
-  /// (*pass)[i] to the value EvalPredicate(expr, rows[i]) would return,
-  /// with identical ExecStats side effects, in one tree walk. `pass` is
-  /// resized to num_rows.
+  /// Batched predicate evaluation over the batch's active rows: sets
+  /// (*pass)[k] to the value EvalPredicate(expr, row k) would return,
+  /// with identical ExecStats side effects, in one tree walk over the
+  /// columnar arrays. `pass` is resized to batch.size() and is indexed by
+  /// active position (feed it to RowBatch::NarrowToPassing).
+  Status EvalPredicateBatch(const Expr& expr, const RowBatch& batch,
+                            std::vector<uint8_t>* pass);
+
+  /// Convenience overload over a plain row span (tests, callers without a
+  /// columnar batch): stages the rows into a temporary batch. Rows of
+  /// non-uniform arity fall back to per-row EvalPredicate — identical by
+  /// the batch/row equivalence contract.
   Status EvalPredicateBatch(const Expr& expr, const Row* rows,
                             size_t num_rows, std::vector<uint8_t>* pass);
 
  private:
-  /// Tri-state truth value per row: -1 NULL, 0 false, 1 true. Entries of
-  /// `tri` outside `active` are left untouched.
-  Status EvalBoolBatch(const Expr& expr, const Row* rows,
+  /// Tri-state truth value per active row: -1 NULL, 0 false, 1 true.
+  /// `active` holds active positions (indices into the batch's selection
+  /// view); entries of `tri` outside `active` are left untouched.
+  Status EvalBoolBatch(const Expr& expr, const RowBatch& batch,
                        const std::vector<uint32_t>& active,
                        std::vector<int8_t>* tri);
 
@@ -82,6 +94,7 @@ class Evaluator {
   EngineHooks* hooks_;
   const QueryMetadata* metadata_;
   ExecStats* stats_;
+  Row scratch_row_;  // row-wise fallback: reused materialization buffer
 };
 
 }  // namespace sieve

@@ -31,6 +31,18 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& sql) {
       while (i < n && sql[i] != '\n') ++i;
       continue;
     }
+    // Block comment (standard SQL, non-nesting).
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at offset " +
+                                  std::to_string(start));
+      }
+      i += 2;
+      continue;
+    }
     size_t begin = i;
     if (IsIdentStart(c)) {
       while (i < n && IsIdentChar(sql[i])) ++i;

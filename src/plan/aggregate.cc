@@ -58,13 +58,15 @@ Status HashAggregateOperator::Accumulate(
     std::vector<GroupState>* groups,
     std::unordered_map<std::string, size_t>* group_index) {
   Evaluator evaluator(&child->schema(), ctx->hooks, ctx->metadata, ctx->stats);
-  RowBatch batch(static_cast<size_t>(ctx->batch_size));
+  RowBatch batch(
+      EffectiveBatchSize(ctx->batch_size, child->schema().num_columns()));
+  Row row;
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has, child->NextBatch(ctx, &batch));
     if (!has) break;
     for (size_t r = 0; r < batch.size(); ++r) {
-      const Row& row = batch[r];
+      batch.MaterializeRow(r, &row);
       Row key;
       key.reserve(group_by.size());
       for (const auto& g : group_by) {

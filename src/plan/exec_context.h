@@ -116,7 +116,8 @@ struct ExecContext {
   /// Rows per execution batch (Operator::NextBatch). The default is the
   /// vectorized fast path; 1 reproduces the legacy row-at-a-time behavior
   /// (same rows, order and ExecStats at every value — only the
-  /// amortization changes). Always >= 1.
+  /// amortization changes); 0 selects an adaptive per-operator size from
+  /// the row width (see EffectiveBatchSize). Never negative.
   int batch_size = static_cast<int>(kDefaultBatchSize);
 
   /// Partition parallelism: 1 (the default) is today's serial behavior.

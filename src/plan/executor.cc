@@ -57,7 +57,8 @@ Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
                    std::vector<Row>* rows) {
   SIEVE_RETURN_IF_ERROR(root->Open(ctx));
   *schema = root->schema();
-  RowBatch batch(static_cast<size_t>(ctx->batch_size));
+  RowBatch batch(
+      EffectiveBatchSize(ctx->batch_size, schema->num_columns()));
   while (true) {
     SIEVE_ASSIGN_OR_RETURN(bool has, root->NextBatch(ctx, &batch));
     if (!has) break;
@@ -65,7 +66,8 @@ Status DrainSerial(Operator* root, ExecContext* ctx, Schema* schema,
     // amortized, whereas reserving size+batch per batch would reallocate
     // (and move every drained row) once per batch.
     for (size_t i = 0; i < batch.size(); ++i) {
-      rows->push_back(std::move(batch[i]));
+      rows->emplace_back();
+      batch.MaterializeRow(i, &rows->back());
     }
   }
   return Status::OK();
@@ -110,7 +112,21 @@ Status RunWorkers(ExecContext* ctx, size_t n,
 
   ctx->pool->ParallelFor(n, [&](size_t i) {
     ExecContext worker = ctx->MakeWorkerContext(&worker_stats[i], cancel);
-    Status st = body(i, &worker);
+    Status st;
+    try {
+      st = body(i, &worker);
+    } catch (const std::exception& e) {
+      // A throwing worker (a UDF raising, bad_alloc mid-drain) fails the
+      // query like any erroring partition: convert to a Status naming the
+      // partition and let the first-error selection below pick the winner
+      // deterministically, instead of the exception unwinding past the
+      // sibling workers' barrier.
+      st = Status::ExecutionError(
+          StrFormat("partition worker %zu threw: %s", i, e.what()));
+    } catch (...) {
+      st = Status::ExecutionError(
+          StrFormat("partition worker %zu threw an unknown exception", i));
+    }
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       // Report the real failure, not a cancellation artifact: once a
@@ -162,7 +178,6 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Open(OperatorPtr root,
     cursor->ctx_.ctes = std::make_shared<CteCache>();
   }
   ExecContext* ctx = &cursor->ctx_;
-  cursor->fetch_batch_.reset(static_cast<size_t>(ctx->batch_size));
   if (ctx->num_threads > 1 && ctx->pool != nullptr) {
     // CreatePartitions contract: partition clones replace the original
     // root, which must then never be opened itself.
@@ -178,6 +193,8 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Open(OperatorPtr root,
   }
   SIEVE_RETURN_IF_ERROR(cursor->root_->Open(ctx));
   cursor->schema_ = cursor->root_->schema();
+  cursor->fetch_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, cursor->schema_.num_columns()));
   return cursor;
 }
 
@@ -215,7 +232,8 @@ Result<bool> QueryCursor::Next(std::vector<Row>* batch, size_t max_rows) {
         }
         fetch_pos_ = 0;
       }
-      batch->push_back(std::move(fetch_batch_[fetch_pos_++]));
+      batch->emplace_back();
+      fetch_batch_.MaterializeRow(fetch_pos_++, &batch->back());
       ++emitted;
     }
   }

@@ -61,13 +61,15 @@ Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
   right_eval_ = std::make_unique<Evaluator>(&right_->schema(), ctx->hooks,
                                             ctx->metadata, ctx->stats);
   build_.clear();
-  RowBatch batch(static_cast<size_t>(ctx->batch_size));
+  RowBatch batch(
+      EffectiveBatchSize(ctx->batch_size, right_->schema().num_columns()));
+  Row row;
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      Row& row = batch[i];
+    for (size_t r = 0; r < batch.size(); ++r) {
+      batch.MaterializeRow(r, &row);
       std::vector<Value> key;
       key.reserve(right_keys_.size());
       for (const auto& k : right_keys_) {
@@ -84,7 +86,6 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   buffered_ = false;
   joined_.clear();
   out_pos_ = 0;
-  probe_batch_.reset(static_cast<size_t>(ctx->batch_size));
   probe_pos_ = 0;
   // Parallel probe: the build side drains once on the calling thread (its
   // own CTE inputs still materialize in parallel inside its Open), then
@@ -113,6 +114,8 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   }
   left_eval_ = std::make_unique<Evaluator>(&left_->schema(), ctx->hooks,
                                            ctx->metadata, ctx->stats);
+  probe_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, left_->schema().num_columns()));
   matches_ = nullptr;
   match_pos_ = 0;
   return Status::OK();
@@ -136,12 +139,14 @@ Status HashJoinOperator::ParallelProbe(ExecContext* ctx,
         }
         Evaluator eval(&part->schema(), worker->hooks, worker->metadata,
                        worker->stats);
-        RowBatch batch(static_cast<size_t>(worker->batch_size));
+        RowBatch batch(EffectiveBatchSize(worker->batch_size,
+                                          part->schema().num_columns()));
+        Row row;
         while (true) {
           SIEVE_ASSIGN_OR_RETURN(bool has, part->NextBatch(worker, &batch));
           if (!has) return Status::OK();
           for (size_t r = 0; r < batch.size(); ++r) {
-            Row& row = batch[r];
+            batch.MaterializeRow(r, &row);
             std::vector<Value> key;
             key.reserve(keys.size());
             for (const auto& k : keys) {
@@ -182,23 +187,25 @@ Status HashJoinOperator::ParallelProbe(ExecContext* ctx,
 Result<bool> HashJoinOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
   if (buffered_) {
+    // joined_ is owned by this operator until the next Open; serve views.
     while (out_pos_ < joined_.size() && !out->full()) {
-      out->PushBack(std::move(joined_[out_pos_++]));
+      out->AppendExternalRow(joined_[out_pos_++]);
     }
     return !out->empty();
   }
   while (!out->full()) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       const Row& right_row = (*matches_)[match_pos_++];
-      Row* o = out->AddRow();
-      o->reserve(current_left_.size() + right_row.size());
+      Row o;
+      o.reserve(current_left_.size() + right_row.size());
       if (match_pos_ == matches_->size()) {
         // Last match of this probe row: steal its cells.
-        for (Value& v : current_left_) o->push_back(std::move(v));
+        for (Value& v : current_left_) o.push_back(std::move(v));
       } else {
-        o->insert(o->end(), current_left_.begin(), current_left_.end());
+        o.insert(o.end(), current_left_.begin(), current_left_.end());
       }
-      o->insert(o->end(), right_row.begin(), right_row.end());
+      o.insert(o.end(), right_row.begin(), right_row.end());
+      out->PushRow(std::move(o));
       continue;
     }
     if (probe_pos_ >= probe_batch_.size()) {
@@ -207,7 +214,7 @@ Result<bool> HashJoinOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
       if (!has) break;
       probe_pos_ = 0;
     }
-    current_left_ = std::move(probe_batch_[probe_pos_++]);
+    probe_batch_.MaterializeRow(probe_pos_++, &current_left_);
     std::vector<Value> key;
     key.reserve(left_keys_.size());
     for (const auto& k : left_keys_) {
@@ -265,22 +272,35 @@ NestedLoopJoinOperator::NestedLoopJoinOperator(OperatorPtr left,
                                                OperatorPtr right)
     : left_(std::move(left)), right_(std::move(right)) {}
 
+NestedLoopJoinOperator::NestedLoopJoinOperator(
+    OperatorPtr left, std::shared_ptr<SharedRight> shared)
+    : left_(std::move(left)), shared_(std::move(shared)) {}
+
 Status NestedLoopJoinOperator::Open(ExecContext* ctx) {
   SIEVE_RETURN_IF_ERROR(left_->Open(ctx));
-  SIEVE_RETURN_IF_ERROR(right_->Open(ctx));
-  schema_ = ConcatSchemas(left_->schema(), right_->schema());
-  right_rows_.clear();
-  RowBatch batch(static_cast<size_t>(ctx->batch_size));
-  while (true) {
-    SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
-    SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
-    if (!has) break;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      right_rows_.push_back(std::move(batch[i]));
-    }
+  // The right side materializes exactly once: partition clones share one
+  // slot (the first opener drives the producer, everyone reads the result),
+  // the unpartitioned operator materializes privately.
+  Operator* producer = shared_ != nullptr ? shared_->producer : right_.get();
+  auto produce = [producer, ctx](MaterializedResult* out) -> Status {
+    return Executor::Materialize(producer, ctx, &out->schema, &out->rows);
+  };
+  const MaterializedResult* result = nullptr;
+  if (shared_ != nullptr) {
+    SIEVE_ASSIGN_OR_RETURN(result, shared_->slot.GetOrProduce(produce));
+  } else {
+    private_right_ = MaterializedResult();
+    SIEVE_RETURN_IF_ERROR(produce(&private_right_));
+    result = &private_right_;
   }
+  right_rows_ = &result->rows;
+  schema_ = ConcatSchemas(left_->schema(), result->schema);
   left_valid_ = false;
   right_pos_ = 0;
+  ticks_ = 0;
+  left_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, left_->schema().num_columns()));
+  left_pos_ = 0;
   return Status::OK();
 }
 
@@ -292,20 +312,68 @@ Result<bool> NestedLoopJoinOperator::Next(ExecContext* ctx, Row* out) {
       left_valid_ = true;
       right_pos_ = 0;
     }
-    if (right_pos_ >= right_rows_.size()) {
+    if (right_pos_ >= right_rows_->size()) {
       left_valid_ = false;
       continue;
     }
-    if ((right_pos_ & 4095) == 0) {
+    if ((ticks_++ & 4095) == 0) {
       SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     }
-    const Row& right_row = right_rows_[right_pos_++];
+    const Row& right_row = (*right_rows_)[right_pos_++];
     out->clear();
     out->reserve(current_left_.size() + right_row.size());
     out->insert(out->end(), current_left_.begin(), current_left_.end());
     out->insert(out->end(), right_row.begin(), right_row.end());
     return true;
   }
+}
+
+Result<bool> NestedLoopJoinOperator::NextBatch(ExecContext* ctx,
+                                               RowBatch* out) {
+  out->clear();
+  while (!out->full()) {
+    if (!left_valid_) {
+      if (left_pos_ >= left_batch_.size()) {
+        SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
+        SIEVE_ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &left_batch_));
+        if (!has) break;
+        left_pos_ = 0;
+      }
+      left_batch_.MaterializeRow(left_pos_++, &current_left_);
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_->size() && !out->full()) {
+      const Row& right_row = (*right_rows_)[right_pos_++];
+      Row o;
+      o.reserve(current_left_.size() + right_row.size());
+      if (right_pos_ == right_rows_->size()) {
+        // Last right row for this outer row: steal the outer cells.
+        for (Value& v : current_left_) o.push_back(std::move(v));
+      } else {
+        o.insert(o.end(), current_left_.begin(), current_left_.end());
+      }
+      o.insert(o.end(), right_row.begin(), right_row.end());
+      out->PushRow(std::move(o));
+    }
+    if (right_pos_ >= right_rows_->size()) left_valid_ = false;
+  }
+  return !out->empty();
+}
+
+bool NestedLoopJoinOperator::CreatePartitions(
+    size_t num_parts, std::vector<OperatorPtr>* out) const {
+  // Only the original operator partitions (clones have no right subtree).
+  if (right_ == nullptr) return false;
+  std::vector<OperatorPtr> left_parts;
+  if (!left_->CreatePartitions(num_parts, &left_parts)) return false;
+  auto shared = std::make_shared<SharedRight>();
+  shared->producer = right_.get();
+  for (auto& part : left_parts) {
+    out->push_back(
+        OperatorPtr(new NestedLoopJoinOperator(std::move(part), shared)));
+  }
+  return true;
 }
 
 std::string NestedLoopJoinOperator::name() const { return "NestedLoopJoin"; }

@@ -77,7 +77,8 @@ Status FilterOperator::Open(ExecContext* ctx) {
   evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
                                            ctx->metadata, ctx->stats);
   rows_seen_ = 0;
-  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
+  child_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, child_->schema().num_columns()));
   return Status::OK();
 }
 
@@ -95,27 +96,22 @@ Result<bool> FilterOperator::Next(ExecContext* ctx, Row* out) {
 
 Result<bool> FilterOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
-  while (out->empty()) {
+  while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
     if (!has) return false;
-    if (child_batch_.size() == 1) {
-      // Degenerate batch (batch_size = 1): the batched walk would only add
-      // setup overhead, so keep the legacy per-row interpretation.
-      SIEVE_ASSIGN_OR_RETURN(
-          bool pass, evaluator_->EvalPredicate(*predicate_, child_batch_[0]));
-      if (pass) out->PushBack(std::move(child_batch_[0]));
-      continue;
-    }
     // One predicate-tree walk covers the whole batch — this is where the
-    // guard / Δ policy checks batch across tuples.
-    SIEVE_RETURN_IF_ERROR(evaluator_->EvalPredicateBatch(
-        *predicate_, child_batch_.data(), child_batch_.size(), &pass_));
-    for (size_t i = 0; i < child_batch_.size(); ++i) {
-      if (pass_[i]) out->PushBack(std::move(child_batch_[i]));
-    }
+    // guard / Δ policy checks batch across tuples: the kernels run
+    // column-wise over the batch's typed arrays.
+    SIEVE_RETURN_IF_ERROR(
+        evaluator_->EvalPredicateBatch(*predicate_, child_batch_, &pass_));
+    child_batch_.NarrowToPassing(pass_.data());
+    if (child_batch_.empty()) continue;
+    // No rows move: the surviving rows travel as a selection vector over
+    // the child batch's columns.
+    out->SwapWith(&child_batch_);
+    return true;
   }
-  return true;
 }
 
 std::string FilterOperator::name() const {
@@ -159,13 +155,15 @@ Status ProjectOperator::Open(ExecContext* ctx) {
   }
   evaluator_ = std::make_unique<Evaluator>(&child_->schema(), ctx->hooks,
                                            ctx->metadata, ctx->stats);
-  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
+  child_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, child_->schema().num_columns()));
 
   // Move plan: when every item is a bound column ref, the consumed input
   // row's cells can be stolen instead of copied — a column moves at its
   // last referencing item, earlier duplicates copy.
   move_source_.clear();
   move_max_col_ = -1;
+  permute_.clear();
   std::vector<int> cols;
   cols.reserve(items_.size());
   for (const auto& item : items_) {
@@ -183,6 +181,9 @@ Status ProjectOperator::Open(ExecContext* ctx) {
       move_source_.push_back(read_later ? -(cols[j] + 1) : cols[j]);
       move_max_col_ = std::max(move_max_col_, cols[j]);
     }
+    // The batch path needs only the source column per item: duplicated
+    // column descriptors share the batch's arrays, so move-vs-copy is moot.
+    permute_.assign(cols.begin(), cols.end());
   }
   return Status::OK();
 }
@@ -220,8 +221,18 @@ Result<bool> ProjectOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
   SIEVE_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
   if (!has) return false;
-  for (size_t i = 0; i < child_batch_.size(); ++i) {
-    SIEVE_RETURN_IF_ERROR(ProjectRow(&child_batch_[i], out->AddRow()));
+  if (!permute_.empty() &&
+      static_cast<size_t>(move_max_col_) < child_batch_.num_columns()) {
+    // Pure column projection: take the whole batch and shuffle column
+    // descriptors — no cell is copied or even touched.
+    out->SwapWith(&child_batch_);
+    out->PermuteColumns(permute_);
+    return true;
+  }
+  for (size_t k = 0; k < child_batch_.size(); ++k) {
+    child_batch_.MaterializeRow(k, &scratch_in_);
+    SIEVE_RETURN_IF_ERROR(ProjectRow(&scratch_in_, &scratch_out_));
+    out->PushRow(std::move(scratch_out_));
   }
   return true;
 }
@@ -318,7 +329,8 @@ Status UnionOperator::Open(ExecContext* ctx) {
   }
   current_ = 0;
   seen_.clear();
-  child_batch_.reset(static_cast<size_t>(ctx->batch_size));
+  child_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, schema_.num_columns()));
   return Status::OK();
 }
 
@@ -401,11 +413,14 @@ Result<bool> UnionOperator::Next(ExecContext* ctx, Row* out) {
 Result<bool> UnionOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
   if (buffered_) {
+    // The buffered rows outlive every batch served from them (they are
+    // owned by this operator until the next Open), so views are safe.
     while (out_pos_ < out_rows_.size() && !out->full()) {
-      out->PushBack(std::move(out_rows_[out_pos_++]));
+      out->AppendExternalRow(out_rows_[out_pos_++]);
     }
     return !out->empty();
   }
+  Row row;
   while (out->empty() && current_ < children_.size()) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has,
@@ -414,8 +429,8 @@ Result<bool> UnionOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
       ++current_;
       continue;
     }
-    for (size_t i = 0; i < child_batch_.size(); ++i) {
-      Row& row = child_batch_[i];
+    for (size_t k = 0; k < child_batch_.size(); ++k) {
+      child_batch_.MaterializeRow(k, &row);
       if (!all_) {
         uint64_t h = RowHash64(row);
         auto& bucket = seen_[h];
@@ -429,7 +444,7 @@ Result<bool> UnionOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
         if (duplicate) continue;
         bucket.push_back(row);
       }
-      out->PushBack(std::move(row));
+      out->PushRow(std::move(row));
     }
   }
   return !out->empty();
@@ -459,13 +474,16 @@ bool ExceptOperator::Contains(
 
 Status ExceptOperator::DrainRightSet(ExecContext* ctx) {
   right_rows_.clear();
-  RowBatch batch(static_cast<size_t>(ctx->batch_size));
+  RowBatch batch(
+      EffectiveBatchSize(ctx->batch_size, right_->schema().num_columns()));
+  Row row;
   while (true) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      right_rows_[RowHash64(batch[i])].push_back(std::move(batch[i]));
+    for (size_t k = 0; k < batch.size(); ++k) {
+      batch.MaterializeRow(k, &row);
+      right_rows_[RowHash64(row)].push_back(std::move(row));
     }
   }
   return Status::OK();
@@ -476,7 +494,8 @@ Status ExceptOperator::Open(ExecContext* ctx) {
   out_rows_.clear();
   out_pos_ = 0;
   emitted_.clear();
-  left_batch_.reset(static_cast<size_t>(ctx->batch_size));
+  left_batch_.reset(static_cast<size_t>(
+      EffectiveBatchSize(ctx->batch_size, /*num_columns=*/0)));
 
   // Parallel interior: build the subtrahend set once, then partition the
   // minuend probe across morsels (the set is read-only from then on).
@@ -499,6 +518,8 @@ Status ExceptOperator::Open(ExecContext* ctx) {
   if (schema_.num_columns() != right_->schema().num_columns()) {
     return Status::ExecutionError("EXCEPT arms produce different column counts");
   }
+  left_batch_.reset(
+      EffectiveBatchSize(ctx->batch_size, schema_.num_columns()));
   return DrainRightSet(ctx);
 }
 
@@ -514,13 +535,16 @@ Status ExceptOperator::OpenParallel(ExecContext* ctx,
         Operator* part = (*parts)[i].get();
         SIEVE_RETURN_IF_ERROR(part->Open(worker));
         worker_schemas[i] = part->schema();
-        RowBatch batch(static_cast<size_t>(worker->batch_size));
+        RowBatch batch(EffectiveBatchSize(worker->batch_size,
+                                          part->schema().num_columns()));
+        Row row;
         while (true) {
           SIEVE_ASSIGN_OR_RETURN(bool has, part->NextBatch(worker, &batch));
           if (!has) return Status::OK();
           for (size_t r = 0; r < batch.size(); ++r) {
-            if (Contains(right, batch[r])) continue;
-            kept[i].push_back(std::move(batch[r]));
+            batch.MaterializeRow(r, &row);
+            if (Contains(right, row)) continue;
+            kept[i].push_back(std::move(row));
           }
         }
       }));
@@ -562,21 +586,24 @@ Result<bool> ExceptOperator::Next(ExecContext* ctx, Row* out) {
 Result<bool> ExceptOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->clear();
   if (buffered_) {
+    // Buffered rows are owned by this operator until the next Open, so
+    // views into them are stable for the batch's lifetime.
     while (out_pos_ < out_rows_.size() && !out->full()) {
-      out->PushBack(std::move(out_rows_[out_pos_++]));
+      out->AppendExternalRow(out_rows_[out_pos_++]);
     }
     return !out->empty();
   }
+  Row row;
   while (out->empty()) {
     SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
     SIEVE_ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &left_batch_));
     if (!has) return false;
-    for (size_t i = 0; i < left_batch_.size(); ++i) {
-      Row& row = left_batch_[i];
+    for (size_t k = 0; k < left_batch_.size(); ++k) {
+      left_batch_.MaterializeRow(k, &row);
       if (Contains(right_rows_, row)) continue;
       if (Contains(emitted_, row)) continue;
       emitted_[RowHash64(row)].push_back(row);
-      out->PushBack(std::move(row));
+      out->PushRow(std::move(row));
     }
   }
   return true;
@@ -654,9 +681,9 @@ Result<bool> MaterializedScanOperator::NextBatch(ExecContext* ctx,
   if (rows_ == nullptr || pos_ >= end_) return false;
   SIEVE_RETURN_IF_ERROR(ctx->CheckTimeout());
   while (pos_ < end_ && !out->full()) {
-    // Copy, not move: the materialized result is shared by every consumer
-    // of the CTE (and by sibling partition clones).
-    *out->AddRow() = (*rows_)[pos_++];
+    // Views, not copies: the materialized result is shared, immutable and
+    // alive for the whole query, so the batch references it directly.
+    out->AppendExternalRow((*rows_)[pos_++]);
   }
   return !out->empty();
 }

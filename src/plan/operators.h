@@ -64,13 +64,13 @@ class Operator {
   /// by row; hot operators override it with native batch loops.
   virtual Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) {
     out->clear();
+    Row scratch;
     while (!out->full()) {
-      Row* slot = out->AddRow();
-      SIEVE_ASSIGN_OR_RETURN(bool has, Next(ctx, slot));
-      if (!has) {
-        out->PopBack();
-        break;
-      }
+      SIEVE_ASSIGN_OR_RETURN(bool has, Next(ctx, &scratch));
+      if (!has) break;
+      // Steal the row's cells: the adapter owns `scratch`, which dies (is
+      // overwritten) before the batch does.
+      out->PushRow(std::move(scratch));
     }
     return !out->empty();
   }
@@ -404,7 +404,12 @@ class ProjectOperator : public Operator {
   /// Non-empty only when every item is a bound column ref.
   std::vector<int> move_source_;
   int move_max_col_ = -1;  // largest column index the move path touches
+  /// Column permutation for the pure-column batch path (move_source_ with
+  /// the copy encoding flattened): output column j reads input permute_[j].
+  std::vector<int> permute_;
   RowBatch child_batch_;  // batch path: reused input buffer
+  Row scratch_in_;        // batch fallback: materialized input row
+  Row scratch_out_;       // batch fallback: projected row before PushRow
 };
 
 /// Hash join on equi-key expressions (build = right side). This is the
@@ -473,26 +478,55 @@ class HashJoinOperator : public Operator {
 };
 
 /// Nested-loop cross join (right side materialized). Residual predicates are
-/// applied by a FilterOperator above. Serial interior; its inputs may still
-/// parallelize (partitioned CTE materialization happens inside Open of the
-/// children's MaterializedScanOperators).
+/// applied by a FilterOperator above.
+///
+/// Batch path and partitioning: NextBatch crosses a whole outer batch
+/// against the materialized right side natively, and CreatePartitions
+/// splits the outer (left) side whenever the outer pipeline can partition
+/// — clone i crosses outer partition i against the full right side, which
+/// materializes exactly once across all clones (call_once), so
+/// concatenating the clones in order reproduces the serial cross-product
+/// order and every ExecStats counter.
 class NestedLoopJoinOperator : public Operator {
  public:
   NestedLoopJoinOperator(OperatorPtr left, OperatorPtr right);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  /// Native batch path: crosses outer rows against the right side a whole
+  /// output batch at a time.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override;
+  bool CreatePartitions(size_t num_parts,
+                        std::vector<OperatorPtr>* out) const override;
+  size_t EstimatedPartitionRows() const override {
+    return left_->EstimatedPartitionRows();
+  }
 
  private:
+  /// Right-side materialization shared by the partition clones of one
+  /// CreatePartitions call: `producer` points into the original operator's
+  /// right subtree and is driven by exactly one clone.
+  struct SharedRight {
+    Operator* producer = nullptr;
+    OnceMaterialized slot;
+  };
+
+  NestedLoopJoinOperator(OperatorPtr left, std::shared_ptr<SharedRight> shared);
+
   OperatorPtr left_;
   OperatorPtr right_;
   Schema schema_;
-  std::vector<Row> right_rows_;
+  std::shared_ptr<SharedRight> shared_;  // set only on partition clones
+  MaterializedResult private_right_;
+  const std::vector<Row>* right_rows_ = nullptr;
   Row current_left_;
   bool left_valid_ = false;
   size_t right_pos_ = 0;
+  uint64_t ticks_ = 0;       // row-path timeout cadence
+  RowBatch left_batch_;      // batch path: reused outer-side input buffer
+  size_t left_pos_ = 0;      // next unconsumed row of left_batch_
 };
 
 /// Hash aggregation implementing GROUP BY + COUNT/SUM/AVG/MIN/MAX.

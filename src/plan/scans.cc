@@ -82,7 +82,9 @@ Result<bool> SeqScanOperator::NextBatch(ExecContext* ctx, RowBatch* out) {
   while (next_id_ < scan_end_ && !out->full()) {
     RowId id = next_id_++;
     if (!table.IsLive(id)) continue;
-    *out->AddRow() = table.Get(id);  // slot reuse: assignment recycles cells
+    // Views into the base table: its rows are stable for the whole query,
+    // so string cells are never copied on the scan path.
+    out->AppendExternalRow(table.Get(id));
     ++scanned;
   }
   if (ctx->stats != nullptr) ctx->stats->tuples_scanned += scanned;
@@ -175,7 +177,7 @@ Result<bool> RowIdListScanOperator::NextBatch(ExecContext* ctx,
   while (pos_ < end_ && !out->full()) {
     RowId id = (*ids_)[pos_++];
     if (!table.IsLive(id)) continue;
-    *out->AddRow() = table.Get(id);
+    out->AppendExternalRow(table.Get(id));
     ++fetched;
   }
   if (ctx->stats != nullptr) ctx->stats->index_probe_rows += fetched;

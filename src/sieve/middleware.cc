@@ -41,9 +41,10 @@ Status SieveMiddleware::set_options(const SieveOptions& options) {
         StrFormat("timeout_seconds must be >= 0, got %g",
                   options.timeout_seconds));
   }
-  if (options.batch_size < 1) {
+  if (options.batch_size < 0) {
     return Status::InvalidArgument(
-        StrFormat("batch_size must be >= 1, got %d", options.batch_size));
+        StrFormat("batch_size must be >= 0 (0 = adaptive), got %d",
+                  options.batch_size));
   }
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   options_ = options;

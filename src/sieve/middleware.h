@@ -38,10 +38,12 @@ struct SieveOptions {
   /// hardware.
   int num_threads = 1;
   /// Rows per execution batch of the vectorized executor: scans emit
-  /// whole morsels, guard/Δ predicates are interpreted once per batch,
-  /// timeout checks amortize across the batch. 1 reproduces the legacy
-  /// row-at-a-time execution; every value returns identical rows, order
-  /// and ExecStats. Must be >= 1 (validated by set_options).
+  /// whole morsels, guard/Δ predicates run as column kernels once per
+  /// batch, timeout checks amortize across the batch. 1 reproduces the
+  /// legacy row-at-a-time execution; 0 picks an adaptive per-operator
+  /// size from the row width (EffectiveBatchSize). Every value returns
+  /// identical rows, order and ExecStats. Must be >= 0 (validated by
+  /// set_options).
   int batch_size = static_cast<int>(kDefaultBatchSize);
 };
 

@@ -22,6 +22,22 @@ std::string NormalizeSql(const std::string& sql) {
       pending_space = !out.empty();
       continue;
     }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      // Block comment: stripped like the lexer strips it. If unterminated,
+      // copy the tail verbatim so the lexer still reports the error on the
+      // normalized text (normalization must not make invalid SQL valid).
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        if (pending_space) out += ' ';
+        out.append(sql, start, std::string::npos);
+        break;
+      }
+      i += 2;
+      pending_space = !out.empty();
+      continue;
+    }
     if (pending_space) {
       out += ' ';
       pending_space = false;

@@ -5,7 +5,8 @@
 //
 // The sweep is also differential across execution modes: every query's
 // reference is the legacy serial row-at-a-time run (num_threads = 1,
-// batch_size = 1), and every (batch_size ∈ {1, 3, 64, 1024}) ×
+// batch_size = 1), and every (batch_size ∈ {0 (adaptive), 1, 3, 64,
+// 1024}) ×
 // (num_threads ∈ {1, 2, 4, 8}) combination — vectorized batches, morsel-
 // parallel drains, and both together — must reproduce the reference rows
 // *in the reference order* and the reference ExecStats totals exactly
@@ -147,6 +148,54 @@ std::vector<std::string> MakeQueries(Rng& rng) {
   return queries;
 }
 
+// Unprotected side table stressing the columnar kernels' NULL handling:
+// `reading` is NULL-heavy (~half the rows), `status` is a sometimes-NULL
+// string column, and `flag` stays in [0, 10) so `flag > 100` filters
+// every row (an all-rows-filtered batch at every batch size).
+void AddSensorsTable(Database* db, Rng& rng) {
+  Schema schema({{"id", DataType::kInt},
+                 {"reading", DataType::kDouble},
+                 {"status", DataType::kString},
+                 {"flag", DataType::kInt}});
+  ASSERT_TRUE(db->CreateTable("sensors", std::move(schema)).ok());
+  const char* statuses[] = {"ok", "bad", "warn"};
+  for (int i = 0; i < 700; ++i) {
+    Value reading = rng.Chance(0.5)
+                        ? Value::Null()
+                        : Value::Double(rng.Uniform(0, 100) / 100.0);
+    Value status = rng.Chance(0.2)
+                       ? Value::Null()
+                       : Value::String(statuses[rng.Uniform(0, 2)]);
+    ASSERT_TRUE(db->Insert("sensors",
+                           Row{Value::Int(i), std::move(reading),
+                               std::move(status),
+                               Value::Int(static_cast<int64_t>(
+                                   rng.Uniform(0, 9)))})
+                    .ok());
+  }
+  ASSERT_TRUE(db->Analyze().ok());
+}
+
+// Queries over the sensors table: NULL-heavy comparisons (a NULL operand
+// makes the predicate false, never an error), an all-rows-filtered
+// column, OR/NOT over tri-state inputs, and every comparison operator.
+std::vector<std::string> SensorQueries() {
+  return {
+      "SELECT * FROM sensors WHERE reading > 0.5",
+      "SELECT * FROM sensors WHERE reading <= 0.25",
+      "SELECT * FROM sensors WHERE flag > 100",          // filters all rows
+      "SELECT id FROM sensors WHERE flag > 100",         // and projected
+      "SELECT * FROM sensors WHERE status = 'ok'",
+      "SELECT * FROM sensors WHERE status <> 'bad'",     // NULLs drop out
+      "SELECT * FROM sensors WHERE NOT (reading < 0.9)"
+      " UNION ALL SELECT * FROM sensors WHERE reading >= 0.9",
+      "SELECT id, flag FROM sensors WHERE reading BETWEEN 0.2 AND 0.8 AND "
+      "flag IN (1, 2, 3)",
+      "SELECT flag, COUNT(*) AS n FROM sensors WHERE reading > 0.1 OR "
+      "status = 'warn' GROUP BY flag",
+  };
+}
+
 struct SweepConfig {
   uint64_t seed;
   bool postgres;
@@ -162,6 +211,7 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
   ASSERT_TRUE(sieve.Init().ok());
 
   Rng rng(cfg.seed);
+  AddSensorsTable(&campus.db(), rng);
   // Random corpus: 5-40 policies across queriers alice/bob/students.
   const char* queriers[] = {"alice", "bob", "students"};
   const char* purposes[] = {"any", "Analytics", "Social"};
@@ -187,7 +237,9 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     ASSERT_TRUE(sieve.set_options(options).ok());
   };
 
-  for (const std::string& sql : MakeQueries(rng)) {
+  std::vector<std::string> queries = MakeQueries(rng);
+  for (const std::string& q : SensorQueries()) queries.push_back(q);
+  for (const std::string& sql : queries) {
     QueryMetadata md{queriers[rng.Uniform(0, 2)], purposes[rng.Uniform(0, 2)]};
     // Group queriers are not people; querier "students" never queries.
     if (md.querier == std::string("students")) md.querier = "carol";
@@ -206,7 +258,7 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
     // combination must reproduce the row-at-a-time reference rows, row
     // order and ExecStats totals exactly.
     std::vector<std::string> serial_rows = OrderedFingerprints(*fast);
-    for (int batch : {1, 3, 64, 1024}) {
+    for (int batch : {0, 1, 3, 64, 1024}) {  // 0 = adaptive per-operator size
       for (int threads : {1, 2, 4, 8}) {
         if (batch == 1 && threads == 1) continue;  // the reference itself
         set_exec(threads, batch);

@@ -64,16 +64,58 @@ TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
 TEST(ThreadPoolTest, ParallelForPropagatesExceptionAfterBarrier) {
   ThreadPool pool(4);
   std::atomic<int> completed{0};
-  EXPECT_THROW(pool.ParallelFor(8,
-                                [&completed](size_t i) {
-                                  if (i == 3) {
-                                    throw std::runtime_error("partition 3");
-                                  }
-                                  ++completed;
-                                }),
-               std::runtime_error);
+  bool caught = false;
+  try {
+    pool.ParallelFor(8, [&completed](size_t i) {
+      if (i == 3) throw std::runtime_error("partition 3");
+      ++completed;
+    });
+  } catch (const ParallelForTaskError& e) {
+    caught = true;
+    // The wrapper names the failing task and carries the original message;
+    // the original exception is recoverable as the nested exception.
+    EXPECT_EQ(e.task_index(), 3u);
+    EXPECT_NE(std::string(e.what()).find("parallel task 3 failed"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("partition 3"), std::string::npos)
+        << e.what();
+    EXPECT_THROW(std::rethrow_if_nested(e), std::runtime_error);
+  }
+  EXPECT_TRUE(caught);
   // Every non-throwing task still ran to completion before the rethrow.
   EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForFirstFailureByIndexIsDeterministic) {
+  // When several tasks throw, the barrier always rethrows the lowest
+  // index regardless of scheduling order.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelFor(16, [](size_t i) {
+        throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected a ParallelForTaskError";
+    } catch (const ParallelForTaskError& e) {
+      EXPECT_EQ(e.task_index(), 0u) << e.what();
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWrapsNonStdExceptions) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(2, [](size_t i) {
+      if (i == 1) throw 42;  // not a std::exception
+    });
+    FAIL() << "expected a ParallelForTaskError";
+  } catch (const ParallelForTaskError& e) {
+    EXPECT_EQ(e.task_index(), 1u);
+    EXPECT_NE(std::string(e.what()).find("unknown exception"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
@@ -483,33 +525,119 @@ TEST(ParallelExecutionTest, DeltaGuardExecutionMatchesSerial) {
 // Vectorized batches and morsels
 // ---------------------------------------------------------------------------
 
-TEST(RowBatchTest, SlotReuseAndCapacity) {
+TEST(RowBatchTest, ColumnarAppendAndMaterialize) {
   RowBatch batch(2);
   EXPECT_EQ(batch.capacity(), 2u);
   EXPECT_TRUE(batch.empty());
   EXPECT_FALSE(batch.full());
 
-  batch.AddRow()->push_back(Value::String("payload"));
-  batch.AddRow()->push_back(Value::Int(7));
+  batch.PushRow(Row{Value::Int(7), Value::String("payload")});
+  batch.PushRow(Row{Value::Null(), Value::String("other")});
   EXPECT_TRUE(batch.full());
   EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.num_columns(), 2u);
 
-  // clear() keeps the slots; the next AddRow returns the same (cleared)
-  // Row object, reusing its heap allocation.
-  const Row* slot0 = &batch[0];
+  // Cells come back bit-identical through ValueAt and MaterializeRow.
+  EXPECT_EQ(batch.ValueAt(0, 0), Value::Int(7));
+  EXPECT_EQ(batch.ValueAt(1, 0), Value::Null());
+  EXPECT_EQ(batch.ValueAt(1, 1), Value::String("other"));
+  Row row;
+  batch.MaterializeRow(0, &row);
+  EXPECT_EQ(row, (Row{Value::Int(7), Value::String("payload")}));
+
+  // The int column decays to a typed vector readable by kernels.
+  const RowBatch::Column& col0 = batch.column(0);
+  ASSERT_FALSE(col0.generic);
+  EXPECT_EQ(col0.type, DataType::kInt);
+  EXPECT_EQ(col0.i64[0], 7);
+  EXPECT_NE(col0.nulls[1], 0);
+
+  // clear() keeps the arena; the batch is reusable with a fresh layout.
   batch.clear();
   EXPECT_TRUE(batch.empty());
-  Row* reused = batch.AddRow();
-  EXPECT_EQ(reused, slot0);
-  EXPECT_TRUE(reused->empty());
-
-  // PopBack drops the adapter's speculative slot.
-  batch.PopBack();
-  EXPECT_TRUE(batch.empty());
+  batch.PushRow(Row{Value::Double(1.5), Value::Null()});
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.ValueAt(0, 0), Value::Double(1.5));
 
   // Zero capacity clamps to one row.
   RowBatch clamped(0);
   EXPECT_EQ(clamped.capacity(), 1u);
+}
+
+TEST(RowBatchTest, SelectionVectorNarrowsWithoutCopying) {
+  RowBatch batch(8);
+  for (int i = 0; i < 8; ++i) {
+    batch.PushRow(Row{Value::Int(i)});
+  }
+  EXPECT_EQ(batch.selection(), nullptr);  // dense until narrowed
+
+  // Keep the odd rows; logical order must follow physical order.
+  uint8_t pass1[] = {0, 1, 0, 1, 0, 1, 0, 1};
+  batch.NarrowToPassing(pass1);
+  ASSERT_EQ(batch.size(), 4u);
+  ASSERT_NE(batch.selection(), nullptr);
+  for (size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_EQ(batch.ValueAt(k, 0), Value::Int(static_cast<int>(2 * k + 1)));
+  }
+
+  // Narrowing an already-narrowed batch composes (selection of selection).
+  uint8_t pass2[] = {1, 0, 1, 0};
+  batch.NarrowToPassing(pass2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(batch.ValueAt(1, 0), Value::Int(5));
+
+  // All-filtered leaves a valid empty batch.
+  uint8_t none[] = {0, 0};
+  batch.NarrowToPassing(none);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(RowBatchTest, ExternalRowsShareStorage) {
+  // AppendExternalRow serves string cells as views into the caller's
+  // stable storage; MaterializeRow deep-copies them back out.
+  std::vector<Row> stable;
+  stable.push_back(Row{Value::String("alpha"), Value::Int(1)});
+  stable.push_back(Row{Value::String("beta"), Value::Null()});
+
+  RowBatch batch(4);
+  for (const Row& r : stable) batch.AppendExternalRow(r);
+  ASSERT_EQ(batch.size(), 2u);
+  const RowBatch::Column& col0 = batch.column(0);
+  ASSERT_FALSE(col0.generic);
+  EXPECT_EQ(col0.type, DataType::kString);
+  EXPECT_EQ(col0.str[0].data(), stable[0][0].AsString().data());  // a view
+  Row out;
+  batch.MaterializeRow(1, &out);
+  EXPECT_EQ(out, stable[1]);
+}
+
+TEST(RowBatchTest, MixedTypeColumnDemotesToGenericCells) {
+  // A column whose cells disagree on type falls back to generic Value
+  // storage; reads must stay bit-identical.
+  RowBatch batch(4);
+  batch.PushRow(Row{Value::Int(1)});
+  batch.PushRow(Row{Value::String("oops")});
+  batch.PushRow(Row{Value::Double(2.5)});
+  const RowBatch::Column& col = batch.column(0);
+  EXPECT_TRUE(col.generic);
+  EXPECT_EQ(batch.ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(batch.ValueAt(1, 0), Value::String("oops"));
+  EXPECT_EQ(batch.ValueAt(2, 0), Value::Double(2.5));
+}
+
+TEST(RowBatchTest, EffectiveBatchSizePicksAdaptiveWidth) {
+  // Explicit sizes pass through untouched.
+  EXPECT_EQ(EffectiveBatchSize(1, 100), 1u);
+  EXPECT_EQ(EffectiveBatchSize(777, 3), 777u);
+  // Adaptive (0): narrow rows get big batches, wide rows small ones,
+  // clamped to [64, 1024].
+  EXPECT_EQ(EffectiveBatchSize(0, 1), 1024u);
+  EXPECT_EQ(EffectiveBatchSize(0, 0), 1024u);  // width unknown -> max
+  EXPECT_EQ(EffectiveBatchSize(0, 1000), 64u);
+  size_t mid = EffectiveBatchSize(0, 8);
+  EXPECT_GE(mid, 64u);
+  EXPECT_LE(mid, 1024u);
 }
 
 TEST(PlanPartitionCountTest, SizesMorselsByInputRows) {
@@ -625,6 +753,35 @@ TEST(BatchExecutionTest, MidBatchTimeoutSurfacesAsTimeout) {
   }
 }
 
+TEST(BatchExecutionTest, ThrowingMorselFailsQueryDeterministically) {
+  // A morsel whose guard evaluation throws (here: a UDF raising a C++
+  // exception) must fail the whole query with an ExecutionError naming
+  // the partition — and the same partition every run, regardless of
+  // scheduling (lowest index wins at the merge barrier).
+  auto db = MakeTable(6000);
+  ASSERT_TRUE(db->udfs()
+                  .Register("boom",
+                            [](const std::vector<Value>&,
+                               UdfContext&) -> Result<Value> {
+                              throw std::runtime_error("udf exploded");
+                            })
+                  .ok());
+  for (int threads : {2, 8}) {
+    for (int batch : {1, 1024}) {
+      auto result = db->ExecuteSql("SELECT * FROM t WHERE boom() = true",
+                                   nullptr, 0.0, threads, batch);
+      ASSERT_FALSE(result.ok()) << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+      EXPECT_NE(result.status().message().find("partition worker 0 threw"),
+                std::string::npos)
+          << result.status().ToString();
+      EXPECT_NE(result.status().message().find("udf exploded"),
+                std::string::npos)
+          << result.status().ToString();
+    }
+  }
+}
+
 TEST(InteriorOperatorTest, ExceptParallelProbeMatchesSerial) {
   // Large enough (> one morsel of rows) that the minuend really
   // partitions; duplicate-heavy projection so the distinct merge works.
@@ -645,9 +802,21 @@ TEST(InteriorOperatorTest, ExceptParallelProbeMatchesSerial) {
 }
 
 TEST(BatchExecutionTest, AdapterCoversRowOnlyOperators) {
-  // NestedLoopJoin has no native batch path: the default NextBatch
-  // adapter must splice it into a batched pipeline transparently
-  // (non-equi predicate forces the nested-loop plan).
+  // HashAggregate serves its buffered groups through the default
+  // row-only NextBatch adapter, which must splice it into a batched
+  // pipeline transparently.
+  auto db = MakeTable(3000, {5, 2999});
+  ExpectModeMatchesReference(
+      db.get(), "SELECT val, COUNT(*) AS n FROM t GROUP BY val", 1, 1024);
+  ExpectModeMatchesReference(
+      db.get(), "SELECT val, COUNT(*) AS n FROM t GROUP BY val", 4, 64);
+}
+
+TEST(BatchExecutionTest, NestedLoopJoinNativeBatchPath) {
+  // Non-equi predicate forces the nested-loop plan; its native NextBatch
+  // crosses whole outer batches against the materialized right side, and
+  // CreatePartitions splits the outer pipeline while sharing one
+  // materialization of the inner side.
   auto db = MakeTable(300);
   Schema schema({{"v", DataType::kInt}, {"name", DataType::kString}});
   ASSERT_TRUE(db->CreateTable("names", std::move(schema)).ok());
@@ -656,12 +825,19 @@ TEST(BatchExecutionTest, AdapterCoversRowOnlyOperators) {
     ASSERT_TRUE(
         db->Insert("names", Row{Value::Int(v), Value::String(names[v])}).ok());
   }
-  ExpectModeMatchesReference(
-      db.get(), "SELECT t.id, names.name FROM t, names WHERE t.val < names.v",
-      1, 1024);
-  ExpectModeMatchesReference(
-      db.get(), "SELECT t.id, names.name FROM t, names WHERE t.val < names.v",
-      4, 64);
+  const char* sql =
+      "SELECT t.id, names.name FROM t, names WHERE t.val < names.v";
+  ExpectModeMatchesReference(db.get(), sql, 1, 1024);
+  ExpectModeMatchesReference(db.get(), sql, 1, 3);
+  ExpectModeMatchesReference(db.get(), sql, 4, 64);
+  ExpectModeMatchesReference(db.get(), sql, 8, 1);
+
+  // Empty inner side: the outer must still drain (stats parity).
+  const char* empty_inner =
+      "SELECT t.id, names.name FROM t, names WHERE names.v > 100 AND t.val < "
+      "names.v";
+  ExpectModeMatchesReference(db.get(), empty_inner, 1, 1024);
+  ExpectModeMatchesReference(db.get(), empty_inner, 4, 64);
 }
 
 }  // namespace

@@ -30,6 +30,35 @@ TEST(LexerTest, LineComments) {
   EXPECT_EQ((*tokens)[1].text, "1");
 }
 
+TEST(LexerTest, BlockComments) {
+  auto tokens = Lexer::Tokenize("SELECT /* comment */ 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "1");
+
+  // Multi-line, and a comment that glues no tokens together.
+  auto multi = Lexer::Tokenize("SELECT a/* spans\n lines */, b FROM t");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)[1].text, "a");
+  EXPECT_EQ((*multi)[2].text, ",");
+
+  // Comment markers inside string literals are data, not comments.
+  auto quoted = Lexer::Tokenize("SELECT '/* not a comment */'");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ((*quoted)[1].type, TokenType::kString);
+  EXPECT_EQ((*quoted)[1].text, "/* not a comment */");
+
+  // Non-nesting (standard SQL): the first */ ends the comment.
+  auto nested = Lexer::Tokenize("SELECT /* a /* b */ 1");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ((*nested)[1].text, "1");
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  EXPECT_FALSE(Lexer::Tokenize("SELECT 1 /* oops").ok());
+  EXPECT_FALSE(Lexer::Tokenize("SELECT 1 /*").ok());
+  EXPECT_FALSE(Lexer::Tokenize("SELECT 1 /* almost *").ok());
+}
+
 TEST(ParserTest, SimpleSelect) {
   auto stmt = Parser::Parse("SELECT * FROM WiFi_Dataset");
   ASSERT_TRUE(stmt.ok());

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "parser/parser.h"
 #include "sieve/middleware.h"
+#include "sieve/rewrite_cache.h"
 #include "tests/test_fixtures.h"
 
 namespace sieve {
@@ -31,6 +33,28 @@ std::vector<std::string> OrderedFingerprints(const ResultSet& rs) {
 std::multiset<std::string> Fingerprints(const ResultSet& rs) {
   std::vector<std::string> ordered = OrderedFingerprints(rs);
   return {ordered.begin(), ordered.end()};
+}
+
+TEST(NormalizeSqlTest, StripsLineAndBlockComments) {
+  EXPECT_EQ(NormalizeSql("SELECT 1 -- trailing\n+ 2"), "SELECT 1 + 2");
+  EXPECT_EQ(NormalizeSql("SELECT /* inline */ 1"), "SELECT 1");
+  EXPECT_EQ(NormalizeSql("SELECT /* spans\nlines */ 1"), "SELECT 1");
+  // A block comment separates tokens like whitespace does.
+  EXPECT_EQ(NormalizeSql("SELECT a/*x*/FROM t"), "SELECT a FROM t");
+  // Leading comment leaves no leading space.
+  EXPECT_EQ(NormalizeSql("/* header */ SELECT 1"), "SELECT 1");
+  // Comment markers inside string literals survive verbatim.
+  EXPECT_EQ(NormalizeSql("SELECT '/* kept */' FROM t"),
+            "SELECT '/* kept */' FROM t");
+  EXPECT_EQ(NormalizeSql("SELECT '-- kept' FROM t"), "SELECT '-- kept' FROM t");
+}
+
+TEST(NormalizeSqlTest, UnterminatedBlockCommentStaysInvalid) {
+  // The lexer rejects an unterminated block comment; normalization must
+  // not silently swallow it and make the text parseable.
+  std::string normalized = NormalizeSql("SELECT 1 /* oops");
+  EXPECT_NE(normalized.find("/*"), std::string::npos);
+  EXPECT_FALSE(Parser::Parse(normalized).ok());
 }
 
 class SessionTest : public ::testing::Test {
@@ -217,6 +241,14 @@ TEST_F(SessionTest, RewriteCacheHitsOnRepeatAndInvalidatesOnAddPolicy) {
   }
   RewriteCacheStats after = sieve_.rewrite_cache_stats();
   EXPECT_GE(after.hits, before.hits + 5);
+
+  // Comments — line and block — normalize away too (regression: block
+  // comments used to produce a distinct cache key).
+  auto commented = session.Prepare(
+      "SELECT * /* projection */ FROM wifi -- table\n WHERE wifiAP = ?");
+  ASSERT_TRUE(commented.ok());
+  EXPECT_EQ(commented->rewrite().get(), prepared->rewrite().get())
+      << "comment-only variants must share the cached rewrite";
 
   // AddPolicy bumps the policy epoch: the next Execute transparently
   // re-prepares and reflects the new corpus.
