@@ -1,12 +1,29 @@
-// Section 6 validation (beyond the paper's evaluation): total system time
-// (query evaluation + guard regeneration) for a stream of policy insertions
-// and queries, as a function of the regeneration interval k. Eq. 19 predicts
-// the optimal k; the measured minimum should fall near it. Queries posed
-// between regenerations run against the stale guarded expression plus the
-// pending policies appended inline (the cost model of Eq. 16).
+// Section 6 validation (beyond the paper's evaluation), in two parts.
+//
+// Part 1 — keyed invalidation under churn: a mixed policy/query stream
+// where every insertion targets one hot querier while seven bystander
+// queriers keep executing the same prepared SQL. With per-key invalidation
+// only the hot querier's cached rewrite drops, so bystanders keep hitting
+// the rewrite cache (expected hit rate ~100%, acceptance floor 80%). The
+// same stream re-runs with the cache wholesale-cleared after every insert
+// — the pre-keyed behavior — where bystanders miss every round (~0%).
+//
+// Part 2 — total system time (query evaluation + guard regeneration) for
+// a stream of policy insertions and queries, as a function of the
+// regeneration interval k. Eq. 19 predicts the optimal k; the measured
+// minimum should fall near it. Queries posed between regenerations run
+// against the stale guarded expression plus the pending policies appended
+// inline (the cost model of Eq. 16).
+//
+// Both parts are recorded in BENCH_dynamic.json (phase = "churn_keyed" /
+// "churn_wholesale" / "ksweep") for cross-commit diffing.
+
+#include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "sieve/guard_selection.h"
+#include "sieve/session.h"
 
 using namespace sieve;         // NOLINT
 using namespace sieve::bench;  // NOLINT
@@ -31,13 +48,155 @@ Policy MakeStreamPolicy(const TippersDataset& ds, Rng* rng,
   return p;
 }
 
+struct ChurnResult {
+  bool ok = false;
+  int rounds = 0;
+  int queriers = 0;
+  uint64_t bystander_hits = 0;
+  uint64_t bystander_lookups = 0;
+  uint64_t target_hits = 0;
+  uint64_t target_lookups = 0;
+  uint64_t invalidations = 0;
+  double stream_ms = 0;
+
+  double BystanderHitRate() const {
+    return bystander_lookups == 0
+               ? 0.0
+               : static_cast<double>(bystander_hits) /
+                     static_cast<double>(bystander_lookups);
+  }
+};
+
+// Runs the mixed stream: each round inserts one policy for queriers[0]
+// (the hot querier) through the middleware, then every querier executes
+// its SQL through a session (cache-through). With `wholesale` the rewrite
+// cache is cleared after each insert, emulating invalidation-by-clearing;
+// otherwise the keyed listeners decide what drops. Hit/miss attribution
+// is per-execute via stats diffs (the stream is single-threaded).
+ChurnResult RunChurnStream(TippersWorld* world, const std::string& prefix,
+                           int n_queriers, int rounds, bool wholesale) {
+  ChurnResult out;
+  out.rounds = rounds;
+  out.queriers = n_queriers;
+  SieveMiddleware& sieve = *world->sieve;
+  Rng rng(7);
+
+  std::vector<std::string> queriers;
+  for (int q = 0; q < n_queriers; ++q) {
+    queriers.push_back(StrFormat("%s%d", prefix.c_str(), q));
+  }
+  for (const auto& querier : queriers) {
+    for (int i = 0; i < 3; ++i) {
+      if (!sieve.AddPolicy(MakeStreamPolicy(world->dataset, &rng, querier))
+               .ok()) {
+        return out;
+      }
+    }
+  }
+
+  const std::string sql = "SELECT COUNT(*) FROM WiFi_Dataset";
+  std::vector<SieveSession> sessions;
+  sessions.reserve(queriers.size());
+  for (const auto& querier : queriers) {
+    sessions.emplace_back(&sieve, QueryMetadata{querier, "Safety"});
+  }
+  // Warm twice: the first execution regenerates guards (whose Put fires a
+  // keyed invalidation for that querier), the second caches against the
+  // settled corpus.
+  for (int warm = 0; warm < 2; ++warm) {
+    for (auto& s : sessions) {
+      if (!s.Execute(sql).ok()) return out;
+    }
+  }
+
+  RewriteCacheStats at_start = sieve.rewrite_cache_stats();
+  Timer stream;
+  for (int round = 0; round < rounds; ++round) {
+    if (!sieve.AddPolicy(MakeStreamPolicy(world->dataset, &rng, queriers[0]))
+             .ok()) {
+      return out;
+    }
+    if (wholesale) sieve.rewrite_cache().Clear();
+    for (int q = 0; q < n_queriers; ++q) {
+      RewriteCacheStats before = sieve.rewrite_cache_stats();
+      if (!sessions[static_cast<size_t>(q)].Execute(sql).ok()) return out;
+      RewriteCacheStats after = sieve.rewrite_cache_stats();
+      uint64_t hits = after.hits - before.hits;
+      uint64_t lookups = hits + (after.misses - before.misses);
+      if (q == 0) {
+        out.target_hits += hits;
+        out.target_lookups += lookups;
+      } else {
+        out.bystander_hits += hits;
+        out.bystander_lookups += lookups;
+      }
+    }
+  }
+  out.stream_ms = stream.ElapsedMillis();
+  out.invalidations =
+      sieve.rewrite_cache_stats().invalidations - at_start.invalidations;
+  out.ok = true;
+  return out;
+}
+
 }  // namespace
 
 int main() {
-  std::printf("=== Section 6: optimal guard regeneration interval k ===\n\n");
   auto world = MakeTippersWorld(EngineProfile::MySqlLike(), 1.0, 0);
   if (world == nullptr) return 1;
+  std::vector<JsonRow> json_rows;
 
+  std::printf(
+      "=== Mixed churn stream: keyed invalidation vs wholesale clear ===\n\n");
+  const int kChurnQueriers = 8;
+  const int kChurnRounds = 40;
+  ChurnResult keyed =
+      RunChurnStream(world.get(), "churn_", kChurnQueriers, kChurnRounds,
+                     /*wholesale=*/false);
+  ChurnResult wholesale =
+      RunChurnStream(world.get(), "whole_", kChurnQueriers, kChurnRounds,
+                     /*wholesale=*/true);
+  if (!keyed.ok || !wholesale.ok) {
+    std::fprintf(stderr, "churn stream failed\n");
+    return 1;
+  }
+
+  TablePrinter churn_table({"invalidation", "bystander hit rate",
+                            "target hit rate", "entries invalidated",
+                            "stream ms"});
+  for (const auto* r : {&keyed, &wholesale}) {
+    churn_table.AddRow(
+        {r == &keyed ? "keyed (per dependency key)" : "wholesale clear",
+         StrFormat("%.1f%%", 100.0 * r->BystanderHitRate()),
+         StrFormat("%.1f%%",
+                   r->target_lookups == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(r->target_hits) /
+                             static_cast<double>(r->target_lookups)),
+         StrFormat("%llu", static_cast<unsigned long long>(r->invalidations)),
+         StrFormat("%.1f", r->stream_ms)});
+    json_rows.push_back(
+        JsonRow()
+            .Set("phase", std::string(r == &keyed ? "churn_keyed"
+                                                  : "churn_wholesale"))
+            .Set("rounds", r->rounds)
+            .Set("queriers", r->queriers)
+            .Set("bystander_hits", static_cast<int64_t>(r->bystander_hits))
+            .Set("bystander_lookups",
+                 static_cast<int64_t>(r->bystander_lookups))
+            .Set("bystander_hit_rate", r->BystanderHitRate())
+            .Set("target_hits", static_cast<int64_t>(r->target_hits))
+            .Set("target_lookups", static_cast<int64_t>(r->target_lookups))
+            .Set("invalidations", static_cast<int64_t>(r->invalidations))
+            .Set("stream_ms", r->stream_ms));
+  }
+  churn_table.Print();
+  std::printf(
+      "\nExpected shape: keyed bystanders stay >= 80%% hits (their "
+      "dependency keys\nnever mutate); wholesale clearing forces every "
+      "querier to re-prepare every\nround (~0%%).\n\n");
+
+  std::printf("=== Section 6: optimal guard regeneration interval k ===\n\n");
   const int kInserts = 120;   // N
   const double kRpq = 0.5;    // queries per policy insertion
   PolicyStore& store = world->sieve->policies();
@@ -116,6 +275,14 @@ int main() {
     table.AddRow({StrFormat("%d", k), StrFormat("%d", regens),
                   StrFormat("%d", queries), StrFormat("%.1f", regen_ms),
                   StrFormat("%.1f", query_ms), StrFormat("%.1f", total)});
+    json_rows.push_back(JsonRow()
+                            .Set("phase", std::string("ksweep"))
+                            .Set("k", k)
+                            .Set("regens", regens)
+                            .Set("queries", queries)
+                            .Set("regen_ms", regen_ms)
+                            .Set("query_ms", query_ms)
+                            .Set("total_ms", total));
   }
   table.Print();
 
@@ -127,5 +294,16 @@ int main() {
   std::printf("Expected shape: total time is U-shaped in k — regenerating "
               "every insert pays\nregeneration over and over; never "
               "regenerating pays growing query costs.\n");
+
+  if (!WriteBenchJson("dynamic_regeneration", "BENCH_dynamic.json", json_rows,
+                      JsonRow()
+                          .Set("best_k", best_k)
+                          .Set("k_star_estimate", k_star)
+                          .Set("churn_rounds", kChurnRounds)
+                          .Set("churn_queriers", kChurnQueriers))) {
+    std::fprintf(stderr, "warning: could not write BENCH_dynamic.json\n");
+  } else {
+    std::printf("\nwrote BENCH_dynamic.json (%zu rows)\n", json_rows.size());
+  }
   return 0;
 }

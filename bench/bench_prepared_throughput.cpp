@@ -12,7 +12,8 @@
 //
 // Also reports the rewrite-cache hit rate of the one-shot loop (expected
 // >= 90% on a repeated query) and that an AddPolicy mid-stream invalidates
-// the cache wholesale. Emits BENCH_prepared.json.
+// the affected querier's cached rewrite (keyed invalidation). Emits
+// BENCH_prepared.json.
 
 #include "bench/harness.h"
 #include "sieve/session.h"
@@ -144,8 +145,9 @@ int main() {
           .Set("lookups", static_cast<int64_t>(lookups))
           .Set("hit_rate", hit_rate));
 
-  // Mid-stream policy insert: the epoch bump must invalidate the cache
-  // wholesale, and the next execute must still answer correctly.
+  // Mid-stream policy insert: keyed invalidation must stale this
+  // querier's cached rewrite, and the next execute must still answer
+  // correctly (transparent re-prepare).
   RewriteCacheStats before_insert = sieve.rewrite_cache_stats();
   uint64_t epoch_before = sieve.policy_epoch();
   Policy p;

@@ -92,14 +92,21 @@ std::vector<std::string> MapGroupResolver::GroupsOf(
 
 bool PolicyMatchesMetadata(const Policy& policy, const QueryMetadata& md,
                            const GroupResolver* resolver) {
-  if (!EqualsIgnoreCase(policy.purpose, md.purpose) &&
-      !EqualsIgnoreCase(policy.purpose, "any")) {
+  return GrantMatchesMetadata(policy.querier, policy.purpose, md, resolver);
+}
+
+bool GrantMatchesMetadata(const std::string& grant_querier,
+                          const std::string& grant_purpose,
+                          const QueryMetadata& md,
+                          const GroupResolver* resolver) {
+  if (!EqualsIgnoreCase(grant_purpose, md.purpose) &&
+      !EqualsIgnoreCase(grant_purpose, "any")) {
     return false;
   }
-  if (EqualsIgnoreCase(policy.querier, md.querier)) return true;
+  if (EqualsIgnoreCase(grant_querier, md.querier)) return true;
   if (resolver != nullptr) {
     for (const std::string& group : resolver->GroupsOf(md.querier)) {
-      if (EqualsIgnoreCase(policy.querier, group)) return true;
+      if (EqualsIgnoreCase(grant_querier, group)) return true;
     }
   }
   return false;

@@ -95,6 +95,17 @@ class MapGroupResolver : public GroupResolver {
 bool PolicyMatchesMetadata(const Policy& policy, const QueryMetadata& md,
                            const GroupResolver* resolver);
 
+/// Core of PolicyMatchesMetadata without needing a whole Policy: does a
+/// grant addressed to (grant_querier, grant_purpose) apply to a query with
+/// metadata `md`? Keyed cache invalidation uses this so "which cached
+/// rewrites does this policy affect" shares exact semantics (case-insensitive
+/// match, "any" purpose, group membership) with policy filtering at rewrite
+/// time.
+bool GrantMatchesMetadata(const std::string& grant_querier,
+                          const std::string& grant_purpose,
+                          const QueryMetadata& md,
+                          const GroupResolver* resolver);
+
 /// Folds an overlapping deny policy into an allow policy (Section 3.1's
 /// deny-factoring). Both policies must target the same owner and table.
 /// Returns the replacement allow policies (0, 1, or 2 of them): the deny's

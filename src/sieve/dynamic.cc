@@ -2,7 +2,15 @@
 
 #include <cmath>
 
+#include "common/string_util.h"
+
 namespace sieve {
+
+DynamicPolicyManager::Key DynamicPolicyManager::Key::Make(
+    const std::string& querier, const std::string& purpose,
+    const std::string& table) {
+  return Key{ToLower(querier), ToLower(purpose), ToLower(table)};
+}
 
 double DynamicPolicyManager::QueriesPerInsert() const {
   if (inserts_seen_ <= 0) return 1.0;
@@ -13,23 +21,54 @@ double DynamicPolicyManager::QueriesPerInsert() const {
 }
 
 Result<int64_t> DynamicPolicyManager::InsertPolicy(Policy policy) {
-  Key key{policy.querier, policy.purpose, policy.table_name};
-  QueryMetadata md{policy.querier, policy.purpose};
+  std::string querier = policy.querier;
+  std::string purpose = policy.purpose;
   std::string table = policy.table_name;
 
   SIEVE_ASSIGN_OR_RETURN(int64_t id, policies_->AddPolicy(std::move(policy)));
   ++inserts_seen_;
-  int64_t pending = ++pending_[key];
-  guards_->MarkOutdated(key.querier, key.purpose, key.table);
 
-  if (mode_ == RegenerationMode::kEagerEveryK) {
-    double k = CurrentOptimalK(key.querier, key.purpose, key.table);
-    if (static_cast<double>(pending) >= k) {
-      SIEVE_ASSIGN_OR_RETURN(GuardedExpression ge, builder_.Build(md, table));
-      auto put = guards_->Put(std::move(ge));
-      if (!put.ok()) return put.status();
-      pending_[key] = 0;
+  // Incremental invalidation: flip only the guarded expressions whose
+  // candidate sets the new policy changes. That is every stored GE on this
+  // table whose metadata the grant reaches — the grant key itself, and (for
+  // group grants) each member querier's GE, which a same-key MarkOutdated
+  // would miss entirely.
+  std::vector<GuardKey> affected = guards_->MarkOutdatedWhere(
+      table, [&](const GuardedExpression& ge) {
+        return GrantMatchesMetadata(querier, purpose,
+                                    QueryMetadata{ge.querier, ge.purpose},
+                                    resolver_);
+      });
+
+  // The grant's own key is affected even when it has no stored GE yet
+  // (IsOutdated treats absence as stale, but pending bookkeeping and cache
+  // invalidation still need the event).
+  Key own = Key::Make(querier, purpose, table);
+  bool own_seen = false;
+  for (const GuardKey& k : affected) {
+    if (k.querier == own.querier && k.purpose == own.purpose &&
+        k.table == own.table) {
+      own_seen = true;
+      break;
     }
+  }
+  if (!own_seen) {
+    guards_->MarkOutdated(querier, purpose, table);
+    affected.push_back(GuardKey{own.querier, own.purpose, own.table});
+  }
+
+  for (const GuardKey& k : affected) {
+    int64_t pending = ++pending_[Key{k.querier, k.purpose, k.table}];
+    if (mode_ != RegenerationMode::kEagerEveryK) continue;
+    double kstar = CurrentOptimalK(k.querier, k.purpose, k.table);
+    if (static_cast<double>(pending) < kstar) continue;
+    // Regenerate this key only. Lower-cased metadata is fine: policy
+    // filtering, group resolution and catalog lookup are case-insensitive.
+    QueryMetadata md{k.querier, k.purpose};
+    SIEVE_ASSIGN_OR_RETURN(GuardedExpression ge, builder_.Build(md, k.table));
+    auto put = guards_->Put(std::move(ge));
+    if (!put.ok()) return put.status();
+    pending_[Key{k.querier, k.purpose, k.table}] = 0;
   }
   return id;
 }
@@ -39,18 +78,23 @@ double DynamicPolicyManager::CurrentOptimalK(const std::string& querier,
                                              const std::string& table) const {
   const GuardedExpression* ge = guards_->Get(querier, purpose, table);
   if (ge == nullptr || ge->guards.empty()) return 1.0;
-  // ρ(oc_G): use the mean per-guard cardinality in rows. The derivation in
-  // Section 6 assumes a representative guard selectivity.
+  // ρ(oc_G): mean per-guard cardinality in rows. Guard selectivities are
+  // stored as fractions, so scale by the protected table's real cardinality
+  // from the catalog (Section 6's ρ counts tuples).
   double mean_rho = ge->TotalSelectivity() /
                     static_cast<double>(ge->guards.size());
-  // Convert to rows: the paper's ρ counts tuples.
-  // We do not know the table size here without the catalog; the guarded
-  // expression's cardinality semantics store fractions, so scale by an
-  // approximate table size derived from generation cost bookkeeping.
-  // Callers that need exact k pass through CostModel::OptimalRegenerationK.
+  double table_rows = 0.0;
+  if (db_ != nullptr) {
+    const TableEntry* entry = db_->catalog().Find(ge->table_name);
+    if (entry != nullptr && entry->table != nullptr) {
+      table_rows = static_cast<double>(entry->table->size());
+    }
+  }
+  if (table_rows <= 0) table_rows = 1.0;
+  double rho_rows = mean_rho * table_rows;
   double regen_cost_s = ge->generation_ms / 1e3;
   if (regen_cost_s <= 0) regen_cost_s = 1e-3;
-  double k = cost_->OptimalRegenerationK(mean_rho <= 0 ? 1.0 : mean_rho * 1e5,
+  double k = cost_->OptimalRegenerationK(rho_rows <= 0 ? 1.0 : rho_rows,
                                          regen_cost_s, QueriesPerInsert());
   return k < 1.0 ? 1.0 : k;
 }
@@ -58,7 +102,7 @@ double DynamicPolicyManager::CurrentOptimalK(const std::string& querier,
 int64_t DynamicPolicyManager::PendingInsertions(const std::string& querier,
                                                 const std::string& purpose,
                                                 const std::string& table) const {
-  auto it = pending_.find(Key{querier, purpose, table});
+  auto it = pending_.find(Key::Make(querier, purpose, table));
   return it == pending_.end() ? 0 : it->second;
 }
 

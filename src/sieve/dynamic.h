@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "policy/policy_store.h"
 #include "sieve/cost_model.h"
@@ -23,9 +24,12 @@ enum class RegenerationMode {
   kEagerEveryK,
 };
 
-/// Handles policy insertions in dynamic scenarios: marks affected guarded
-/// expressions outdated and, in eager mode, regenerates after the optimal
-/// number of insertions k* = sqrt(4·C_G / (ρ(oc_G)·α·ce·r_pq)).
+/// Handles policy insertions in dynamic scenarios — incrementally: an insert
+/// marks outdated only the guarded expressions whose candidate sets the new
+/// policy actually changes (the policy's own grant key, plus every stored GE
+/// whose querier the grant reaches through group membership), and in eager
+/// mode regenerates exactly those keys once their per-key insertion count
+/// reaches k* = sqrt(4·C_G / (ρ(oc_G)·α·ce·r_pq)) (Eq. 19).
 ///
 /// Threading: mutates the policy and guard stores — call from the single
 /// control thread only, never while a query is executing in parallel.
@@ -33,9 +37,11 @@ class DynamicPolicyManager {
  public:
   DynamicPolicyManager(Database* db, PolicyStore* policies, GuardStore* guards,
                        const CostModel* cost, const GroupResolver* resolver)
-      : policies_(policies),
+      : db_(db),
+        policies_(policies),
         guards_(guards),
         cost_(cost),
+        resolver_(resolver),
         builder_(db, policies, cost, resolver) {}
 
   void set_mode(RegenerationMode mode) { mode_ = mode; }
@@ -46,23 +52,30 @@ class DynamicPolicyManager {
   /// Atomic: concurrent sessions count their executions in parallel.
   void ObserveQuery() { queries_seen_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Inserts the policy, bumps the affected key's counter and applies the
-  /// regeneration mode. Returns the policy id.
+  /// Inserts the policy, marks the affected guarded expressions outdated,
+  /// bumps each affected key's insertion counter and applies the
+  /// regeneration mode per key. Returns the policy id.
   Result<int64_t> InsertPolicy(Policy policy);
 
   /// Eq. 19's k* for a key, from that key's current guarded expression
-  /// (ρ(oc_G) and measured generation cost) and the observed r_pq.
+  /// (ρ(oc_G) scaled by the protected table's real cardinality from the
+  /// catalog, and measured generation cost) and the observed r_pq.
   double CurrentOptimalK(const std::string& querier, const std::string& purpose,
                          const std::string& table) const;
 
-  /// Insertions since the last regeneration for a key.
+  /// Insertions since the last regeneration for a key (case-insensitive).
   int64_t PendingInsertions(const std::string& querier,
                             const std::string& purpose,
                             const std::string& table) const;
 
  private:
+  /// Case-insensitive key: fields are lower-cased at construction so a
+  /// policy on `WifiData` and a query on `wifidata` hit the same entry
+  /// (the rest of the engine compares identifiers with EqualsIgnoreCase).
   struct Key {
     std::string querier, purpose, table;
+    static Key Make(const std::string& querier, const std::string& purpose,
+                    const std::string& table);
     bool operator<(const Key& other) const {
       if (querier != other.querier) return querier < other.querier;
       if (purpose != other.purpose) return purpose < other.purpose;
@@ -72,9 +85,11 @@ class DynamicPolicyManager {
 
   double QueriesPerInsert() const;
 
+  Database* db_;
   PolicyStore* policies_;
   GuardStore* guards_;
   const CostModel* cost_;
+  const GroupResolver* resolver_;
   GuardedExpressionBuilder builder_;
   RegenerationMode mode_ = RegenerationMode::kLazy;
   std::map<Key, int64_t> pending_;

@@ -4,10 +4,37 @@
 
 namespace sieve {
 
+GuardStore::Key GuardStore::Key::Make(const std::string& querier,
+                                      const std::string& purpose,
+                                      const std::string& table) {
+  return Key{ToLower(querier), ToLower(purpose), ToLower(table)};
+}
+
 bool GuardStore::Key::operator<(const Key& other) const {
   if (querier != other.querier) return querier < other.querier;
   if (purpose != other.purpose) return purpose < other.purpose;
   return table < other.table;
+}
+
+void GuardStore::BumpKey(const Key& key) {
+  std::string joined;
+  joined.reserve(key.querier.size() + key.purpose.size() + key.table.size() + 2);
+  joined += key.querier;
+  joined += '\x1f';
+  joined += key.purpose;
+  joined += '\x1f';
+  joined += key.table;
+  ++key_versions_[joined];
+  if (listener_) listener_(GuardMutationEvent{key.querier, key.purpose, key.table});
+}
+
+uint64_t GuardStore::KeyVersion(const std::string& querier,
+                                const std::string& purpose,
+                                const std::string& table) const {
+  Key key = Key::Make(querier, purpose, table);
+  std::string joined = key.querier + '\x1f' + key.purpose + '\x1f' + key.table;
+  auto it = key_versions_.find(joined);
+  return it == key_versions_.end() ? 0 : it->second;
 }
 
 Status GuardStore::Init() {
@@ -80,7 +107,7 @@ Status GuardStore::Persist(const GuardedExpression& ge) {
 
 Result<int64_t> GuardStore::Put(GuardedExpression ge) {
   ge.id = next_ge_id_++;
-  Key key{ge.querier, ge.purpose, ge.table_name};
+  Key key = Key::Make(ge.querier, ge.purpose, ge.table_name);
 
   // Invalidate previous guards of this key.
   auto old = memory_.find(key);
@@ -100,20 +127,21 @@ Result<int64_t> GuardStore::Put(GuardedExpression ge) {
   int64_t id = ge.id;
   memory_[key] = Entry{std::move(ge), /*outdated=*/false};
   BumpVersion();
+  BumpKey(key);
   return id;
 }
 
 const GuardedExpression* GuardStore::Get(const std::string& querier,
                                          const std::string& purpose,
                                          const std::string& table) const {
-  auto it = memory_.find(Key{querier, purpose, table});
+  auto it = memory_.find(Key::Make(querier, purpose, table));
   return it == memory_.end() ? nullptr : &it->second.ge;
 }
 
 bool GuardStore::IsOutdated(const std::string& querier,
                             const std::string& purpose,
                             const std::string& table) const {
-  auto it = memory_.find(Key{querier, purpose, table});
+  auto it = memory_.find(Key::Make(querier, purpose, table));
   if (it == memory_.end()) return true;  // never generated counts as stale
   return it->second.outdated;
 }
@@ -121,11 +149,33 @@ bool GuardStore::IsOutdated(const std::string& querier,
 void GuardStore::MarkOutdated(const std::string& querier,
                               const std::string& purpose,
                               const std::string& table) {
-  auto it = memory_.find(Key{querier, purpose, table});
+  Key key = Key::Make(querier, purpose, table);
+  auto it = memory_.find(key);
   if (it != memory_.end()) it->second.outdated = true;
   // Bump even when the key has no guards yet: the policy insert that
   // triggered this call changes what a cached rewrite would produce.
   BumpVersion();
+  BumpKey(key);
+}
+
+std::vector<GuardKey> GuardStore::MarkOutdatedWhere(
+    const std::string& table,
+    const std::function<bool(const GuardedExpression&)>& pred) {
+  std::string table_lower = ToLower(table);
+  std::vector<GuardKey> affected;
+  bool bumped = false;
+  for (auto& [key, entry] : memory_) {
+    if (key.table != table_lower) continue;
+    if (pred && !pred(entry.ge)) continue;
+    entry.outdated = true;
+    if (!bumped) {
+      BumpVersion();
+      bumped = true;
+    }
+    BumpKey(key);
+    affected.push_back(GuardKey{key.querier, key.purpose, key.table});
+  }
+  return affected;
 }
 
 const Guard* GuardStore::FindGuard(int64_t guard_id) const {

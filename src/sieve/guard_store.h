@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,25 @@
 #include "sieve/guard.h"
 
 namespace sieve {
+
+/// One guarded-expression mutation (Put or MarkOutdated), reported to the
+/// registered listener for keyed cache invalidation. Strings are
+/// lower-cased.
+struct GuardMutationEvent {
+  std::string querier;
+  std::string purpose;
+  std::string table;
+};
+
+/// Identifies a guarded expression, lower-cased (GuardStore keys are
+/// case-insensitive — the engine matches table and querier names with
+/// EqualsIgnoreCase everywhere else, so differently-cased spellings must hit
+/// the same entry).
+struct GuardKey {
+  std::string querier;
+  std::string purpose;
+  std::string table;
+};
 
 /// Persistence and caching of guarded policy expressions (Section 5.1):
 ///   rGE (id, querier, associated_table, purpose, action, outdated,
@@ -49,6 +69,16 @@ class GuardStore {
   void MarkOutdated(const std::string& querier, const std::string& purpose,
                     const std::string& table);
 
+  /// Marks outdated every stored guarded expression on `table`
+  /// (case-insensitive) whose GE satisfies `pred`, and returns the
+  /// lower-cased keys of the entries flipped. Used by incremental
+  /// regeneration to invalidate exactly the candidate sets a policy insert
+  /// changed — including group grants, where the affected GEs belong to the
+  /// group's members rather than to the policy's own querier string.
+  std::vector<GuardKey> MarkOutdatedWhere(
+      const std::string& table,
+      const std::function<bool(const GuardedExpression&)>& pred);
+
   /// Guard lookup by id (the Δ UDF's entry point).
   const Guard* FindGuard(int64_t guard_id) const;
 
@@ -76,13 +106,34 @@ class GuardStore {
 
   /// Monotonic mutation counter, bumped when guarded expressions change
   /// (Put) or are invalidated (MarkOutdated). Together with
-  /// PolicyStore::version it forms the middleware's policy epoch.
+  /// PolicyStore::version it forms the middleware's policy epoch — a
+  /// monotonicity watermark; cache validity is per-key.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Per-(querier, purpose, table) mutation counter (case-insensitive).
+  uint64_t KeyVersion(const std::string& querier, const std::string& purpose,
+                      const std::string& table) const;
+
+  /// Registers the callback fired synchronously by Put / MarkOutdated /
+  /// MarkOutdatedWhere after the change is applied. At most one listener
+  /// (the middleware); runs under the mutator's lock and must not call back
+  /// into the store.
+  void set_mutation_listener(std::function<void(const GuardMutationEvent&)> l) {
+    listener_ = std::move(l);
+  }
 
  private:
   void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
+  /// Internal map key. Always constructed through Make(), which lower-cases
+  /// every field: lookups and mutations reach the same entry regardless of
+  /// the casing callers use (the engine compares identifiers with
+  /// EqualsIgnoreCase everywhere else — a case-sensitive key here made
+  /// MarkOutdated("WifiData") miss the entry IsOutdated("wifidata") checks,
+  /// serving stale guards).
   struct Key {
     std::string querier, purpose, table;
+    static Key Make(const std::string& querier, const std::string& purpose,
+                    const std::string& table);
     bool operator<(const Key& other) const;
   };
   struct Entry {
@@ -103,6 +154,11 @@ class GuardStore {
   int64_t next_gg_row_id_ = 1;
   int64_t logical_clock_ = 1;
   std::atomic<uint64_t> version_{0};
+  /// Lower-cased "querier\x1fpurpose\x1ftable" -> mutation count.
+  std::unordered_map<std::string, uint64_t> key_versions_;
+  std::function<void(const GuardMutationEvent&)> listener_;
+
+  void BumpKey(const Key& key);    // bump key version + notify listener
 };
 
 }  // namespace sieve

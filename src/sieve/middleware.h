@@ -52,19 +52,22 @@ struct SieveOptions {
 /// operator, and submits them to the underlying engine. One instance per
 /// Database.
 ///
-/// ## Sessions, epochs and the rewrite cache
+/// ## Sessions, keyed invalidation and the rewrite cache
 ///
 /// The middleware is session-oriented: each querier/connection opens a
 /// cheap SieveSession (see sieve/session.h) and prepares its queries once
 /// — `Prepare` parses and rewrites, `Execute` binds parameters and runs
 /// the cached rewrite, amortizing guard selection across the query
 /// stream. Rewrites live in a shared RewriteCache keyed by (querier,
-/// purpose, engine profile, normalized SQL) and validated by the **policy
-/// epoch**: every PolicyStore/GuardStore mutation bumps a store version,
-/// policy_epoch() is their sum, and a cached rewrite is only served while
-/// its epoch is current — AddPolicy therefore invalidates every cached
-/// rewrite wholesale, so hot queries skip guard selection entirely while
-/// staying correct under policy churn.
+/// purpose, engine profile, normalized SQL) and invalidated **per
+/// dependency key**: the middleware registers mutation listeners on the
+/// policy and guard stores, and each mutation event names the
+/// (querier, purpose, table) grant key it touched — only cached rewrites
+/// that reference that table *and* whose metadata the grant reaches
+/// (directly or via group membership, GrantMatchesMetadata) are marked
+/// stale. Unaffected queriers' rewrites keep hitting through sustained
+/// policy churn; the global policy_epoch() remains as a monotonicity
+/// watermark and diagnostic, not as the validity check.
 ///
 /// ## Threading
 ///
@@ -87,15 +90,18 @@ class SieveMiddleware {
         policies_(db),
         guards_(db, &policies_),
         rewriter_(db, &policies_, &guards_, &cost_, resolver),
-        dynamics_(db, &policies_, &guards_, &cost_, resolver) {}
+        dynamics_(db, &policies_, &guards_, &cost_, resolver) {
+    RegisterInvalidationListeners();
+  }
 
   /// Creates the policy/guard catalog tables, registers the Δ UDF and
   /// (optionally) calibrates the cost model.
   Status Init();
 
-  /// Adds a policy through the dynamic manager (marks guards outdated /
-  /// regenerates per the configured mode). Bumps the policy epoch, which
-  /// invalidates the rewrite cache; blocks while queries are executing.
+  /// Adds a policy through the dynamic manager (marks affected guards
+  /// outdated / regenerates per the configured mode). The store mutation
+  /// listeners invalidate exactly the cached rewrites whose dependency keys
+  /// the insert touches; blocks while queries are executing.
   Result<int64_t> AddPolicy(Policy policy);
 
   /// Rewrites without executing (inspection, tests, benches). Bypasses
@@ -123,8 +129,10 @@ class SieveMiddleware {
   Status set_options(const SieveOptions& options);
 
   /// Current policy epoch: the sum of the policy- and guard-store version
-  /// counters. Cached rewrites carry the epoch they were produced under
-  /// and are discarded when it no longer matches.
+  /// counters. Cached rewrites carry the epoch they were produced under —
+  /// used only as a monotonicity watermark (the cache refuses to absorb an
+  /// entry older than one it has seen); validity is the per-entry stale
+  /// flag driven by keyed invalidation.
   uint64_t policy_epoch() const {
     return policies_.version() + guards_.version();
   }
@@ -133,6 +141,10 @@ class SieveMiddleware {
   RewriteCacheStats rewrite_cache_stats() const {
     return rewrite_cache_.stats();
   }
+
+  /// The shared prepared-rewrite cache (benches/tests: Clear() emulates
+  /// wholesale invalidation for comparison runs).
+  RewriteCache& rewrite_cache() { return rewrite_cache_; }
 
   Database& db() { return *db_; }
   PolicyStore& policies() { return policies_; }
@@ -147,6 +159,11 @@ class SieveMiddleware {
   friend class SieveSession;
   friend class PreparedQuery;
   friend class ResultCursor;
+
+  /// Hooks the policy/guard stores' mutation listeners to keyed rewrite-
+  /// cache invalidation. Registered at construction so even direct store
+  /// mutations (tests, benches) invalidate correctly.
+  void RegisterInvalidationListeners();
 
   Database* db_;
   const GroupResolver* resolver_;

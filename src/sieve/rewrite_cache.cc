@@ -89,42 +89,104 @@ std::string RewriteCache::MakeKey(const std::string& querier,
 }
 
 std::shared_ptr<const PreparedRewrite> RewriteCache::Lookup(
-    const std::string& key, uint64_t epoch, bool authoritative) {
+    const std::string& key, bool authoritative) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (epoch != epoch_) {
-    if (authoritative) {
-      if (!entries_.empty()) {
-        entries_.clear();
-        ++stats_.invalidations;
-      }
-      epoch_ = epoch;
-      ++stats_.misses;
-    }
-    return nullptr;
-  }
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     if (authoritative) ++stats_.misses;
     return nullptr;
   }
+  if (it->second.rewrite->stale()) {
+    // Invalidation marks entries stale before erasing them, so a stale
+    // resident entry should not normally exist — but a concurrent holder
+    // could re-Insert one (watermark permitting). Treat it as a miss and
+    // drop it so the slot is re-prepared.
+    EraseLocked(it);
+    if (authoritative) ++stats_.misses;
+    return nullptr;
+  }
+  // Refresh recency: move to MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++stats_.hits;
-  return it->second;
+  return it->second.rewrite;
 }
 
 void RewriteCache::Insert(const std::string& key,
                           std::shared_ptr<const PreparedRewrite> entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (entry->epoch != epoch_) {
-    if (!entries_.empty()) {
-      entries_.clear();
-      ++stats_.invalidations;
+  if (entry->epoch < max_epoch_) {
+    // Out-of-order insert: this rewrite was produced before a policy
+    // mutation the cache has already seen. Caching it would serve a
+    // pre-mutation rewrite as current; refuse it (the holder may still
+    // execute its own copy — it re-validates staleness per Execute).
+    ++stats_.stale_drops;
+    return;
+  }
+  max_epoch_ = entry->epoch;
+  if (entry->stale()) {
+    ++stats_.stale_drops;
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replace in place; recency refreshes to MRU.
+    UnindexEntry(key, *it->second.rewrite);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.rewrite = std::move(entry);
+    IndexEntry(key, *it->second.rewrite);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    if (victim != entries_.end()) {
+      // Eviction is capacity management, not invalidation: the entry is
+      // NOT marked stale — a PreparedQuery still holding it keeps
+      // executing it validly.
+      EraseLocked(victim);
+    } else {
+      lru_.pop_back();
     }
-    epoch_ = entry->epoch;
+    ++stats_.evictions;
   }
-  if (entries_.size() >= kMaxEntries && entries_.find(key) == entries_.end()) {
-    entries_.erase(entries_.begin());
+  lru_.push_front(key);
+  Entry e;
+  e.rewrite = std::move(entry);
+  e.lru_it = lru_.begin();
+  IndexEntry(key, *e.rewrite);
+  entries_.emplace(key, std::move(e));
+}
+
+size_t RewriteCache::InvalidateTable(
+    const std::string& table_lower,
+    const std::function<bool(const PreparedRewrite&)>& affects) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = by_table_.find(table_lower);
+  if (idx == by_table_.end()) return 0;
+  // Collect first: EraseLocked mutates by_table_ buckets.
+  std::vector<std::string> keys(idx->second.begin(), idx->second.end());
+  size_t count = 0;
+  for (const auto& key : keys) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    const PreparedRewrite& rw = *it->second.rewrite;
+    if (affects && !affects(rw)) continue;
+    rw.mark_stale();
+    EraseLocked(it);
+    ++count;
   }
-  entries_[key] = std::move(entry);
+  stats_.invalidations += count;
+  return count;
+}
+
+size_t RewriteCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = entries_.size();
+  for (auto& kv : entries_) kv.second.rewrite->mark_stale();
+  entries_.clear();
+  lru_.clear();
+  by_table_.clear();
+  stats_.invalidations += count;
+  return count;
 }
 
 RewriteCacheStats RewriteCache::stats() const {
@@ -140,6 +202,32 @@ size_t RewriteCache::size() const {
 void RewriteCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
+  by_table_.clear();
+}
+
+void RewriteCache::IndexEntry(const std::string& key,
+                              const PreparedRewrite& rewrite) {
+  for (const auto& table : rewrite.dep_tables) {
+    by_table_[table].insert(key);
+  }
+}
+
+void RewriteCache::UnindexEntry(const std::string& key,
+                                const PreparedRewrite& rewrite) {
+  for (const auto& table : rewrite.dep_tables) {
+    auto it = by_table_.find(table);
+    if (it == by_table_.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) by_table_.erase(it);
+  }
+}
+
+void RewriteCache::EraseLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  UnindexEntry(it->first, *it->second.rewrite);
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
 }
 
 }  // namespace sieve

@@ -349,6 +349,12 @@ void CollectTables(const SelectStmt& stmt, std::vector<std::string>* out) {
 
 }  // namespace
 
+std::vector<std::string> CollectReferencedTables(const SelectStmt& stmt) {
+  std::vector<std::string> tables;
+  CollectTables(stmt, &tables);
+  return tables;
+}
+
 Result<RewriteResult> QueryRewriter::RewriteSql(const std::string& sql,
                                                 const QueryMetadata& md) {
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));

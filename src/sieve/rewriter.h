@@ -49,6 +49,13 @@ struct RewriteResult {
   bool default_denied = false;
 };
 
+/// Distinct base-table names referenced anywhere in `stmt` — the FROM
+/// clauses of every union arm, subqueries and CTE bodies — deduplicated
+/// case-insensitively, original casing preserved. The session layer records
+/// these (lower-cased) as a prepared rewrite's table dependencies for keyed
+/// cache invalidation.
+std::vector<std::string> CollectReferencedTables(const SelectStmt& stmt);
+
 /// Sieve's query rewriter (Section 5): for every table in the query that has
 /// policies, build (or reuse) the guarded policy expression, pick the access
 /// strategy with the cost model + EXPLAIN, choose inline vs Δ per guard, and

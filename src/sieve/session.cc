@@ -8,10 +8,11 @@ namespace sieve {
 namespace {
 
 /// Writer-vs-reader livelock guard: an Execute retries when a policy
-/// writer slipped in between its re-prepare and its epoch re-check. Each
-/// retry re-prepares authoritatively, so this bound is only reachable
-/// under a pathological back-to-back AddPolicy storm.
-constexpr int kMaxEpochRetries = 100;
+/// writer invalidated its freshly re-prepared snapshot before the staleness
+/// re-check. Each retry re-prepares authoritatively, so this bound is only
+/// reachable under a pathological back-to-back AddPolicy storm targeting
+/// this query's own dependency keys.
+constexpr int kMaxRefreshRetries = 100;
 
 // Clones the rewrite template and substitutes the positional parameters.
 // The clone is what executes — the shared template is never mutated, so
@@ -37,29 +38,35 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
       md.querier, md.purpose, mw->db_->profile().name(), normalized_sql);
 
   if (optimistic) {
-    // Lock-free fast path. A concurrent AddPolicy can make this epoch read
-    // tear, so the probe is non-authoritative: it never mutates the cache
-    // (a torn epoch must not wipe entries that are in fact current) and a
-    // hit is only a hint — Execute re-validates the entry's epoch under
-    // the shared state lock before running it. Its miss is not recorded;
-    // the authoritative retry below counts it.
-    if (auto hit = mw->rewrite_cache_.Lookup(key, mw->policy_epoch(),
-                                             /*authoritative=*/false)) {
+    // Lock-free fast path. Non-authoritative: a hit is only a hint —
+    // Execute re-validates the entry's stale flag under the shared state
+    // lock before running it — and its miss is not recorded; the
+    // authoritative retry below counts it.
+    if (auto hit = mw->rewrite_cache_.Lookup(key, /*authoritative=*/false)) {
       return hit;
     }
   }
 
-  // Authoritative path: the writer lock both stabilizes the epoch and
+  // Authoritative path: the writer lock both excludes policy mutations and
   // allows EnsureGuards to regenerate outdated guards (a GuardStore
   // mutation) while no query is executing.
   std::unique_lock<std::shared_mutex> lock(mw->state_mu_);
-  if (auto hit = mw->rewrite_cache_.Lookup(key, mw->policy_epoch())) {
+  if (auto hit = mw->rewrite_cache_.Lookup(key)) {
     return hit;
   }
 
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(normalized_sql));
   auto entry = std::make_shared<PreparedRewrite>();
   SIEVE_ASSIGN_OR_RETURN(entry->params, CollectParameterSlots(*stmt));
+  // Dependency set, from the *original* statement before rewriting (the
+  // rewrite replaces table refs with CTEs): every base table it references,
+  // plus the metadata it is prepared for — the keys whose policy/guard
+  // mutations must invalidate this entry.
+  entry->querier = ToLower(md.querier);
+  entry->purpose = ToLower(md.purpose);
+  for (const std::string& table : CollectReferencedTables(*stmt)) {
+    entry->dep_tables.push_back(ToLower(table));
+  }
   SIEVE_ASSIGN_OR_RETURN(RewriteResult rewrite,
                          mw->rewriter_.Rewrite(*stmt, md));
   entry->normalized_sql = normalized_sql;
@@ -68,8 +75,8 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
   entry->tables = std::move(rewrite.tables);
   entry->default_denied = rewrite.default_denied;
   // Epoch is read *after* the rewrite: regenerating guards bumped the
-  // guard-store version, and the entry must carry the epoch it is valid
-  // under. Stable here — mutations need this same lock.
+  // guard-store version, and the cache orders entries by the epoch they
+  // were produced under. Stable here — mutations need this same lock.
   entry->epoch = mw->policy_epoch();
   mw->rewrite_cache_.Insert(key, entry);
   return std::shared_ptr<const PreparedRewrite>(std::move(entry));
@@ -129,10 +136,13 @@ Result<std::vector<Value>> PreparedQuery::ResolveNamed(
 }
 
 Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
-  for (int attempt = 0; attempt < kMaxEpochRetries; ++attempt) {
+  for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
       std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
-      if (rewrite_->epoch == mw_->policy_epoch()) {
+      // Keyed invalidation: only a mutation touching one of *this*
+      // rewrite's dependency keys marks it stale — unrelated AddPolicy
+      // churn leaves the snapshot valid and execution proceeds.
+      if (!rewrite_->stale()) {
         SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr bound,
                                BindTemplate(*rewrite_, params));
         mw_->dynamics_.ObserveQuery();
@@ -145,7 +155,7 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
     SIEVE_RETURN_IF_ERROR(Refresh());
   }
   return Status::Internal(
-      "prepared query could not observe a stable policy epoch");
+      "prepared query could not observe a stable rewrite snapshot");
 }
 
 Result<ResultSet> PreparedQuery::ExecuteNamed(
@@ -156,10 +166,10 @@ Result<ResultSet> PreparedQuery::ExecuteNamed(
 
 Result<ResultCursor> PreparedQuery::OpenCursor(
     const std::vector<Value>& params) {
-  for (int attempt = 0; attempt < kMaxEpochRetries; ++attempt) {
+  for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
       std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
-      if (rewrite_->epoch == mw_->policy_epoch()) {
+      if (!rewrite_->stale()) {
         SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr bound,
                                BindTemplate(*rewrite_, params));
         mw_->dynamics_.ObserveQuery();
@@ -172,7 +182,7 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
             std::unique_ptr<QueryCursor> cursor,
             mw_->db_->OpenCursor(*bound, md.get(), opts.timeout_seconds,
                                  opts.num_threads, opts.batch_size));
-        // The shared lock transfers into the cursor: the policy epoch
+        // The shared lock transfers into the cursor: the policy corpus
         // stays pinned until the cursor is drained or destroyed.
         return ResultCursor(std::move(lock), std::move(md), std::move(bound),
                             std::move(cursor));
@@ -181,7 +191,7 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
     SIEVE_RETURN_IF_ERROR(Refresh());
   }
   return Status::Internal(
-      "prepared query could not observe a stable policy epoch");
+      "prepared query could not observe a stable rewrite snapshot");
 }
 
 }  // namespace sieve

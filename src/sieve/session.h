@@ -17,7 +17,7 @@ namespace sieve {
 /// the engine's partition machinery (serial executions stream; parallel
 /// ones buffer once and serve slices — rows and order are identical).
 ///
-/// An open cursor pins the policy epoch it was opened under: it holds the
+/// An open cursor pins the policy corpus it was opened under: it holds the
 /// middleware's state lock shared, so AddPolicy/set_options block until
 /// the cursor finishes. The pin is released as soon as the stream ends —
 /// exhaustion, a sticky execution error, Close(), or destruction,
@@ -95,9 +95,12 @@ class ResultCursor {
 /// A query prepared once through SieveSession::Prepare: parsed, rewritten
 /// against the querier's policies and cached, ready to execute repeatedly
 /// with different parameter bindings. Holds an immutable snapshot of the
-/// rewrite; when AddPolicy bumps the policy epoch, the next Execute
-/// transparently re-prepares (through the shared cache), so results always
-/// reflect a consistent policy corpus — never a torn rewrite.
+/// rewrite; when a policy or guard mutation touches one of *this* query's
+/// dependency keys — its querier/purpose or a table it references — the
+/// snapshot is marked stale and the next Execute transparently re-prepares
+/// (through the shared cache). Mutations on other queriers' keys leave the
+/// snapshot valid, so results always reflect a consistent policy corpus
+/// without paying for unrelated churn.
 ///
 /// Single-threaded like its session; movable. Results are byte-identical
 /// — rows, row order and ExecStats — to a one-shot
@@ -135,7 +138,7 @@ class PreparedQuery {
   const std::string& sql() const { return rewrite_->normalized_sql; }
   /// Rewrite snapshot this query currently executes (diagnostics: per-table
   /// strategy, default-deny flag, rewritten SQL, epoch). Refreshed when an
-  /// Execute observes a newer policy epoch.
+  /// Execute finds the snapshot marked stale by keyed invalidation.
   std::shared_ptr<const PreparedRewrite> rewrite() const { return rewrite_; }
   const QueryMetadata& metadata() const { return md_; }
 
@@ -145,7 +148,7 @@ class PreparedQuery {
                 std::shared_ptr<const PreparedRewrite> rewrite)
       : mw_(middleware), md_(std::move(md)), rewrite_(std::move(rewrite)) {}
 
-  /// Re-prepares against the current policy epoch (authoritative: takes
+  /// Re-prepares against the current policy corpus (authoritative: takes
   /// the middleware's writer lock on a cache miss).
   Status Refresh();
   /// Maps named bindings onto the positional signature.
@@ -162,7 +165,7 @@ class PreparedQuery {
 /// pool hands out). Sessions are cheap — a pointer and the querier's
 /// metadata — so a server creates one per connection; any number may
 /// prepare and execute concurrently against one SieveMiddleware, sharing
-/// its rewrite cache and policy-epoch machinery.
+/// its rewrite cache and keyed-invalidation machinery.
 ///
 /// Use one session (and its prepared queries) from one thread at a time.
 class SieveSession {
@@ -171,9 +174,9 @@ class SieveSession {
       : mw_(middleware), md_(std::move(md)) {}
 
   /// Parses and rewrites `sql` once (served from the shared RewriteCache
-  /// when the same querier prepared the same normalized SQL under the
-  /// current policy epoch). `?` and `:name` placeholders become parameter
-  /// slots bound at Execute time.
+  /// when the same querier prepared the same normalized SQL and no mutation
+  /// has touched its dependency keys since). `?` and `:name` placeholders
+  /// become parameter slots bound at Execute time.
   Result<PreparedQuery> Prepare(const std::string& sql);
 
   /// Prepare + Execute in one call (still cache-amortized).

@@ -1,7 +1,11 @@
 #include "sieve/dynamic.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "sieve/session.h"
 #include "tests/test_fixtures.h"
 
 namespace sieve {
@@ -85,6 +89,144 @@ TEST_F(DynamicTest, CurrentOptimalKIsFinitePositive) {
   double k = sieve_.dynamics().CurrentOptimalK("alice", "Analytics", "wifi");
   EXPECT_GE(k, 1.0);
   EXPECT_LT(k, 1e9);
+}
+
+TEST_F(DynamicTest, CaseMismatchedMarkOutdatedFlipsSameEntry) {
+  // Regression: GuardStore keys used to compare case-sensitively while the
+  // rewriter matches identifiers with EqualsIgnoreCase — MarkOutdated with
+  // a differently-cased spelling missed the entry IsOutdated checks, so
+  // stale guards were served.
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "Analytics")).ok());
+  ASSERT_TRUE(
+      sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"}).ok());
+  ASSERT_FALSE(sieve_.guards().IsOutdated("alice", "Analytics", "wifi"));
+
+  sieve_.guards().MarkOutdated("ALICE", "analytics", "WIFI");
+  EXPECT_TRUE(sieve_.guards().IsOutdated("alice", "Analytics", "wifi"));
+  EXPECT_NE(sieve_.guards().Get("Alice", "ANALYTICS", "wifi"), nullptr);
+}
+
+TEST_F(DynamicTest, CaseMismatchedPolicyInsertIsEnforcedImmediately) {
+  // Regression: a policy whose table_name is spelled with different casing
+  // than the query's must still outdate the (same) guarded expression —
+  // otherwise the next query executes against stale guards and silently
+  // drops the new grant.
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(1, "alice", "Analytics")).ok());
+  auto before = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(before.ok());
+  size_t rows_before = before->size();
+
+  Policy p = campus_.MakePolicy(2, "alice", "Analytics");
+  p.table_name = "WIFI";  // same relation, different casing
+  ASSERT_TRUE(sieve_.AddPolicy(std::move(p)).ok());
+
+  auto after = sieve_.Execute("SELECT * FROM wifi", {"alice", "Analytics"});
+  auto oracle =
+      sieve_.ExecuteReference("SELECT * FROM wifi", {"alice", "Analytics"});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(after->size(), oracle->size());
+  EXPECT_GT(after->size(), rows_before)
+      << "the differently-cased grant must widen the result";
+}
+
+TEST_F(DynamicTest, GroupGrantOutdatesMemberGuards) {
+  // bob ∈ students. bob's guarded expression lives under key
+  // (bob, Social, wifi); a policy granted to the *group* changes bob's
+  // candidate set, so it must outdate that member GE — a same-key
+  // MarkOutdated(policy.querier, ...) would miss it entirely.
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(1, "bob", "Social")).ok());
+  ASSERT_TRUE(sieve_.Execute("SELECT * FROM wifi", {"bob", "Social"}).ok());
+  ASSERT_FALSE(sieve_.guards().IsOutdated("bob", "Social", "wifi"));
+
+  ASSERT_TRUE(
+      sieve_.AddPolicy(campus_.MakePolicy(2, "students", "Social")).ok());
+  EXPECT_TRUE(sieve_.guards().IsOutdated("bob", "Social", "wifi"));
+
+  auto after = sieve_.Execute("SELECT * FROM wifi", {"bob", "Social"});
+  auto oracle =
+      sieve_.ExecuteReference("SELECT * FROM wifi", {"bob", "Social"});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(after->size(), oracle->size());
+}
+
+TEST_F(DynamicTest, MixedChurnStreamOnlyInvalidatesAffectedQueriers) {
+  // Sustained mixed stream: three queriers hold prepared queries while
+  // policies churn (AddPolicy via the middleware, RemovePolicy directly on
+  // the store). Each round must invalidate exactly the targeted querier's
+  // snapshot, the other two must keep executing their cached rewrites, and
+  // every result must match the reference oracle for the current corpus.
+  const std::vector<std::string> queriers = {"alice", "bob", "carol"};
+  for (const auto& q : queriers) {
+    ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(0, q, "Analytics")).ok());
+  }
+
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP <= 4";
+  std::vector<SieveSession> sessions;
+  std::vector<PreparedQuery> prepared;
+  for (const auto& q : queriers) {
+    sessions.emplace_back(&sieve_, QueryMetadata{q, "Analytics"});
+  }
+  for (auto& s : sessions) {
+    auto p = s.Prepare(sql);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    prepared.push_back(std::move(*p));
+  }
+
+  std::vector<std::vector<int64_t>> removable(queriers.size());
+  for (int round = 0; round < 9; ++round) {
+    const size_t target = static_cast<size_t>(round % 3);
+    std::vector<std::shared_ptr<const PreparedRewrite>> snapshots;
+    for (auto& p : prepared) snapshots.push_back(p.rewrite());
+
+    if (round >= 5 && !removable[target].empty()) {
+      // Mid-stream removal, bypassing the middleware: the store listeners
+      // must still invalidate the affected key.
+      int64_t id = removable[target].back();
+      removable[target].pop_back();
+      ASSERT_TRUE(sieve_.policies().RemovePolicy(id).ok());
+      sieve_.guards().MarkOutdated(queriers[target], "Analytics", "wifi");
+    } else {
+      auto id = sieve_.AddPolicy(
+          campus_.MakePolicy(1 + round % 5, queriers[target], "Analytics"));
+      ASSERT_TRUE(id.ok());
+      removable[target].push_back(*id);
+    }
+
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (i == target) {
+        EXPECT_TRUE(snapshots[i]->stale())
+            << "round " << round << ": target " << queriers[i]
+            << " must be invalidated";
+      } else {
+        EXPECT_FALSE(snapshots[i]->stale())
+            << "round " << round << ": bystander " << queriers[i]
+            << " must keep its rewrite";
+      }
+    }
+
+    RewriteCacheStats before = sieve_.rewrite_cache_stats();
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      auto result = prepared[i].Execute();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      auto oracle = sieve_.ExecuteReference(
+          sql, QueryMetadata{queriers[i], "Analytics"});
+      ASSERT_TRUE(oracle.ok());
+      EXPECT_EQ(result->size(), oracle->size())
+          << "round " << round << " querier " << queriers[i];
+      if (i != target) {
+        EXPECT_EQ(prepared[i].rewrite().get(), snapshots[i].get())
+            << "bystander must not have re-prepared";
+      }
+    }
+    RewriteCacheStats after = sieve_.rewrite_cache_stats();
+    EXPECT_EQ(after.misses, before.misses + 1)
+        << "round " << round
+        << ": exactly the target's re-prepare may miss the cache";
+  }
 }
 
 }  // namespace

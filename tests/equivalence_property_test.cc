@@ -24,6 +24,7 @@
 // small-batch ResultCursor, and both must reproduce the one-shot rows,
 // row order and ExecStats byte-identically in serial and parallel mode.
 
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -332,6 +333,122 @@ TEST_P(EquivalenceSweep, SieveMatchesReference) {
           << "prepared threads=" << threads << " sql=" << sql;
     }
     set_exec(1, 1024);
+  }
+}
+
+// Churn sweep: the policy corpus mutates mid-stream (direct-querier
+// inserts, group grants, removals) while every querier holds prepared
+// queries. After each mutation, exactly the affected queriers' snapshots
+// may go stale — a grant to "students" touches bob and carol but never
+// alice — and every execution, refreshed or cached, must match the
+// reference answer for the corpus in force at that moment.
+TEST_P(EquivalenceSweep, MidStreamChurnKeepsResultsEquivalent) {
+  const SweepConfig& cfg = GetParam();
+  MiniCampus campus(cfg.postgres ? EngineProfile::PostgresLike()
+                                 : EngineProfile::MySqlLike());
+  SieveMiddleware sieve(&campus.db(), &campus.groups());
+  ASSERT_TRUE(sieve.Init().ok());
+  Rng rng(cfg.seed * 7 + 13);
+
+  const std::vector<std::string> queriers = {"alice", "bob", "carol"};
+  // bob and carol are students; a grant to the group affects both.
+  auto affected_by = [](const std::string& grantee,
+                        const std::string& querier) {
+    return grantee == querier ||
+           (grantee == "students" && (querier == "bob" || querier == "carol"));
+  };
+
+  std::vector<std::vector<int64_t>> removable(queriers.size());
+  for (size_t q = 0; q < queriers.size(); ++q) {
+    auto id = sieve.AddPolicy(
+        campus.MakePolicy(static_cast<int>(q), queriers[q], "Analytics"));
+    ASSERT_TRUE(id.ok());
+    removable[q].push_back(*id);
+  }
+
+  // Two prepared shapes per querier: a guarded scan and an aggregate.
+  const std::vector<std::string> shapes = {
+      "SELECT * FROM wifi WHERE wifiAP <= 3",
+      "SELECT owner, COUNT(*) AS n FROM wifi GROUP BY owner",
+  };
+  std::vector<SieveSession> sessions;
+  std::vector<std::vector<PreparedQuery>> prepared(queriers.size());
+  for (size_t q = 0; q < queriers.size(); ++q) {
+    sessions.emplace_back(&sieve, QueryMetadata{queriers[q], "Analytics"});
+  }
+  for (size_t q = 0; q < queriers.size(); ++q) {
+    for (const auto& sql : shapes) {
+      auto p = sessions[q].Prepare(sql);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      prepared[q].push_back(std::move(*p));
+    }
+  }
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<std::shared_ptr<const PreparedRewrite>>> snaps(
+        queriers.size());
+    for (size_t q = 0; q < queriers.size(); ++q) {
+      for (auto& p : prepared[q]) snaps[q].push_back(p.rewrite());
+    }
+
+    std::string grantee;
+    size_t target = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(queriers.size()) - 1));
+    bool remove = round >= 4 && rng.Chance(0.4) && !removable[target].empty();
+    if (remove) {
+      // Removal bypasses the middleware on purpose: the store listeners
+      // alone must invalidate the affected cache entries.
+      grantee = queriers[target];
+      int64_t id = removable[target].back();
+      removable[target].pop_back();
+      ASSERT_TRUE(sieve.policies().RemovePolicy(id).ok());
+      sieve.guards().MarkOutdated(grantee, "Analytics", "wifi");
+    } else if (rng.Chance(0.25)) {
+      grantee = "students";
+      ASSERT_TRUE(
+          sieve
+              .AddPolicy(campus.MakePolicy(
+                  static_cast<int>(rng.Uniform(0, 9)), "students", "Analytics"))
+              .ok());
+    } else {
+      grantee = queriers[target];
+      auto id = sieve.AddPolicy(campus.MakePolicy(
+          static_cast<int>(rng.Uniform(0, 9)), grantee, "Analytics"));
+      ASSERT_TRUE(id.ok());
+      removable[target].push_back(*id);
+    }
+
+    for (size_t q = 0; q < queriers.size(); ++q) {
+      for (const auto& snap : snaps[q]) {
+        if (affected_by(grantee, queriers[q])) {
+          EXPECT_TRUE(snap->stale())
+              << "round " << round << " grantee " << grantee << " querier "
+              << queriers[q];
+        } else {
+          EXPECT_FALSE(snap->stale())
+              << "round " << round << " grantee " << grantee << " querier "
+              << queriers[q];
+        }
+      }
+    }
+
+    for (size_t q = 0; q < queriers.size(); ++q) {
+      for (size_t s = 0; s < shapes.size(); ++s) {
+        auto result = prepared[q][s].Execute();
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        auto oracle = sieve.ExecuteReference(
+            shapes[s], QueryMetadata{queriers[q], "Analytics"});
+        ASSERT_TRUE(oracle.ok());
+        EXPECT_EQ(Fingerprints(*result), Fingerprints(*oracle))
+            << "round " << round << " querier " << queriers[q] << " sql "
+            << shapes[s];
+        if (!affected_by(grantee, queriers[q])) {
+          EXPECT_EQ(prepared[q][s].rewrite().get(), snaps[q][s].get())
+              << "round " << round << " bystander " << queriers[q]
+              << " must keep its cached rewrite";
+        }
+      }
+    }
   }
 }
 

@@ -160,11 +160,11 @@ TEST(SessionConcurrencyTest, ConcurrentDistinctQueriersShareTheCache) {
     expected[q] = Fingerprints(*oracle);
   }
 
-  // Warm the cache to a stable epoch: the first rewrite per querier
-  // regenerates guards, and each regeneration (GuardStore::Put) advances
-  // the epoch — wholesale-invalidating entries the other queriers just
-  // inserted. Two serial rounds converge (round two rewrites without
-  // regenerating), after which the epoch no longer moves.
+  // Warm the cache to a stable corpus: the first rewrite per querier
+  // regenerates guards, and each regeneration (GuardStore::Put) fires a
+  // keyed invalidation for that querier's entries. Two serial rounds
+  // converge (round two rewrites without regenerating), after which
+  // nothing mutates.
   for (int round = 0; round < 2; ++round) {
     for (int q = 0; q < 3; ++q) {
       SieveSession session(&sieve, {queriers[q], "any"});
@@ -193,13 +193,86 @@ TEST(SessionConcurrencyTest, ConcurrentDistinctQueriersShareTheCache) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
-  // With the epoch stable, every one of the 3 × 20 concurrent lookups is
+  // With the corpus stable, every one of the 3 × 20 concurrent lookups is
   // a hit and nothing invalidates.
   RewriteCacheStats stats = sieve.rewrite_cache_stats();
   EXPECT_EQ(stats.hits, warm.hits + 60u);
   EXPECT_EQ(stats.misses, warm.misses);
   EXPECT_EQ(stats.invalidations, warm.invalidations);
   EXPECT_GE(stats.HitRate(), 0.9);
+}
+
+TEST(SessionConcurrencyTest, ChurnOnOneQuerierLeavesOthersExecutingCached) {
+  // Keyed invalidation under concurrency: a writer churns carol's policies
+  // while alice and bob execute prepared queries. The bystanders' corpora
+  // never change, so their results must stay equal to their pre-churn
+  // references, their snapshots must never be marked stale, and they must
+  // never re-prepare. (TSan covers the listener → cache invalidation path
+  // racing the readers' stale checks.)
+  MiniCampus campus;
+  SieveOptions options;
+  options.num_threads = 2;
+  SieveMiddleware sieve(&campus.db(), &campus.groups(), options);
+  ASSERT_TRUE(sieve.Init().ok());
+  const char* bystanders[] = {"alice", "bob"};
+  for (int q = 0; q < 2; ++q) {
+    ASSERT_TRUE(
+        sieve.AddPolicy(campus.MakePolicy(q, bystanders[q], "any")).ok());
+  }
+  ASSERT_TRUE(sieve.AddPolicy(campus.MakePolicy(5, "carol", "any")).ok());
+
+  const std::string sql = "SELECT * FROM wifi WHERE wifiAP = 1";
+  std::multiset<std::string> expected[2];
+  for (int q = 0; q < 2; ++q) {
+    auto oracle = sieve.ExecuteReference(sql, {bystanders[q], "any"});
+    ASSERT_TRUE(oracle.ok());
+    expected[q] = Fingerprints(*oracle);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> spurious_invalidations{0};
+  std::vector<std::thread> readers;
+  for (int q = 0; q < 2; ++q) {
+    readers.emplace_back([&, q] {
+      SieveSession session(&sieve, {bystanders[q], "any"});
+      auto prepared = session.Prepare(sql);
+      if (!prepared.ok()) {
+        ++failures;
+        return;
+      }
+      auto snapshot = prepared->rewrite();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = prepared->Execute();
+        if (!result.ok() || Fingerprints(*result) != expected[q]) {
+          ++failures;
+          return;
+        }
+      }
+      if (snapshot->stale() || prepared->rewrite().get() != snapshot.get()) {
+        ++spurious_invalidations;
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int k = 0; k < 6; ++k) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      auto id = sieve.AddPolicy(campus.MakePolicy(k % 9, "carol", "any"));
+      if (!id.ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  writer.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(spurious_invalidations.load(), 0)
+      << "carol's churn must not invalidate alice's or bob's rewrites";
 }
 
 }  // namespace

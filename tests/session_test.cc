@@ -1,6 +1,7 @@
 // Unit tests for the session-oriented middleware API: SieveSession /
-// PreparedQuery / ResultCursor, parameter binding edge cases, the
-// policy-epoch rewrite cache and the validated SieveOptions update path.
+// PreparedQuery / ResultCursor, parameter binding edge cases, the keyed
+// (per-dependency) rewrite-cache invalidation, LRU eviction and the
+// validated SieveOptions update path.
 
 #include "sieve/session.h"
 
@@ -250,8 +251,8 @@ TEST_F(SessionTest, RewriteCacheHitsOnRepeatAndInvalidatesOnAddPolicy) {
   EXPECT_EQ(commented->rewrite().get(), prepared->rewrite().get())
       << "comment-only variants must share the cached rewrite";
 
-  // AddPolicy bumps the policy epoch: the next Execute transparently
-  // re-prepares and reflects the new corpus.
+  // AddPolicy for alice touches this rewrite's dependency key: the next
+  // Execute transparently re-prepares and reflects the new corpus.
   uint64_t epoch_before = sieve_.policy_epoch();
   ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(5, "alice", "any")).ok());
   EXPECT_GT(sieve_.policy_epoch(), epoch_before);
@@ -372,18 +373,147 @@ TEST_F(SessionTest, CursorRejectsZeroBatchWithoutEndingStream) {
   EXPECT_GT(rest->size(), 0u);
 }
 
-TEST_F(SessionTest, StaleOptimisticProbeDoesNotWipeFreshEntries) {
-  // A non-authoritative Lookup with a torn (stale) epoch must neither
-  // clear current entries nor regress the cache epoch.
+TEST_F(SessionTest, OutOfOrderInsertIsDroppedNotAdopted) {
+  // Regression: Insert used to *adopt* an older entry's epoch (rolling the
+  // cache epoch backward, clearing valid entries, and serving a
+  // pre-policy-change rewrite as current). An out-of-order insert must be
+  // refused instead.
   RewriteCache cache;
-  auto entry = std::make_shared<PreparedRewrite>();
-  entry->epoch = 5;
-  cache.Insert("k", entry);
-  EXPECT_EQ(cache.Lookup("k", /*epoch=*/3, /*authoritative=*/false),
-            nullptr);
-  EXPECT_EQ(cache.size(), 1u);  // survived the stale probe
-  EXPECT_NE(cache.Lookup("k", /*epoch=*/5), nullptr);  // still served
+  auto fresh = std::make_shared<PreparedRewrite>();
+  fresh->epoch = 5;
+  cache.Insert("k", fresh);
+  auto stale = std::make_shared<PreparedRewrite>();
+  stale->epoch = 3;  // produced before a mutation the cache already saw
+  cache.Insert("k2", stale);
+  EXPECT_EQ(cache.size(), 1u) << "stale-epoch entry must be dropped";
+  EXPECT_NE(cache.Lookup("k"), nullptr) << "fresh entry must survive";
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
   EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST_F(SessionTest, NonAuthoritativeProbeMissIsNotCounted) {
+  // The optimistic pre-lock probe must not double-count misses: only the
+  // authoritative retry records one.
+  RewriteCache cache;
+  EXPECT_EQ(cache.Lookup("absent", /*authoritative=*/false), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.Lookup("absent"), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(SessionTest, LruEvictionSparesJustHitEntry) {
+  // Regression: capacity eviction used to erase(begin()) on an
+  // unordered_map — an arbitrary, possibly hottest, entry. True LRU must
+  // evict the least recently used entry, never one that just hit.
+  RewriteCache cache(/*capacity=*/2);
+  auto mk = [] {
+    auto e = std::make_shared<PreparedRewrite>();
+    e->epoch = 1;
+    return e;
+  };
+  cache.Insert("a", mk());
+  cache.Insert("b", mk());
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refreshes a's recency
+  cache.Insert("c", mk());                // evicts b (LRU), not a
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("a"), nullptr) << "just-hit entry must survive";
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Eviction is capacity management, not invalidation.
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST_F(SessionTest, KeyedInvalidationOnlyTouchesMatchingEntries) {
+  RewriteCache cache;
+  auto mk = [](std::string querier, std::vector<std::string> tables) {
+    auto e = std::make_shared<PreparedRewrite>();
+    e->epoch = 1;
+    e->querier = std::move(querier);
+    e->purpose = "any";
+    e->dep_tables = std::move(tables);
+    return e;
+  };
+  auto alice = mk("alice", {"wifi"});
+  auto bob = mk("bob", {"wifi"});
+  auto carol = mk("carol", {"sensors"});
+  cache.Insert("a", alice);
+  cache.Insert("b", bob);
+  cache.Insert("c", carol);
+
+  size_t n = cache.InvalidateTable("wifi", [](const PreparedRewrite& rw) {
+    return rw.querier == "alice";
+  });
+  EXPECT_EQ(n, 1u);
+  EXPECT_TRUE(alice->stale());
+  EXPECT_FALSE(bob->stale());
+  EXPECT_FALSE(carol->stale());
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  // Null predicate: every entry on the table (protection transitions).
+  EXPECT_EQ(cache.InvalidateTable("wifi"), 1u);
+  EXPECT_TRUE(bob->stale());
+  EXPECT_FALSE(carol->stale()) << "other table's entries stay untouched";
+}
+
+TEST_F(SessionTest, UnrelatedAddPolicyKeepsOtherQueriersRewrites) {
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(2, "bob", "any")).ok());
+  SieveSession alice_session(&sieve_, md_);
+  SieveSession bob_session(&sieve_, QueryMetadata{"bob", "any"});
+  auto pa = alice_session.Prepare("SELECT * FROM wifi WHERE wifiAP = 1");
+  auto pb = bob_session.Prepare("SELECT * FROM wifi WHERE wifiAP = 1");
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  auto a_before = pa->rewrite();
+  auto b_before = pb->rewrite();
+
+  // A policy granted to bob invalidates bob's snapshot, not alice's.
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(3, "bob", "any")).ok());
+  EXPECT_FALSE(a_before->stale());
+  EXPECT_TRUE(b_before->stale());
+
+  RewriteCacheStats before = sieve_.rewrite_cache_stats();
+  ASSERT_TRUE(pa->Execute().ok());
+  EXPECT_EQ(sieve_.rewrite_cache_stats().misses, before.misses)
+      << "alice must execute without re-preparing";
+  EXPECT_EQ(pa->rewrite().get(), a_before.get());
+
+  // bob transparently re-prepares and sees the new corpus.
+  auto rb = pb->Execute();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_NE(pb->rewrite().get(), b_before.get());
+  auto oracle =
+      sieve_.ExecuteReference("SELECT * FROM wifi WHERE wifiAP = 1",
+                              QueryMetadata{"bob", "any"});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(rb->size(), oracle->size());
+}
+
+TEST_F(SessionTest, GroupGrantInvalidatesMemberQueriersRewrites) {
+  // bob ∈ students: a policy granted to the group must invalidate bob's
+  // cached rewrite (the grant reaches him through membership) while
+  // leaving alice's (faculty) untouched.
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(2, "bob", "any")).ok());
+  SieveSession alice_session(&sieve_, md_);
+  SieveSession bob_session(&sieve_, QueryMetadata{"bob", "any"});
+  auto pa = alice_session.Prepare("SELECT * FROM wifi WHERE wifiAP = 2");
+  auto pb = bob_session.Prepare("SELECT * FROM wifi WHERE wifiAP = 2");
+  ASSERT_TRUE(pa.ok() && pb.ok());
+
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(4, "students", "any")).ok());
+  EXPECT_FALSE(pa->rewrite()->stale());
+  EXPECT_TRUE(pb->rewrite()->stale());
+
+  auto rb = pb->Execute();
+  ASSERT_TRUE(rb.ok());
+  auto oracle =
+      sieve_.ExecuteReference("SELECT * FROM wifi WHERE wifiAP = 2",
+                              QueryMetadata{"bob", "any"});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(rb->size(), oracle->size());
 }
 
 TEST_F(SessionTest, DefaultDenyVisibleInRewriteDiagnostics) {
