@@ -1,5 +1,6 @@
 #include "sieve/rewrite_cache.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace sieve {
@@ -117,8 +118,12 @@ void RewriteCache::Insert(const std::string& key,
   if (entry->epoch < max_epoch_) {
     // Out-of-order insert: this rewrite was produced before a policy
     // mutation the cache has already seen. Caching it would serve a
-    // pre-mutation rewrite as current; refuse it (the holder may still
-    // execute its own copy — it re-validates staleness per Execute).
+    // pre-mutation rewrite as current; refuse it — and mark it stale, so
+    // the preparing session that still holds it re-prepares on its next
+    // Execute. A refused entry is non-resident and therefore invisible to
+    // keyed invalidation; left unmarked it could execute its pre-mutation
+    // rewrite indefinitely.
+    entry->mark_stale();
     ++stats_.stale_drops;
     return;
   }
@@ -129,7 +134,11 @@ void RewriteCache::Insert(const std::string& key,
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    // Replace in place; recency refreshes to MRU.
+    // Replace in place; recency refreshes to MRU. The displaced rewrite is
+    // marked stale (mirroring InvalidateTable) so any holder of the old
+    // shared_ptr re-prepares instead of diverging from what the cache now
+    // serves for this key.
+    it->second.rewrite->mark_stale();
     UnindexEntry(key, *it->second.rewrite);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     it->second.rewrite = std::move(entry);
@@ -141,12 +150,15 @@ void RewriteCache::Insert(const std::string& key,
     if (victim != entries_.end()) {
       // Eviction is capacity management, not invalidation: the entry is
       // NOT marked stale — a PreparedQuery still holding it keeps
-      // executing it validly.
+      // executing it validly. It does stay reachable by *future* keyed
+      // invalidation through the weak evicted index, so a policy mutation
+      // after eviction still marks it stale for its holders.
+      TrackEvictedLocked(victim->second.rewrite);
       EraseLocked(victim);
+      ++stats_.evictions;
     } else {
       lru_.pop_back();
     }
-    ++stats_.evictions;
   }
   lru_.push_front(key);
   Entry e;
@@ -160,19 +172,47 @@ size_t RewriteCache::InvalidateTable(
     const std::string& table_lower,
     const std::function<bool(const PreparedRewrite&)>& affects) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto idx = by_table_.find(table_lower);
-  if (idx == by_table_.end()) return 0;
-  // Collect first: EraseLocked mutates by_table_ buckets.
-  std::vector<std::string> keys(idx->second.begin(), idx->second.end());
   size_t count = 0;
-  for (const auto& key : keys) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) continue;
-    const PreparedRewrite& rw = *it->second.rewrite;
-    if (affects && !affects(rw)) continue;
-    rw.mark_stale();
-    EraseLocked(it);
-    ++count;
+  auto idx = by_table_.find(table_lower);
+  if (idx != by_table_.end()) {
+    // Collect first: EraseLocked mutates by_table_ buckets.
+    std::vector<std::string> keys(idx->second.begin(), idx->second.end());
+    for (const auto& key : keys) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) continue;
+      const PreparedRewrite& rw = *it->second.rewrite;
+      if (affects && !affects(rw)) continue;
+      rw.mark_stale();
+      EraseLocked(it);
+      ++count;
+    }
+  }
+  // Evicted-but-held entries depend on this table too: their holders keep
+  // executing them past eviction, so the mutation must reach them as well.
+  auto ev = evicted_by_table_.find(table_lower);
+  if (ev != evicted_by_table_.end()) {
+    auto& bucket = ev->second;
+    for (auto wit = bucket.begin(); wit != bucket.end();) {
+      std::shared_ptr<const PreparedRewrite> held = wit->lock();
+      if (!held) {
+        wit = bucket.erase(wit);  // last holder dropped it; purge the slot
+        continue;
+      }
+      if (held->stale()) {
+        // Already invalidated through another dependency table; don't
+        // double-count.
+        wit = bucket.erase(wit);
+        continue;
+      }
+      if (affects && !affects(*held)) {
+        ++wit;
+        continue;
+      }
+      held->mark_stale();
+      ++count;
+      wit = bucket.erase(wit);
+    }
+    if (bucket.empty()) evicted_by_table_.erase(ev);
   }
   stats_.invalidations += count;
   return count;
@@ -182,9 +222,19 @@ size_t RewriteCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t count = entries_.size();
   for (auto& kv : entries_) kv.second.rewrite->mark_stale();
+  for (auto& [table, bucket] : evicted_by_table_) {
+    for (auto& weak : bucket) {
+      std::shared_ptr<const PreparedRewrite> held = weak.lock();
+      if (held && !held->stale()) {  // skip expired and multi-table repeats
+        held->mark_stale();
+        ++count;
+      }
+    }
+  }
   entries_.clear();
   lru_.clear();
   by_table_.clear();
+  evicted_by_table_.clear();
   stats_.invalidations += count;
   return count;
 }
@@ -204,6 +254,29 @@ void RewriteCache::Clear() {
   entries_.clear();
   lru_.clear();
   by_table_.clear();
+  evicted_by_table_.clear();
+}
+
+void RewriteCache::TrackEvictedLocked(
+    const std::shared_ptr<const PreparedRewrite>& rewrite) {
+  // use_count() == 1 under mu_ means the cache's reference is the only
+  // one left, and no new external holder can be minted concurrently
+  // (holders only obtain copies through Lookup/Insert, which require mu_):
+  // nothing to keep invalidatable. This keeps the common one-shot-SQL
+  // eviction path free of weak-index growth.
+  if (rewrite.use_count() == 1) return;
+  for (const auto& table : rewrite->dep_tables) {
+    auto& bucket = evicted_by_table_[table];
+    // Purge expired slots so the bucket tracks live holders, not eviction
+    // history.
+    bucket.erase(
+        std::remove_if(bucket.begin(), bucket.end(),
+                       [](const std::weak_ptr<const PreparedRewrite>& w) {
+                         return w.expired();
+                       }),
+        bucket.end());
+    bucket.push_back(rewrite);
+  }
 }
 
 void RewriteCache::IndexEntry(const std::string& key,

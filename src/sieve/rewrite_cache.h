@@ -92,6 +92,12 @@ struct RewriteCacheStats {
 /// Threading: all methods are safe to call concurrently; returned entries
 /// are immutable shared_ptrs that stay valid after invalidation or
 /// eviction (holders observe invalidation through PreparedRewrite::stale).
+/// Eviction does not end an entry's invalidation reach: entries evicted
+/// while still held by a PreparedQuery stay registered in a weak
+/// per-table index, so a later policy/guard mutation on one of their
+/// dependency keys still marks them stale — a holder never keeps
+/// executing a pre-mutation rewrite just because cache churn evicted its
+/// entry.
 class RewriteCache {
  public:
   explicit RewriteCache(size_t capacity = kMaxEntries)
@@ -114,9 +120,12 @@ class RewriteCache {
   /// Inserts `entry` (which must carry its dependency set). An entry whose
   /// epoch is older than the newest epoch the cache has absorbed is an
   /// out-of-order insert from a rewrite that raced a policy mutation: it is
-  /// dropped (counted in stats().stale_drops) instead of cached — adopting
-  /// it would serve a pre-mutation rewrite as current. At capacity the
-  /// least recently used entry is evicted first.
+  /// dropped (counted in stats().stale_drops) and marked stale — adopting
+  /// it would serve a pre-mutation rewrite as current, and the preparing
+  /// session holding it must re-prepare rather than keep executing it
+  /// outside invalidation's reach. At capacity the least recently used
+  /// entry is evicted first; if a key is re-inserted, the displaced
+  /// rewrite is marked stale so old holders converge on the new one.
   void Insert(const std::string& key,
               std::shared_ptr<const PreparedRewrite> entry);
 
@@ -154,6 +163,10 @@ class RewriteCache {
   void UnindexEntry(const std::string& key, const PreparedRewrite& rewrite);
   void EraseLocked(
       std::unordered_map<std::string, Entry>::iterator it);
+  /// Registers an eviction victim in evicted_by_table_ if external holders
+  /// still reference it (no-op otherwise).
+  void TrackEvictedLocked(
+      const std::shared_ptr<const PreparedRewrite>& rewrite);
 
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -164,6 +177,18 @@ class RewriteCache {
   /// Secondary index: lower-cased dependency table -> cache keys of the
   /// entries referencing it. Drives keyed invalidation without a full scan.
   std::unordered_map<std::string, std::unordered_set<std::string>> by_table_;
+  /// Evicted-but-still-held entries, indexed like by_table_. Eviction is
+  /// capacity management and must not force holders to re-prepare, but a
+  /// *later* mutation on an evicted entry's dependency keys must still
+  /// reach it — without this index a long-lived PreparedQuery whose entry
+  /// was evicted by churn would execute a pre-mutation rewrite forever.
+  /// weak_ptrs expire when the last holder drops the entry; expired slots
+  /// are purged during eviction and invalidation walks, so the index is
+  /// bounded by the number of live external holders, not by eviction
+  /// history.
+  std::unordered_map<std::string,
+                     std::vector<std::weak_ptr<const PreparedRewrite>>>
+      evicted_by_table_;
   RewriteCacheStats stats_;
 };
 

@@ -390,6 +390,27 @@ TEST_F(SessionTest, OutOfOrderInsertIsDroppedNotAdopted) {
   EXPECT_EQ(cache.Lookup("k2"), nullptr);
   EXPECT_EQ(cache.stats().stale_drops, 1u);
   EXPECT_EQ(cache.stats().invalidations, 0u);
+  // The refused entry is non-resident and thus invisible to keyed
+  // invalidation — it must come back marked stale so its holder
+  // re-prepares instead of executing the pre-mutation rewrite.
+  EXPECT_TRUE(stale->stale());
+  EXPECT_FALSE(fresh->stale());
+}
+
+TEST_F(SessionTest, ReinsertMarksDisplacedRewriteStale) {
+  // If a key is ever re-inserted, holders of the displaced shared_ptr must
+  // re-prepare rather than diverge from what the cache now serves.
+  RewriteCache cache;
+  auto first = std::make_shared<PreparedRewrite>();
+  first->epoch = 1;
+  auto second = std::make_shared<PreparedRewrite>();
+  second->epoch = 2;
+  cache.Insert("k", first);
+  cache.Insert("k", second);
+  EXPECT_TRUE(first->stale());
+  EXPECT_FALSE(second->stale());
+  EXPECT_EQ(cache.Lookup("k").get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST_F(SessionTest, NonAuthoritativeProbeMissIsNotCounted) {
@@ -423,6 +444,70 @@ TEST_F(SessionTest, LruEvictionSparesJustHitEntry) {
   EXPECT_EQ(cache.stats().evictions, 1u);
   // Eviction is capacity management, not invalidation.
   EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST_F(SessionTest, EvictedHeldEntryStillReachableByKeyedInvalidation) {
+  // Regression: eviction removed an entry from the per-table index while a
+  // PreparedQuery still held it, so a policy mutation *after* eviction
+  // could never mark the held entry stale — the holder silently executed
+  // a pre-mutation rewrite forever. Evicted-but-held entries must stay
+  // reachable by keyed invalidation.
+  RewriteCache cache(/*capacity=*/1);
+  auto mk = [](std::string querier, std::vector<std::string> tables) {
+    auto e = std::make_shared<PreparedRewrite>();
+    e->epoch = 1;
+    e->querier = std::move(querier);
+    e->purpose = "any";
+    e->dep_tables = std::move(tables);
+    return e;
+  };
+  auto held = mk("alice", {"wifi"});
+  cache.Insert("a", held);
+  cache.Insert("b", mk("bob", {"wifi"}));  // evicts a; `held` lives on
+  ASSERT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(held->stale()) << "eviction alone must not invalidate";
+
+  // A mutation on alice's grant key reaches the evicted-but-held entry and
+  // spares the resident non-matching one.
+  size_t n = cache.InvalidateTable("wifi", [](const PreparedRewrite& rw) {
+    return rw.querier == "alice";
+  });
+  EXPECT_EQ(n, 1u);
+  EXPECT_TRUE(held->stale());
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST_F(SessionTest, EvictedHeldEntryReachedByWholesaleInvalidation) {
+  RewriteCache cache(/*capacity=*/1);
+  auto mk = [](std::vector<std::string> tables) {
+    auto e = std::make_shared<PreparedRewrite>();
+    e->epoch = 1;
+    e->dep_tables = std::move(tables);
+    return e;
+  };
+  auto held = mk({"wifi", "sensors"});  // multi-table: must count once
+  cache.Insert("a", held);
+  cache.Insert("b", mk({"wifi"}));  // evicts a
+  EXPECT_EQ(cache.InvalidateAll(), 2u) << "resident + evicted-held, no dup";
+  EXPECT_TRUE(held->stale());
+}
+
+TEST_F(SessionTest, DroppedHolderEndsEvictedEntrysInvalidationReach) {
+  // Once the last holder releases an evicted entry there is nothing left
+  // to invalidate: the weak slot expires and must not be counted.
+  RewriteCache cache(/*capacity=*/1);
+  auto mk = [](std::vector<std::string> tables) {
+    auto e = std::make_shared<PreparedRewrite>();
+    e->epoch = 1;
+    e->dep_tables = std::move(tables);
+    return e;
+  };
+  auto held = mk({"wifi"});
+  cache.Insert("a", held);
+  cache.Insert("b", mk({"wifi"}));  // evicts a while `held` references it
+  held.reset();                     // last holder gone; weak slot expires
+  EXPECT_EQ(cache.InvalidateTable("wifi"), 1u) << "only the resident entry";
 }
 
 TEST_F(SessionTest, KeyedInvalidationOnlyTouchesMatchingEntries) {
@@ -490,6 +575,39 @@ TEST_F(SessionTest, UnrelatedAddPolicyKeepsOtherQueriersRewrites) {
                               QueryMetadata{"bob", "any"});
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ(rb->size(), oracle->size());
+}
+
+TEST_F(SessionTest, AddPolicyAfterEvictionStillInvalidatesHeldRewrite) {
+  // End-to-end shape of the eviction-reach regression: alice prepares, cache
+  // churn (here synthetic one-shot entries) evicts her resident entry, and
+  // only THEN a policy for alice lands. Her PreparedQuery must re-prepare
+  // and serve the post-mutation rows, not the snapshot it prepared under.
+  SieveSession session(&sieve_, md_);
+  auto pa = session.Prepare("SELECT * FROM wifi WHERE wifiAP = 1");
+  ASSERT_TRUE(pa.ok());
+  auto before = pa->rewrite();
+
+  RewriteCache& cache = sieve_.rewrite_cache();
+  const uint64_t epoch = sieve_.policy_epoch();
+  for (size_t i = 0; cache.stats().evictions == 0; ++i) {
+    ASSERT_LT(i, 2 * RewriteCache::kMaxEntries) << "churn never evicted";
+    auto filler = std::make_shared<PreparedRewrite>();
+    filler->epoch = epoch;
+    cache.Insert("churn-" + std::to_string(i), filler);
+  }
+  EXPECT_FALSE(before->stale()) << "eviction alone must not invalidate";
+
+  ASSERT_TRUE(sieve_.AddPolicy(campus_.MakePolicy(5, "alice", "any")).ok());
+  EXPECT_TRUE(before->stale())
+      << "post-eviction AddPolicy must reach the held rewrite";
+
+  auto rows = pa->Execute();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_NE(pa->rewrite().get(), before.get()) << "must have re-prepared";
+  auto oracle = sieve_.ExecuteReference("SELECT * FROM wifi WHERE wifiAP = 1",
+                                        md_);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(rows->size(), oracle->size());
 }
 
 TEST_F(SessionTest, GroupGrantInvalidatesMemberQueriersRewrites) {
