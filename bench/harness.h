@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -200,8 +201,10 @@ inline const char* MarchFlag() {
 /// Writes `rows` to `path` as {"bench": <name>, "metadata": {...},
 /// "rows": [...]}, so the perf trajectory of a harness can accumulate
 /// across commits and be diffed by tooling. The metadata object always
-/// records the build's -march and SIMD width (see above); `extra` fields
-/// are appended to it. Returns false on IO failure.
+/// records the build's -march, SIMD width (see above) and the machine's
+/// hardware_concurrency (so parallel-scaling numbers are attributable to
+/// the core count they ran with); `extra` fields are appended to it.
+/// Returns false on IO failure.
 inline bool WriteBenchJson(const std::string& bench_name,
                            const std::string& path,
                            const std::vector<JsonRow>& rows,
@@ -210,7 +213,9 @@ inline bool WriteBenchJson(const std::string& bench_name,
   if (f == nullptr) return false;
   JsonRow metadata = extra_metadata;
   metadata.Set("march", std::string(MarchFlag()))
-      .Set("vector_width_bits", SimdVectorWidthBits());
+      .Set("vector_width_bits", SimdVectorWidthBits())
+      .Set("hardware_concurrency",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
   std::fprintf(f, "{\"bench\": \"%s\", \"metadata\": %s, \"rows\": [",
                bench_name.c_str(), metadata.ToJson().c_str());
   for (size_t i = 0; i < rows.size(); ++i) {

@@ -1,0 +1,151 @@
+#include "sieve/audit_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sieve/rewriter.h"
+
+namespace sieve {
+
+namespace {
+
+std::string JoinIds(const std::vector<int64_t>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+void AppendJoined(std::string* dst, const std::string& piece) {
+  if (piece.empty()) return;
+  if (!dst->empty()) *dst += ",";
+  *dst += piece;
+}
+
+}  // namespace
+
+const char* AuditCacheStateName(AuditCacheState s) {
+  switch (s) {
+    case AuditCacheState::kMiss:
+      return "miss";
+    case AuditCacheState::kHit:
+      return "hit";
+    case AuditCacheState::kRefresh:
+      return "refresh";
+  }
+  return "?";
+}
+
+Status AuditLog::Init() {
+  if (db_->catalog().Find(kTableName) != nullptr) return Status::OK();
+  Schema schema({{"seq", DataType::kInt},
+                 {"querier", DataType::kString},
+                 {"purpose", DataType::kString},
+                 {"sql", DataType::kString},
+                 {"tables", DataType::kString},
+                 {"policies", DataType::kString},
+                 {"guards", DataType::kString},
+                 {"n_policies", DataType::kInt},
+                 {"n_guards", DataType::kInt},
+                 {"n_delta_guards", DataType::kInt},
+                 {"strategies", DataType::kString},
+                 {"cache", DataType::kString},
+                 {"denied", DataType::kInt},
+                 {"rows_out", DataType::kInt},
+                 {"comparisons", DataType::kInt},
+                 {"policy_evals", DataType::kInt}});
+  SIEVE_RETURN_IF_ERROR(db_->CreateTable(kTableName, std::move(schema)));
+  SIEVE_RETURN_IF_ERROR(db_->CreateIndex(kTableName, "seq"));
+  return db_->CreateIndex(kTableName, "querier");
+}
+
+AuditRecord AuditLog::MakeRecord(const QueryMetadata& md,
+                                 const PreparedRewrite& rewrite,
+                                 AuditCacheState cache,
+                                 const ExecStats& stats) {
+  AuditRecord r;
+  r.querier = md.querier;
+  r.purpose = md.purpose;
+  r.sql = rewrite.normalized_sql;
+  r.cache = cache;
+  r.default_denied = rewrite.default_denied;
+  for (const TableRewriteInfo& info : rewrite.tables) {
+    AppendJoined(&r.tables, info.table);
+    AppendJoined(&r.policy_ids, JoinIds(info.policy_ids));
+    AppendJoined(&r.guard_ids, JoinIds(info.guard_ids));
+    AppendJoined(&r.strategies, AccessStrategyName(info.strategy));
+    r.num_policies += static_cast<int64_t>(info.num_policies);
+    r.num_guards += static_cast<int64_t>(info.num_guards);
+    r.num_delta_guards += static_cast<int64_t>(info.num_delta_guards);
+  }
+  r.rows_out = static_cast<int64_t>(stats.rows_output);
+  r.comparisons = static_cast<int64_t>(stats.comparisons);
+  r.policy_evals = static_cast<int64_t>(stats.policy_evals);
+  return r;
+}
+
+int64_t AuditLog::Append(AuditRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  if (pending_.size() >= capacity_) {
+    pending_.pop_front();
+    ++dropped_;
+  }
+  pending_.push_back(std::move(record));
+  return pending_.back().seq;
+}
+
+Status AuditLog::Flush() {
+  std::deque<AuditRecord> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(pending_);
+  }
+  for (const AuditRecord& r : drained) {
+    Row row{Value::Int(r.seq),
+            Value::String(r.querier),
+            Value::String(r.purpose),
+            Value::String(r.sql),
+            Value::String(r.tables),
+            Value::String(r.policy_ids),
+            Value::String(r.guard_ids),
+            Value::Int(r.num_policies),
+            Value::Int(r.num_guards),
+            Value::Int(r.num_delta_guards),
+            Value::String(r.strategies),
+            Value::String(AuditCacheStateName(r.cache)),
+            Value::Int(r.default_denied ? 1 : 0),
+            Value::Int(r.rows_out),
+            Value::Int(r.comparisons),
+            Value::Int(r.policy_evals)};
+    auto inserted = db_->Insert(kTableName, std::move(row));
+    if (!inserted.ok()) return inserted.status();
+  }
+  return Status::OK();
+}
+
+size_t AuditLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+uint64_t AuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int64_t AuditLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::vector<AuditRecord> AuditLog::PendingTail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = std::min(n, pending_.size());
+  return std::vector<AuditRecord>(pending_.end() - static_cast<long>(count),
+                                  pending_.end());
+}
+
+}  // namespace sieve

@@ -48,6 +48,7 @@ void SieveMiddleware::RegisterInvalidationListeners() {
 Status SieveMiddleware::Init() {
   SIEVE_RETURN_IF_ERROR(policies_.Init());
   SIEVE_RETURN_IF_ERROR(guards_.Init());
+  SIEVE_RETURN_IF_ERROR(audit_log_.Init());
   if (!db_->udfs().Contains(kDeltaUdfName)) {
     SIEVE_RETURN_IF_ERROR(RegisterDeltaUdf(db_, &guards_));
   }
@@ -86,6 +87,14 @@ Status SieveMiddleware::set_options(const SieveOptions& options) {
   options_ = options;
   dynamics_.set_mode(options.regeneration_mode);
   return Status::OK();
+}
+
+Status SieveMiddleware::FlushAuditLog() {
+  // Exclusive: Flush inserts into the sieve_audit engine table, which must
+  // not interleave with executions scanning it (same contract as policy
+  // catalog mutations).
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return audit_log_.Flush();
 }
 
 Result<RewriteResult> SieveMiddleware::Rewrite(const std::string& sql,

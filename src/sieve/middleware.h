@@ -8,6 +8,7 @@
 
 #include "engine/database.h"
 #include "policy/policy_store.h"
+#include "sieve/audit_log.h"
 #include "sieve/cost_model.h"
 #include "sieve/dynamic.h"
 #include "sieve/guard_store.h"
@@ -45,6 +46,11 @@ struct SieveOptions {
   /// identical rows, order and ExecStats. Must be >= 0 (validated by
   /// set_options).
   int batch_size = static_cast<int>(kDefaultBatchSize);
+  /// Record every enforcement decision in the audit log (sessions append
+  /// one AuditRecord per execution; FlushAuditLog materializes them into
+  /// the queryable `sieve_audit` table). Off saves the per-execution
+  /// bookkeeping for microbenchmarks.
+  bool audit_log = true;
 };
 
 /// The Sieve middleware facade (Section 5): intercepts queries, rewrites
@@ -90,12 +96,14 @@ class SieveMiddleware {
         policies_(db),
         guards_(db, &policies_),
         rewriter_(db, &policies_, &guards_, &cost_, resolver),
-        dynamics_(db, &policies_, &guards_, &cost_, resolver) {
+        dynamics_(db, &policies_, &guards_, &cost_, resolver),
+        audit_log_(db) {
     RegisterInvalidationListeners();
   }
 
-  /// Creates the policy/guard catalog tables, registers the Δ UDF and
-  /// (optionally) calibrates the cost model.
+  /// Creates the policy/guard catalog tables (including the `sieve_audit`
+  /// audit table), registers the Δ UDF and (optionally) calibrates the
+  /// cost model.
   Status Init();
 
   /// Adds a policy through the dynamic manager (marks affected guards
@@ -146,6 +154,18 @@ class SieveMiddleware {
   /// wholesale invalidation for comparison runs).
   RewriteCache& rewrite_cache() { return rewrite_cache_; }
 
+  /// The enforcement audit log. Sessions Append to it during execution
+  /// (leaf-locked); use FlushAuditLog — not AuditLog::Flush directly — to
+  /// materialize pending records into the queryable `sieve_audit` table.
+  AuditLog& audit_log() { return audit_log_; }
+
+  /// Drains pending audit records into the `sieve_audit` engine table
+  /// under the exclusive state lock (no query may scan the table
+  /// mid-insert). Sessions call this automatically before executing any
+  /// query that reads `sieve_audit`, so `SELECT ... FROM sieve_audit`
+  /// through the middleware always sees a complete trail.
+  Status FlushAuditLog();
+
   Database& db() { return *db_; }
   PolicyStore& policies() { return policies_; }
   GuardStore& guards() { return guards_; }
@@ -174,6 +194,7 @@ class SieveMiddleware {
   QueryRewriter rewriter_;
   DynamicPolicyManager dynamics_;
   RewriteCache rewrite_cache_;
+  AuditLog audit_log_;
   /// Readers: executions and open cursors. Writers: policy/guard/options
   /// mutations and cache-miss rewrites. See the class comment.
   mutable std::shared_mutex state_mu_;

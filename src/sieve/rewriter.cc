@@ -395,6 +395,8 @@ Result<RewriteResult> QueryRewriter::Rewrite(const SelectStmt& query,
     std::vector<const Policy*> relevant =
         policies_->FilterByMetadata(md, table, resolver_);
     info.num_policies = relevant.size();
+    info.policy_ids.reserve(relevant.size());
+    for (const Policy* p : relevant) info.policy_ids.push_back(p->id);
 
     auto cte_body = std::make_shared<SelectStmt>();
     cte_body->select_star = true;
@@ -415,6 +417,8 @@ Result<RewriteResult> QueryRewriter::Rewrite(const SelectStmt& query,
     SIEVE_ASSIGN_OR_RETURN(const GuardedExpression* ge,
                            EnsureGuards(md, table, &info));
     info.num_guards = ge->guards.size();
+    info.guard_ids.reserve(ge->guards.size());
+    for (const Guard& g : ge->guards) info.guard_ids.push_back(g.id);
 
     if (ge->guards.empty()) {
       // No indexable condition on any policy: fall back to a plain policy

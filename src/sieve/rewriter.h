@@ -23,13 +23,22 @@ enum class AccessStrategy { kLinearScan, kIndexQuery, kIndexGuards };
 
 const char* AccessStrategyName(AccessStrategy s);
 
-/// Per-table diagnostics of one rewrite.
+/// Per-table diagnostics of one rewrite. Besides the counts/costs the
+/// strategy selector reports, it names the exact policies and guards the
+/// rewrite compiled in — the enforcement decision the audit log records.
 struct TableRewriteInfo {
   std::string table;
   AccessStrategy strategy = AccessStrategy::kIndexGuards;
   size_t num_policies = 0;
   size_t num_guards = 0;
   size_t num_delta_guards = 0;  ///< guards evaluated through Δ
+  /// Ids of the policies relevant to the querier/purpose on this table —
+  /// the disjuncts the guarded expression (or the plain-filter fallback)
+  /// enforces. Empty under default-deny.
+  std::vector<int64_t> policy_ids;
+  /// Ids of the guards of the guarded expression the rewrite used (empty
+  /// for the plain-filter fallback and default-deny).
+  std::vector<int64_t> guard_ids;
   double cost_linear = 0.0;
   double cost_index_query = 0.0;
   double cost_index_guards = 0.0;

@@ -33,9 +33,10 @@ Result<SelectStmtPtr> BindTemplate(const PreparedRewrite& rewrite,
 
 Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
     SieveMiddleware* mw, const QueryMetadata& md,
-    const std::string& normalized_sql, bool optimistic) {
+    const std::string& normalized_sql, bool optimistic, bool* from_cache) {
   const std::string key = RewriteCache::MakeKey(
       md.querier, md.purpose, mw->db_->profile().name(), normalized_sql);
+  if (from_cache != nullptr) *from_cache = true;
 
   if (optimistic) {
     // Lock-free fast path. Non-authoritative: a hit is only a hint —
@@ -54,6 +55,7 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
   if (auto hit = mw->rewrite_cache_.Lookup(key)) {
     return hit;
   }
+  if (from_cache != nullptr) *from_cache = false;
 
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(normalized_sql));
   auto entry = std::make_shared<PreparedRewrite>();
@@ -83,10 +85,12 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
 }
 
 Result<PreparedQuery> SieveSession::Prepare(const std::string& sql) {
+  bool from_cache = false;
   SIEVE_ASSIGN_OR_RETURN(
       std::shared_ptr<const PreparedRewrite> rewrite,
-      PrepareRewrite(mw_, md_, NormalizeSql(sql), /*optimistic=*/true));
-  return PreparedQuery(mw_, md_, std::move(rewrite));
+      PrepareRewrite(mw_, md_, NormalizeSql(sql), /*optimistic=*/true,
+                     &from_cache));
+  return PreparedQuery(mw_, md_, std::move(rewrite), from_cache);
 }
 
 Result<ResultSet> SieveSession::Execute(const std::string& sql,
@@ -135,7 +139,19 @@ Result<std::vector<Value>> PreparedQuery::ResolveNamed(
   return positional;
 }
 
+Status PreparedQuery::MaybeFlushAuditReads() {
+  if (!mw_->options_.audit_log) return Status::OK();
+  for (const std::string& table : rewrite_->dep_tables) {
+    if (table == AuditLog::kTableName) return mw_->FlushAuditLog();
+  }
+  return Status::OK();
+}
+
 Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
+  // Queries over the audit trail see every prior enforcement decision:
+  // drain the pending ring into sieve_audit first (exclusive lock — must
+  // happen before we take the state lock shared below).
+  SIEVE_RETURN_IF_ERROR(MaybeFlushAuditReads());
   for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
       std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
@@ -147,8 +163,17 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
                                BindTemplate(*rewrite_, params));
         mw_->dynamics_.ObserveQuery();
         const SieveOptions& opts = mw_->options_;
-        return mw_->db_->ExecuteStmt(*bound, &md_, opts.timeout_seconds,
-                                     opts.num_threads, opts.batch_size);
+        auto result = mw_->db_->ExecuteStmt(*bound, &md_, opts.timeout_seconds,
+                                            opts.num_threads, opts.batch_size);
+        if (opts.audit_log && result.ok()) {
+          // Leaf-locked append while still holding the state lock shared:
+          // the record names exactly the policies/guards of the snapshot
+          // this execution ran with.
+          mw_->audit_log_.Append(
+              AuditLog::MakeRecord(md_, *rewrite_, TakeCacheState(attempt > 0),
+                                   result.value().stats));
+        }
+        return result;
       }
     }
     // A policy mutation outdated the snapshot; re-prepare and try again.
@@ -166,6 +191,7 @@ Result<ResultSet> PreparedQuery::ExecuteNamed(
 
 Result<ResultCursor> PreparedQuery::OpenCursor(
     const std::vector<Value>& params) {
+  SIEVE_RETURN_IF_ERROR(MaybeFlushAuditReads());
   for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
       std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
@@ -182,10 +208,20 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
             std::unique_ptr<QueryCursor> cursor,
             mw_->db_->OpenCursor(*bound, md.get(), opts.timeout_seconds,
                                  opts.num_threads, opts.batch_size));
+        // The audit record travels with the cursor and is appended once
+        // the stream finishes, carrying the cursor's final stats.
+        std::unique_ptr<AuditRecord> record;
+        if (opts.audit_log) {
+          record = std::make_unique<AuditRecord>(
+              AuditLog::MakeRecord(md_, *rewrite_, TakeCacheState(attempt > 0),
+                                   ExecStats{}));
+        }
         // The shared lock transfers into the cursor: the policy corpus
         // stays pinned until the cursor is drained or destroyed.
         return ResultCursor(std::move(lock), std::move(md), std::move(bound),
-                            std::move(cursor));
+                            std::move(cursor),
+                            opts.audit_log ? &mw_->audit_log_ : nullptr,
+                            std::move(record));
       }
     }
     SIEVE_RETURN_IF_ERROR(Refresh());

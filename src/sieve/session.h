@@ -37,7 +37,21 @@ class ResultCursor {
   static constexpr size_t kDefaultBatchRows = 1024;
 
   ResultCursor(ResultCursor&&) = default;
-  ResultCursor& operator=(ResultCursor&&) = default;
+  ResultCursor& operator=(ResultCursor&& other) {
+    if (this != &other) {
+      Finish();
+      epoch_lock_ = std::move(other.epoch_lock_);
+      metadata_ = std::move(other.metadata_);
+      bound_stmt_ = std::move(other.bound_stmt_);
+      cursor_ = std::move(other.cursor_);
+      audit_ = other.audit_;
+      audit_record_ = std::move(other.audit_record_);
+    }
+    return *this;
+  }
+  /// A dropped cursor still finishes its audit record (stats as of the
+  /// last Next) — every execution leaves exactly one audit entry.
+  ~ResultCursor() { Finish(); }
 
   const Schema& schema() const { return cursor_->schema(); }
 
@@ -47,14 +61,14 @@ class ResultCursor {
   Result<bool> Next(std::vector<Row>* batch,
                     size_t max_rows = kDefaultBatchRows) {
     auto more = cursor_->Next(batch, max_rows);
-    if (cursor_->exhausted()) ReleaseEpochPin();
+    if (cursor_->exhausted()) Finish();
     return more;
   }
 
   /// Pulls everything remaining into a ResultSet (stats finalized).
   Result<ResultSet> Drain() {
     auto result = cursor_->Drain();
-    ReleaseEpochPin();
+    Finish();
     return result;
   }
 
@@ -64,7 +78,7 @@ class ResultCursor {
   /// stats() keeps the totals accumulated so far.
   void Close() {
     cursor_->Abandon();
-    ReleaseEpochPin();
+    Finish();
   }
 
   bool exhausted() const { return cursor_->exhausted(); }
@@ -76,13 +90,28 @@ class ResultCursor {
   friend class PreparedQuery;
   ResultCursor(std::shared_lock<std::shared_mutex> epoch_lock,
                std::unique_ptr<QueryMetadata> metadata, SelectStmtPtr bound,
-               std::unique_ptr<QueryCursor> cursor)
+               std::unique_ptr<QueryCursor> cursor, AuditLog* audit,
+               std::unique_ptr<AuditRecord> audit_record)
       : epoch_lock_(std::move(epoch_lock)),
         metadata_(std::move(metadata)),
         bound_stmt_(std::move(bound)),
-        cursor_(std::move(cursor)) {}
+        cursor_(std::move(cursor)),
+        audit_(audit),
+        audit_record_(std::move(audit_record)) {}
 
-  void ReleaseEpochPin() {
+  /// First finish wins (exhaustion, Drain, Close or destruction): stamps
+  /// the cursor's final ExecStats totals into the pending audit record,
+  /// appends it (leaf lock — safe while still holding the epoch pin
+  /// shared), then releases the pin.
+  void Finish() {
+    if (audit_record_ != nullptr && audit_ != nullptr) {
+      const ExecStats& s = cursor_->stats();
+      audit_record_->rows_out = static_cast<int64_t>(s.rows_output);
+      audit_record_->comparisons = static_cast<int64_t>(s.comparisons);
+      audit_record_->policy_evals = static_cast<int64_t>(s.policy_evals);
+      audit_->Append(std::move(*audit_record_));
+    }
+    audit_record_.reset();
     if (epoch_lock_.owns_lock()) epoch_lock_.unlock();
   }
 
@@ -90,6 +119,8 @@ class ResultCursor {
   std::unique_ptr<QueryMetadata> metadata_;         // referenced by cursor_
   SelectStmtPtr bound_stmt_;                        // keeps the plan's source alive
   std::unique_ptr<QueryCursor> cursor_;
+  AuditLog* audit_ = nullptr;                  // null when auditing is off
+  std::unique_ptr<AuditRecord> audit_record_;  // pending until Finish
 };
 
 /// A query prepared once through SieveSession::Prepare: parsed, rewritten
@@ -145,8 +176,12 @@ class PreparedQuery {
  private:
   friend class SieveSession;
   PreparedQuery(SieveMiddleware* middleware, QueryMetadata md,
-                std::shared_ptr<const PreparedRewrite> rewrite)
-      : mw_(middleware), md_(std::move(md)), rewrite_(std::move(rewrite)) {}
+                std::shared_ptr<const PreparedRewrite> rewrite, bool from_cache)
+      : mw_(middleware),
+        md_(std::move(md)),
+        rewrite_(std::move(rewrite)),
+        next_cache_(from_cache ? AuditCacheState::kHit
+                               : AuditCacheState::kMiss) {}
 
   /// Re-prepares against the current policy corpus (authoritative: takes
   /// the middleware's writer lock on a cache miss).
@@ -154,10 +189,26 @@ class PreparedQuery {
   /// Maps named bindings onto the positional signature.
   Result<std::vector<Value>> ResolveNamed(
       const std::vector<std::pair<std::string, Value>>& named) const;
+  /// Flushes pending audit records before executing a query that reads
+  /// `sieve_audit` (before taking the shared state lock, to avoid a
+  /// shared→exclusive upgrade).
+  Status MaybeFlushAuditReads();
+  /// Cache disposition of the execution about to run: kRefresh when this
+  /// Execute re-prepared a stale snapshot (`refreshed`), else the pending
+  /// state — kMiss on the first run of a freshly rewritten snapshot, kHit
+  /// afterwards.
+  AuditCacheState TakeCacheState(bool refreshed) {
+    AuditCacheState s =
+        refreshed ? AuditCacheState::kRefresh : next_cache_;
+    next_cache_ = AuditCacheState::kHit;
+    return s;
+  }
 
   SieveMiddleware* mw_;
   QueryMetadata md_;
   std::shared_ptr<const PreparedRewrite> rewrite_;
+  /// Audit attribution of the next execution (see TakeCacheState).
+  AuditCacheState next_cache_ = AuditCacheState::kMiss;
 };
 
 /// One querier's connection to the middleware (Section 5 casts Sieve as a
@@ -191,10 +242,14 @@ class SieveSession {
 
   /// Cache-through rewrite: optimistic lock-free lookup, then the
   /// authoritative path under the middleware's writer lock (rewriting may
-  /// regenerate outdated guards, which mutates the guard store).
+  /// regenerate outdated guards, which mutates the guard store). Sets
+  /// *from_cache (when non-null) to whether the rewrite was served from
+  /// the shared cache rather than freshly produced — the audit log's
+  /// hit/miss attribution.
   static Result<std::shared_ptr<const PreparedRewrite>> PrepareRewrite(
       SieveMiddleware* mw, const QueryMetadata& md,
-      const std::string& normalized_sql, bool optimistic);
+      const std::string& normalized_sql, bool optimistic,
+      bool* from_cache = nullptr);
 
   SieveMiddleware* mw_;
   QueryMetadata md_;

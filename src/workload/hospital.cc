@@ -1,0 +1,223 @@
+#include "workload/hospital.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace sieve {
+
+std::vector<int> HospitalDataset::StaffWithRole(
+    const std::string& role) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < staff_role.size(); ++i) {
+    if (staff_role[i] == role) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> HospitalDataset::ConsentedPatients() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < consented.size(); ++i) {
+    if (consented[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> HospitalDataset::ChronicPatients() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < chronic.size(); ++i) {
+    if (chronic[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Result<HospitalDataset> HospitalGenerator::Populate(Database* db) const {
+  HospitalDataset ds;
+  ds.config = config_;
+  Rng rng(config_.seed);
+
+  SIEVE_ASSIGN_OR_RETURN(Value start, Value::ParseDate(config_.start_date));
+  ds.first_day = start.raw();
+
+  // ---- Schema ----
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Patients", Schema({{"id", DataType::kInt},
+                          {"mrn", DataType::kString},
+                          {"ward", DataType::kInt},
+                          {"consent", DataType::kInt}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Staff", Schema({{"id", DataType::kInt},
+                       {"name", DataType::kString},
+                       {"role", DataType::kString},
+                       {"ward", DataType::kInt}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Encounters", Schema({{"id", DataType::kInt},
+                            {"patient_id", DataType::kInt},
+                            {"staff_id", DataType::kInt},
+                            {"ward", DataType::kInt},
+                            {"enc_time", DataType::kTime},
+                            {"enc_date", DataType::kDate}})));
+  SIEVE_RETURN_IF_ERROR(db->CreateTable(
+      "Diagnoses", Schema({{"id", DataType::kInt},
+                           {"encounter_id", DataType::kInt},
+                           {"patient_id", DataType::kInt},
+                           {"code", DataType::kString},
+                           {"severity", DataType::kInt},
+                           {"diag_date", DataType::kDate}})));
+
+  // ---- Staff: roles, wards, groups ----
+  // A ward team is mostly doctors and nurses; researchers, billing clerks
+  // and admins are hospital-wide minorities.
+  const struct {
+    const char* name;
+    double fraction;
+  } kRoles[] = {{"doctor", 0.30},
+                {"nurse", 0.40},
+                {"researcher", 0.10},
+                {"billing", 0.10},
+                {"admin", 0.10}};
+
+  ds.staff_role.resize(static_cast<size_t>(config_.num_staff));
+  ds.staff_ward.resize(static_cast<size_t>(config_.num_staff));
+  for (int s = 0; s < config_.num_staff; ++s) {
+    double roll = rng.NextDouble();
+    double acc = 0.0;
+    std::string role = "admin";
+    for (const auto& r : kRoles) {
+      acc += r.fraction;
+      if (roll < acc) {
+        role = r.name;
+        break;
+      }
+    }
+    // Guarantee the policy-defining roles exist even at tiny staff counts
+    // (the fuzz harness runs scaled-down worlds).
+    if (s == 0) role = "doctor";
+    if (s == 1) role = "nurse";
+    if (s == 2) role = "researcher";
+    if (s == 3) role = "billing";
+    int ward = s % config_.num_wards;
+    ds.staff_role[static_cast<size_t>(s)] = role;
+    ds.staff_ward[static_cast<size_t>(s)] = ward;
+    Row staff{Value::Int(s), Value::String("staff_" + std::to_string(s)),
+              Value::String(role), Value::Int(ward)};
+    auto st = db->Insert("Staff", std::move(staff));
+    if (!st.ok()) return st.status();
+    ds.groups.AddMembership(HospitalDataset::StaffName(s),
+                            HospitalDataset::RoleGroupName(role));
+    ds.groups.AddMembership(HospitalDataset::StaffName(s),
+                            HospitalDataset::WardGroupName(ward));
+  }
+  std::vector<int> doctors = ds.StaffWithRole("doctor");
+
+  // ---- Patients: ward, consent, cohort, attending ----
+  int chronic_count = std::max(
+      1, static_cast<int>(config_.num_patients * config_.chronic_fraction));
+  ds.patient_ward.resize(static_cast<size_t>(config_.num_patients));
+  ds.consented.resize(static_cast<size_t>(config_.num_patients));
+  ds.chronic.resize(static_cast<size_t>(config_.num_patients));
+  ds.attending_of.resize(static_cast<size_t>(config_.num_patients));
+  for (int p = 0; p < config_.num_patients; ++p) {
+    int ward = static_cast<int>(rng.Uniform(0, config_.num_wards - 1));
+    bool consent = rng.Chance(config_.consent_fraction);
+    ds.patient_ward[static_cast<size_t>(p)] = ward;
+    ds.consented[static_cast<size_t>(p)] = consent;
+    ds.chronic[static_cast<size_t>(p)] = p < chronic_count;
+    // Prefer an attending from the patient's own ward.
+    std::vector<int> ward_doctors;
+    for (int d : doctors) {
+      if (ds.staff_ward[static_cast<size_t>(d)] == ward)
+        ward_doctors.push_back(d);
+    }
+    const std::vector<int>& pool =
+        ward_doctors.empty() ? doctors : ward_doctors;
+    ds.attending_of[static_cast<size_t>(p)] = pool[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    Row patient{Value::Int(p),
+                Value::String("mrn" + std::to_string(100000 + p)),
+                Value::Int(ward), Value::Int(consent ? 1 : 0)};
+    auto st = db->Insert("Patients", std::move(patient));
+    if (!st.ok()) return st.status();
+  }
+
+  // ---- Encounters + Diagnoses ----
+  // Per-patient skew: chronic_visit_share of visits land on the chronic
+  // cohort (skewed within it), the rest spread over everyone.
+  std::vector<int> clinical;  // staff that conduct encounters
+  for (int s = 0; s < config_.num_staff; ++s) {
+    const std::string& role = ds.staff_role[static_cast<size_t>(s)];
+    if (role == "doctor" || role == "nurse") clinical.push_back(s);
+  }
+
+  const char* kCodes[] = {"I10", "E11", "J45", "K21", "M54",
+                          "F32", "N39", "R51", "Z00"};
+  int64_t encounter_id = 0;
+  int64_t diagnosis_id = 0;
+  for (int e = 0; e < config_.target_encounters; ++e) {
+    int patient;
+    if (rng.Chance(config_.chronic_visit_share)) {
+      patient = static_cast<int>(rng.Skewed(chronic_count, 0.5));
+    } else {
+      patient = static_cast<int>(rng.Uniform(0, config_.num_patients - 1));
+    }
+    int ward = ds.patient_ward[static_cast<size_t>(patient)];
+    // 70% of encounters are with the patient's own ward team.
+    std::vector<int> ward_clinical;
+    for (int s : clinical) {
+      if (ds.staff_ward[static_cast<size_t>(s)] == ward)
+        ward_clinical.push_back(s);
+    }
+    int staff;
+    if (!ward_clinical.empty() && rng.Chance(0.7)) {
+      staff = ward_clinical[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(ward_clinical.size()) - 1))];
+    } else {
+      staff = clinical[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(clinical.size()) - 1))];
+    }
+    int64_t day = rng.Uniform(0, config_.num_days - 1);
+    // Clinic hours: normal around 11:00, clamped to 07:00-20:00.
+    double t = rng.Gaussian(11.0 * 3600, 3.0 * 3600);
+    int64_t seconds = static_cast<int64_t>(t);
+    if (seconds < 7 * 3600) seconds = 7 * 3600;
+    if (seconds > 20 * 3600) seconds = 20 * 3600 - 1;
+    Row enc{Value::Int(encounter_id), Value::Int(patient), Value::Int(staff),
+            Value::Int(ward),         Value::Time(seconds),
+            Value::Date(ds.first_day + day)};
+    auto st = db->Insert("Encounters", std::move(enc));
+    if (!st.ok()) return st.status();
+
+    // 0-2 diagnoses per encounter; the chronic cohort codes more.
+    int ndiag =
+        rng.Chance(ds.chronic[static_cast<size_t>(patient)] ? 0.8 : 0.5)
+            ? static_cast<int>(rng.Uniform(1, 2))
+            : 0;
+    for (int d = 0; d < ndiag; ++d) {
+      const char* code = kCodes[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(std::size(kCodes)) - 1))];
+      Row diag{Value::Int(diagnosis_id++), Value::Int(encounter_id),
+               Value::Int(patient),        Value::String(code),
+               Value::Int(rng.Uniform(1, 5)),
+               Value::Date(ds.first_day + day)};
+      auto dst = db->Insert("Diagnoses", std::move(diag));
+      if (!dst.ok()) return dst.status();
+    }
+    ++encounter_id;
+  }
+  ds.num_encounters = static_cast<size_t>(encounter_id);
+  ds.num_diagnoses = static_cast<size_t>(diagnosis_id);
+
+  // ---- Indexes + statistics ----
+  for (const char* col :
+       {"patient_id", "staff_id", "ward", "enc_time", "enc_date"}) {
+    SIEVE_RETURN_IF_ERROR(db->CreateIndex("Encounters", col));
+  }
+  for (const char* col : {"patient_id", "encounter_id", "diag_date"}) {
+    SIEVE_RETURN_IF_ERROR(db->CreateIndex("Diagnoses", col));
+  }
+  SIEVE_RETURN_IF_ERROR(db->CreateIndex("Patients", "id"));
+  SIEVE_RETURN_IF_ERROR(db->CreateIndex("Staff", "id"));
+  SIEVE_RETURN_IF_ERROR(db->Analyze());
+  return ds;
+}
+
+}  // namespace sieve

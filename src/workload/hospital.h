@@ -1,0 +1,88 @@
+#ifndef SIEVE_WORKLOAD_HOSPITAL_H_
+#define SIEVE_WORKLOAD_HOSPITAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "policy/policy.h"
+
+namespace sieve {
+
+/// Scale knobs for the synthetic hospital-records dataset: electronic
+/// health records under GDPR-style purpose limitation. Patients own their
+/// encounter/diagnosis rows; staff (doctors, nurses, researchers, billing
+/// clerks) query them under declared purposes, and policies grant access
+/// per role, ward and purpose. Encounter volume is skewed per patient —
+/// a small chronic cohort accounts for the bulk of the visits — mirroring
+/// real EHR access distributions.
+struct HospitalConfig {
+  int num_patients = 400;
+  int num_staff = 60;
+  int num_wards = 8;
+  int num_days = 120;
+  int target_encounters = 20000;
+  /// Fraction of patients in the chronic cohort (frequent encounters).
+  double chronic_fraction = 0.2;
+  /// Probability an encounter belongs to a chronic patient.
+  double chronic_visit_share = 0.6;
+  /// Fraction of patients who consented to research use of their data.
+  double consent_fraction = 0.7;
+  std::string start_date = "2021-03-01";
+  uint64_t seed = 2021;
+};
+
+/// Metadata of a generated hospital dataset: per-patient ward/consent/
+/// cohort, per-staff role/ward, and the group resolver mapping staff to
+/// their role_<role> and ward<w> groups (querier-condition matching).
+struct HospitalDataset {
+  HospitalConfig config;
+  int64_t first_day = 0;  ///< Date value (days since epoch) of day 0
+  std::vector<int> patient_ward;         ///< per patient
+  std::vector<bool> consented;           ///< research consent per patient
+  std::vector<bool> chronic;             ///< chronic-cohort membership
+  std::vector<std::string> staff_role;   ///< "doctor", "nurse", "researcher",
+                                         ///< "billing", "admin"
+  std::vector<int> staff_ward;           ///< per staff
+  std::vector<int> attending_of;         ///< attending doctor per patient
+  MapGroupResolver groups;
+  size_t num_encounters = 0;
+  size_t num_diagnoses = 0;
+
+  static std::string StaffName(int s) { return "s" + std::to_string(s); }
+  static std::string RoleGroupName(const std::string& role) {
+    return "role_" + role;
+  }
+  static std::string WardGroupName(int ward) {
+    return "ward" + std::to_string(ward);
+  }
+
+  std::vector<int> StaffWithRole(const std::string& role) const;
+  std::vector<int> ConsentedPatients() const;
+  std::vector<int> ChronicPatients() const;
+};
+
+/// Generates the hospital schema and synthetic records, then builds the
+/// experiment indexes and statistics:
+///   Patients(id, mrn, ward, consent)            — dimension, unprotected
+///   Staff(id, name, role, ward)                 — dimension, unprotected
+///   Encounters(id, patient_id, staff_id, ward, enc_time, enc_date)
+///   Diagnoses(id, encounter_id, patient_id, code, severity, diag_date)
+/// Encounters and Diagnoses are the policy-protected relations (owner
+/// column: patient_id). Encounters follow working-hours diurnal patterns;
+/// the chronic cohort (config.chronic_fraction of patients) receives
+/// config.chronic_visit_share of all visits.
+class HospitalGenerator {
+ public:
+  explicit HospitalGenerator(HospitalConfig config = {}) : config_(config) {}
+
+  Result<HospitalDataset> Populate(Database* db) const;
+
+ private:
+  HospitalConfig config_;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_WORKLOAD_HOSPITAL_H_

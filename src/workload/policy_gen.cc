@@ -1,9 +1,13 @@
 #include "workload/policy_gen.h"
 
+#include "common/string_util.h"
+
 namespace sieve {
 
 namespace {
 constexpr char kTable[] = "WiFi_Dataset";
+constexpr char kEncounters[] = "Encounters";
+constexpr char kDiagnoses[] = "Diagnoses";
 }  // namespace
 
 std::string TippersPolicyGenerator::PickQuerier(const TippersDataset& ds,
@@ -145,6 +149,126 @@ Result<size_t> TippersPolicyGenerator::Generate(const TippersDataset& ds,
     }
   }
   return count;
+}
+
+namespace {
+
+/// Grant skeleton: table + owner condition, the invariant part of every
+/// hospital policy.
+Policy HospitalGrant(const char* table, int patient,
+                     const std::string& querier, const std::string& purpose) {
+  Policy p;
+  p.table_name = table;
+  p.owner = Value::Int(patient);
+  p.querier = querier;
+  p.purpose = purpose;
+  p.action = PolicyAction::kAllow;
+  p.object_conditions.push_back(
+      ObjectCondition::Eq("patient_id", Value::Int(patient)));
+  return p;
+}
+
+}  // namespace
+
+std::vector<Policy> HospitalPolicyGenerator::PoliciesForPatient(
+    const HospitalDataset& ds, int patient, Rng* rng) const {
+  std::vector<Policy> out;
+  const int ward = ds.patient_ward[static_cast<size_t>(patient)];
+  const int num_days = ds.config.num_days;
+
+  // Treatment: the ward team reads the patient's encounters during clinic
+  // hours; hospital doctors read diagnoses; the attending physician reads
+  // both without object restrictions beyond ownership.
+  {
+    Policy p = HospitalGrant(kEncounters, patient,
+                             HospitalDataset::WardGroupName(ward), "Treatment");
+    p.object_conditions.push_back(ObjectCondition::Range(
+        "enc_time", Value::Time(7 * 3600), Value::Time(20 * 3600)));
+    out.push_back(std::move(p));
+  }
+  out.push_back(HospitalGrant(kDiagnoses, patient,
+                              HospitalDataset::RoleGroupName("doctor"),
+                              "Treatment"));
+  {
+    const std::string attending =
+        HospitalDataset::StaffName(ds.attending_of[static_cast<size_t>(patient)]);
+    out.push_back(HospitalGrant(kEncounters, patient, attending, "Treatment"));
+    out.push_back(HospitalGrant(kDiagnoses, patient, attending, "Treatment"));
+  }
+
+  // Research: consented patients only — the revocable subset (enumerate
+  // with ResearchPolicyIds, revoke with PolicyStore::RemovePolicy).
+  if (ds.consented[static_cast<size_t>(patient)]) {
+    Policy p = HospitalGrant(kDiagnoses, patient,
+                             HospitalDataset::RoleGroupName("researcher"),
+                             "Research");
+    // Date-bounded: research covers a study window, not the full record.
+    int64_t start_d = rng->Uniform(0, std::max(0, num_days - 31));
+    int64_t end_d = std::min<int64_t>(start_d + 60, num_days - 1);
+    p.object_conditions.push_back(ObjectCondition::Range(
+        "diag_date", Value::Date(ds.first_day + start_d),
+        Value::Date(ds.first_day + end_d)));
+    out.push_back(std::move(p));
+  }
+
+  // Billing: encounter-level access for the billing office.
+  out.push_back(HospitalGrant(kEncounters, patient,
+                              HospitalDataset::RoleGroupName("billing"),
+                              "Billing"));
+
+  // Fine-grained extras: named-staff grants with time/date windows.
+  if (rng->Chance(config_.fine_grained_fraction)) {
+    for (int i = 0; i < config_.fine_grained_policies; ++i) {
+      int staff = static_cast<int>(
+          rng->Uniform(0, static_cast<int64_t>(ds.staff_role.size()) - 1));
+      const char* table = rng->Chance(0.5) ? kEncounters : kDiagnoses;
+      const std::string purpose = rng->Chance(0.7) ? "Treatment" : "Billing";
+      Policy p = HospitalGrant(table, patient,
+                               HospitalDataset::StaffName(staff), purpose);
+      if (table == kEncounters && rng->Chance(0.6)) {
+        int64_t start_h = rng->Uniform(7, 16);
+        int64_t end_h = std::min<int64_t>(start_h + rng->Uniform(1, 6), 20);
+        p.object_conditions.push_back(ObjectCondition::Range(
+            "enc_time", Value::Time(start_h * 3600), Value::Time(end_h * 3600)));
+      }
+      if (rng->Chance(0.5)) {
+        const char* date_col =
+            table == kEncounters ? "enc_date" : "diag_date";
+        int64_t start_d = rng->Uniform(0, std::max(0, num_days - 2));
+        int64_t end_d =
+            std::min<int64_t>(start_d + rng->Uniform(1, 30), num_days - 1);
+        p.object_conditions.push_back(ObjectCondition::Range(
+            date_col, Value::Date(ds.first_day + start_d),
+            Value::Date(ds.first_day + end_d)));
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+Result<size_t> HospitalPolicyGenerator::Generate(const HospitalDataset& ds,
+                                                 PolicyStore* store) const {
+  Rng rng(config_.seed);
+  size_t count = 0;
+  for (int p = 0; p < ds.config.num_patients; ++p) {
+    for (Policy& policy : PoliciesForPatient(ds, p, &rng)) {
+      auto added = store->AddPolicy(std::move(policy));
+      if (!added.ok()) return added.status();
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<int64_t> ResearchPolicyIds(const PolicyStore& store, int patient) {
+  std::vector<int64_t> out;
+  for (const Policy& p : store.policies()) {
+    if (p.owner.raw() == patient && EqualsIgnoreCase(p.purpose, "Research")) {
+      out.push_back(p.id);
+    }
+  }
+  return out;
 }
 
 }  // namespace sieve

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "policy/policy_store.h"
+#include "workload/hospital.h"
 #include "workload/tippers.h"
 
 namespace sieve {
@@ -50,6 +51,51 @@ class TippersPolicyGenerator {
 
   PolicyGenConfig config_;
 };
+
+/// GDPR-style purpose-limited policy generation over the hospital dataset.
+/// Every grant names a declared purpose (purpose limitation, Art. 5(1)(b));
+/// research grants exist only for consented patients (lawfulness, Art. 6)
+/// and are enumerable per patient so tests can revoke them (withdrawal of
+/// consent, Art. 7(3)).
+struct HospitalPolicyGenConfig {
+  /// Fraction of patients who add fine-grained per-staff grants on top of
+  /// the role/ward defaults.
+  double fine_grained_fraction = 0.3;
+  int fine_grained_policies = 6;
+  uint64_t seed = 77;
+};
+
+class HospitalPolicyGenerator {
+ public:
+  explicit HospitalPolicyGenerator(HospitalPolicyGenConfig config = {})
+      : config_(config) {}
+
+  /// Generates the full corpus into `store`; returns the number of
+  /// policies created. Per patient:
+  ///  * Treatment — ward team (ward<w> group) reads the patient's
+  ///    encounters during clinic hours; hospital doctors (role_doctor)
+  ///    read diagnoses; the attending physician reads both outright.
+  ///  * Research — consented patients only: role_researcher reads
+  ///    diagnoses (date-bounded) under purpose "Research".
+  ///  * Billing — role_billing reads encounters under purpose "Billing".
+  ///  * Fine-grained extras for config.fine_grained_fraction of patients:
+  ///    named-staff grants with time/date windows.
+  Result<size_t> Generate(const HospitalDataset& ds, PolicyStore* store) const;
+
+  /// Policies one patient would define (without storing them).
+  std::vector<Policy> PoliciesForPatient(const HospitalDataset& ds,
+                                         int patient, Rng* rng) const;
+
+  const HospitalPolicyGenConfig& config() const { return config_; }
+
+ private:
+  HospitalPolicyGenConfig config_;
+};
+
+/// Ids of `patient`'s purpose="Research" grants in `store` — the
+/// consent-revocable subset. Removing them (PolicyStore::RemovePolicy)
+/// models the patient withdrawing research consent.
+std::vector<int64_t> ResearchPolicyIds(const PolicyStore& store, int patient);
 
 }  // namespace sieve
 

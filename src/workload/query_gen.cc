@@ -109,4 +109,93 @@ std::string TippersQueryGenerator::SelectAll() {
   return "SELECT * FROM WiFi_Dataset AS W";
 }
 
+HospitalQueryGenerator::Window HospitalQueryGenerator::MakeWindow(
+    QuerySelectivity sel) {
+  Window w;
+  const int num_days = ds_->config.num_days;
+  switch (sel) {
+    case QuerySelectivity::kLow: {
+      int64_t start_h = rng_.Uniform(8, 16);
+      w.t1 = start_h * 3600;
+      w.t2 = (start_h + 1) * 3600;
+      w.d1 = rng_.Uniform(0, std::max(0, num_days - 4));
+      w.d2 = std::min<int64_t>(w.d1 + 3, num_days - 1);
+      break;
+    }
+    case QuerySelectivity::kMid: {
+      int64_t start_h = rng_.Uniform(7, 13);
+      w.t1 = start_h * 3600;
+      w.t2 = (start_h + 5) * 3600;
+      w.d1 = rng_.Uniform(0, std::max(0, num_days - 15));
+      w.d2 = std::min<int64_t>(w.d1 + 14, num_days - 1);
+      break;
+    }
+    case QuerySelectivity::kHigh: {
+      w.t1 = 7 * 3600;
+      w.t2 = 20 * 3600;
+      w.d1 = 0;
+      w.d2 = num_days - 1;
+      break;
+    }
+  }
+  return w;
+}
+
+std::string HospitalQueryGenerator::HQ1(QuerySelectivity sel) {
+  Window w = MakeWindow(sel);
+  int num_wards = sel == QuerySelectivity::kLow    ? 1
+                  : sel == QuerySelectivity::kMid  ? 3
+                                                   : ds_->config.num_wards;
+  std::vector<std::string> wards;
+  for (int64_t ward : rng_.Sample(ds_->config.num_wards, num_wards)) {
+    wards.push_back(std::to_string(ward));
+  }
+  return StrFormat(
+      "SELECT * FROM Encounters AS E WHERE E.ward IN (%s) AND "
+      "E.enc_time BETWEEN %s AND %s AND E.enc_date BETWEEN %s AND %s",
+      Join(wards, ", ").c_str(), TimeLiteral(w.t1).c_str(),
+      TimeLiteral(w.t2).c_str(), DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string HospitalQueryGenerator::HQ2(QuerySelectivity sel) {
+  Window w = MakeWindow(sel);
+  int num_patients = sel == QuerySelectivity::kLow    ? 3
+                     : sel == QuerySelectivity::kMid  ? 20
+                                                      : 120;
+  std::vector<std::string> patients;
+  for (int64_t p : rng_.Sample(ds_->config.num_patients,
+                               std::min(num_patients,
+                                        ds_->config.num_patients))) {
+    patients.push_back(std::to_string(p));
+  }
+  return StrFormat(
+      "SELECT * FROM Encounters AS E WHERE E.patient_id IN (%s) AND "
+      "E.enc_date BETWEEN %s AND %s",
+      Join(patients, ", ").c_str(),
+      DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string HospitalQueryGenerator::HQ3(QuerySelectivity sel) {
+  Window w = MakeWindow(sel);
+  int min_severity = sel == QuerySelectivity::kLow    ? 5
+                     : sel == QuerySelectivity::kMid  ? 4
+                                                      : 2;
+  return StrFormat(
+      "SELECT * FROM Diagnoses AS D, Encounters AS E "
+      "WHERE D.encounter_id = E.id AND D.severity >= %d AND "
+      "D.diag_date BETWEEN %s AND %s",
+      min_severity, DateLiteral(ds_->first_day + w.d1).c_str(),
+      DateLiteral(ds_->first_day + w.d2).c_str());
+}
+
+std::string HospitalQueryGenerator::SelectAllEncounters() {
+  return "SELECT * FROM Encounters AS E";
+}
+
+std::string HospitalQueryGenerator::SelectAllDiagnoses() {
+  return "SELECT * FROM Diagnoses AS D";
+}
+
 }  // namespace sieve

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "workload/hospital.h"
 #include "workload/tippers.h"
 
 namespace sieve {
@@ -42,6 +43,37 @@ class TippersQueryGenerator {
   Window MakeWindow(QuerySelectivity sel);
 
   const TippersDataset* ds_;
+  Rng rng_;
+};
+
+/// Query shapes of the hospital scenario, mirroring how staff actually
+/// read EHR data:
+///   HQ1 — ward census: encounters at a list of wards in a time/date
+///         window (the nurse-station view);
+///   HQ2 — patient history: encounters of a list of patients in a date
+///         window (chart review);
+///   HQ3 — severe diagnoses joined with their encounters in a date window
+///         (research/QA cohort extraction).
+class HospitalQueryGenerator {
+ public:
+  HospitalQueryGenerator(const HospitalDataset& ds, uint64_t seed = 13)
+      : ds_(&ds), rng_(seed) {}
+
+  std::string HQ1(QuerySelectivity sel);
+  std::string HQ2(QuerySelectivity sel);
+  std::string HQ3(QuerySelectivity sel);
+
+  static std::string SelectAllEncounters();
+  static std::string SelectAllDiagnoses();
+
+ private:
+  struct Window {
+    int64_t t1, t2;  // seconds
+    int64_t d1, d2;  // day offsets
+  };
+  Window MakeWindow(QuerySelectivity sel);
+
+  const HospitalDataset* ds_;
   Rng rng_;
 };
 

@@ -33,6 +33,7 @@
 #include "common/string_util.h"
 #include "sieve/session.h"
 #include "tests/test_fixtures.h"
+#include "workload/query_gen.h"
 
 namespace sieve {
 namespace {
@@ -451,6 +452,100 @@ TEST_P(EquivalenceSweep, MidStreamChurnKeepsResultsEquivalent) {
     }
   }
 }
+
+// Hospital scenario sweep: the GDPR-style corpus (purpose-limited role/
+// ward/attending grants over Encounters and Diagnoses) runs the same
+// serial-vs-parallel/batch differential as the campus sweep — every
+// (num_threads ∈ {1, 2, 4, 8}) × (batch_size ∈ {0, 1, 64, 1024}) combo
+// must reproduce the serial (1, 1) reference rows in order, with exactly
+// the reference ExecStats.
+class HospitalSweep : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(HospitalSweep, SerialParallelBatchEquivalence) {
+  const SweepConfig& cfg = GetParam();
+  HospitalWorld* world = HospitalWorld::Get(
+      cfg.postgres ? EngineProfile::PostgresLike()
+                   : EngineProfile::MySqlLike());
+  ASSERT_NE(world, nullptr);
+  SieveMiddleware& sieve = *world->sieve;
+  const SieveOptions saved = sieve.options();
+
+  auto set_exec = [&sieve](int threads, int batch) {
+    SieveOptions options = sieve.options();
+    options.num_threads = threads;
+    options.batch_size = batch;
+    ASSERT_TRUE(sieve.set_options(options).ok());
+  };
+
+  // Staff queriers covering every purpose-limited role plus an attending
+  // physician queried by name.
+  std::vector<QueryMetadata> staff;
+  const HospitalDataset& ds = world->dataset;
+  auto add_staff = [&staff, &ds](const char* role, const char* purpose) {
+    auto ids = ds.StaffWithRole(role);
+    ASSERT_FALSE(ids.empty()) << role;
+    staff.push_back({HospitalDataset::StaffName(ids[0]), purpose});
+  };
+  add_staff("doctor", "Treatment");
+  add_staff("nurse", "Treatment");
+  add_staff("researcher", "Research");
+  add_staff("billing", "Billing");
+  staff.push_back({HospitalDataset::StaffName(ds.attending_of[0]),
+                   "Treatment"});
+
+  HospitalQueryGenerator gen(ds, cfg.seed);
+  std::vector<std::string> queries;
+  for (QuerySelectivity sel : {QuerySelectivity::kLow, QuerySelectivity::kMid,
+                               QuerySelectivity::kHigh}) {
+    queries.push_back(gen.HQ1(sel));
+    queries.push_back(gen.HQ2(sel));
+    queries.push_back(gen.HQ3(sel));
+  }
+  queries.push_back(HospitalQueryGenerator::SelectAllEncounters());
+  queries.push_back(HospitalQueryGenerator::SelectAllDiagnoses());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string& sql = queries[i];
+    const QueryMetadata& md = staff[i % staff.size()];
+
+    set_exec(1, 1);
+    auto serial = sieve.Execute(sql, md);
+    ASSERT_TRUE(serial.ok()) << sql << " -> " << serial.status().ToString();
+    auto oracle = sieve.ExecuteReference(sql, md);
+    ASSERT_TRUE(oracle.ok()) << sql;
+    EXPECT_EQ(Fingerprints(*serial), Fingerprints(*oracle))
+        << "querier=" << md.querier << " purpose=" << md.purpose
+        << " sql=" << sql;
+
+    std::vector<std::string> serial_rows = OrderedFingerprints(*serial);
+    for (int batch : {0, 1, 64, 1024}) {
+      for (int threads : {1, 2, 4, 8}) {
+        if (batch == 1 && threads == 1) continue;  // the reference itself
+        set_exec(threads, batch);
+        auto swept = sieve.Execute(sql, md);
+        ASSERT_TRUE(swept.ok())
+            << "batch=" << batch << " threads=" << threads << " sql=" << sql
+            << " -> " << swept.status().ToString();
+        EXPECT_EQ(serial_rows, OrderedFingerprints(*swept))
+            << "batch=" << batch << " threads=" << threads
+            << " querier=" << md.querier << " sql=" << sql;
+        EXPECT_EQ(serial->stats, swept->stats)
+            << "batch=" << batch << " threads=" << threads << " sql=" << sql
+            << " reference=" << serial->stats.ToString()
+            << " swept=" << swept->stats.ToString();
+      }
+    }
+  }
+  ASSERT_TRUE(sieve.set_options(saved).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HospitalCorpora, HospitalSweep,
+    ::testing::Values(SweepConfig{301, false}, SweepConfig{302, true}),
+    [](const ::testing::TestParamInfo<SweepConfig>& info) {
+      return (info.param.postgres ? std::string("pg_") : std::string("my_")) +
+             std::to_string(info.param.seed);
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     RandomCorpora, EquivalenceSweep,

@@ -1,13 +1,17 @@
 #ifndef SIEVE_TESTS_TEST_FIXTURES_H_
 #define SIEVE_TESTS_TEST_FIXTURES_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/database.h"
 #include "policy/policy_store.h"
 #include "sieve/middleware.h"
+#include "workload/hospital.h"
 #include "workload/policy_gen.h"
 #include "workload/tippers.h"
 
@@ -96,6 +100,87 @@ class MiniCampus {
   int64_t first_day_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Shared structural assertions for generated workload datasets. All three
+// scenarios (TIPPERS, mall, hospital) assert the same three properties
+// through these helpers: schema shape, referential integrity between fact
+// and dimension tables, and per-owner skew of the fact table.
+// ---------------------------------------------------------------------------
+
+/// The table exists and carries at least the named columns with the
+/// expected types.
+inline void AssertTableSchema(
+    Database& db, const std::string& table,
+    const std::vector<std::pair<std::string, DataType>>& columns) {
+  const TableEntry* entry = db.catalog().Find(table);
+  ASSERT_NE(entry, nullptr) << "missing table " << table;
+  const Schema& schema = entry->table->schema();
+  for (const auto& [name, type] : columns) {
+    int idx = schema.FindColumn(name);
+    ASSERT_GE(idx, 0) << table << " lacks column " << name;
+    EXPECT_EQ(schema.column(static_cast<size_t>(idx)).type, type)
+        << table << "." << name;
+  }
+}
+
+/// Secondary indexes the scenario's queries rely on exist.
+inline void AssertIndexes(Database& db, const std::string& table,
+                          const std::vector<std::string>& columns) {
+  const TableEntry* entry = db.catalog().Find(table);
+  ASSERT_NE(entry, nullptr) << table;
+  for (const std::string& col : columns) {
+    EXPECT_TRUE(entry->indexes.HasIndex(col)) << table << "." << col;
+  }
+}
+
+/// Every `child`.`child_col` value appears among `parent`.`parent_col`
+/// (the generators never emit dangling foreign keys).
+inline void AssertReferentialIntegrity(Database& db, const std::string& child,
+                                       const std::string& child_col,
+                                       const std::string& parent,
+                                       const std::string& parent_col) {
+  auto parents = db.ExecuteSql("SELECT " + parent_col + " FROM " + parent);
+  ASSERT_TRUE(parents.ok()) << parents.status().ToString();
+  std::unordered_set<int64_t> keys;
+  for (const Row& row : parents->rows) keys.insert(row[0].raw());
+  auto children = db.ExecuteSql("SELECT " + child_col + " FROM " + child);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+  size_t dangling = 0;
+  for (const Row& row : children->rows) {
+    if (keys.count(row[0].raw()) == 0) ++dangling;
+  }
+  EXPECT_EQ(dangling, 0u) << child << "." << child_col << " has " << dangling
+                          << " values absent from " << parent << "."
+                          << parent_col;
+}
+
+/// The fact table's per-owner distribution is skewed: the most active
+/// `top_fraction` of owners account for at least `min_share` of all rows.
+inline void AssertOwnerSkew(Database& db, const std::string& table,
+                            const std::string& owner_col, double top_fraction,
+                            double min_share) {
+  auto rows = db.ExecuteSql("SELECT " + owner_col + " FROM " + table);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_FALSE(rows->rows.empty()) << table << " is empty";
+  std::unordered_map<int64_t, size_t> counts;
+  for (const Row& row : rows->rows) ++counts[row[0].raw()];
+  std::vector<size_t> per_owner;
+  per_owner.reserve(counts.size());
+  for (const auto& [owner, n] : counts) per_owner.push_back(n);
+  std::sort(per_owner.begin(), per_owner.end(), std::greater<size_t>());
+  size_t top = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(per_owner.size()) *
+                             top_fraction));
+  size_t top_rows = 0;
+  for (size_t i = 0; i < top && i < per_owner.size(); ++i)
+    top_rows += per_owner[i];
+  double share =
+      static_cast<double>(top_rows) / static_cast<double>(rows->rows.size());
+  EXPECT_GE(share, min_share)
+      << table << ": top " << top << " of " << per_owner.size() << " owners ("
+      << owner_col << ") hold only " << share << " of rows";
+}
+
 /// Scaled-down TIPPERS world shared by integration tests: one dataset, a
 /// policy corpus and a middleware. Built once per process (expensive).
 struct TippersWorld {
@@ -143,6 +228,63 @@ inline TippersWorld* TippersWorld::Get(EngineProfile profile) {
   PolicyGenConfig pg;
   pg.advanced_policies_per_user = 12;
   TippersPolicyGenerator policy_gen(pg);
+  auto count =
+      policy_gen.Generate(world->dataset, &world->sieve->policies());
+  if (!count.ok()) {
+    ADD_FAILURE() << "policy generation failed: " << count.status().ToString();
+    return nullptr;
+  }
+  world->num_policies = *count;
+  *slot = world;
+  return world;
+}
+
+/// Scaled-down hospital world shared by integration tests (same shape as
+/// TippersWorld): dataset, GDPR-style policy corpus and middleware, built
+/// once per process and profile.
+struct HospitalWorld {
+  std::unique_ptr<Database> db;
+  HospitalDataset dataset;
+  std::unique_ptr<SieveMiddleware> sieve;
+  size_t num_policies = 0;
+
+  static HospitalWorld* Get(EngineProfile profile = EngineProfile::MySqlLike());
+};
+
+inline HospitalWorld* HospitalWorld::Get(EngineProfile profile) {
+  static HospitalWorld* mysql_world = nullptr;
+  static HospitalWorld* postgres_world = nullptr;
+  HospitalWorld** slot = profile.kind == EngineProfile::Kind::kMySqlLike
+                             ? &mysql_world
+                             : &postgres_world;
+  if (*slot != nullptr) return *slot;
+
+  auto* world = new HospitalWorld();
+  world->db = std::make_unique<Database>(profile);
+  HospitalConfig config;
+  config.num_patients = 150;
+  config.num_staff = 24;
+  config.num_wards = 6;
+  config.num_days = 30;
+  config.target_encounters = 8000;
+  HospitalGenerator generator(config);
+  auto ds = generator.Populate(world->db.get());
+  if (!ds.ok()) {
+    ADD_FAILURE() << "hospital populate failed: " << ds.status().ToString();
+    return nullptr;
+  }
+  world->dataset = std::move(ds).value();
+
+  SieveOptions options;
+  options.timeout_seconds = 30.0;
+  world->sieve = std::make_unique<SieveMiddleware>(
+      world->db.get(), &world->dataset.groups, options);
+  if (!world->sieve->Init().ok()) {
+    ADD_FAILURE() << "Sieve init failed";
+    return nullptr;
+  }
+
+  HospitalPolicyGenerator policy_gen;
   auto count =
       policy_gen.Generate(world->dataset, &world->sieve->policies());
   if (!count.ok()) {

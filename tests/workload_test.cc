@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "parser/parser.h"
+#include "sieve/middleware.h"
+#include "tests/test_fixtures.h"
+#include "workload/hospital.h"
 #include "workload/mall.h"
 #include "workload/policy_gen.h"
-#include "sieve/middleware.h"
 #include "workload/query_gen.h"
 
 namespace sieve {
@@ -71,6 +74,28 @@ TEST_F(TippersGenTest, RequiredIndexesExist) {
   for (const char* col : {"owner", "wifiAP", "ts_time", "ts_date"}) {
     EXPECT_TRUE(wifi->indexes.HasIndex(col)) << col;
   }
+}
+
+TEST_F(TippersGenTest, SchemaSkewAndReferentialIntegrity) {
+  AssertTableSchema(*db_, "WiFi_Dataset",
+                    {{"id", DataType::kInt},
+                     {"wifiAP", DataType::kInt},
+                     {"owner", DataType::kInt},
+                     {"ts_time", DataType::kTime},
+                     {"ts_date", DataType::kDate}});
+  AssertTableSchema(*db_, "Users",
+                    {{"id", DataType::kInt}, {"device", DataType::kString}});
+  AssertIndexes(*db_, "WiFi_Dataset", {"owner", "wifiAP"});
+  // Every event belongs to a known device; every membership row names a
+  // known device and group.
+  AssertReferentialIntegrity(*db_, "WiFi_Dataset", "owner", "Users", "id");
+  AssertReferentialIntegrity(*db_, "User_Group_Membership", "user_id", "Users",
+                             "id");
+  AssertReferentialIntegrity(*db_, "User_Group_Membership", "user_group_id",
+                             "User_Groups", "id");
+  AssertReferentialIntegrity(*db_, "WiFi_Dataset", "wifiAP", "Location", "id");
+  // Resident affinity skew: the busiest 20% of devices dominate traffic.
+  AssertOwnerSkew(*db_, "WiFi_Dataset", "owner", 0.2, 0.3);
 }
 
 TEST_F(TippersGenTest, EventsWithinConfiguredWindow) {
@@ -157,6 +182,18 @@ TEST(MallGenTest, PopulateAndPolicies) {
   for (const char* table : {"Shops", "Mall_Users", "WiFi_Connectivity"}) {
     EXPECT_NE(db.catalog().Find(table), nullptr) << table;
   }
+  // Shared structural assertions (same three properties as TIPPERS and
+  // hospital): schema shape, referential integrity, owner skew.
+  AssertTableSchema(db, "WiFi_Connectivity",
+                    {{"owner", DataType::kInt},
+                     {"shop_id", DataType::kInt},
+                     {"obs_time", DataType::kTime},
+                     {"obs_date", DataType::kDate}});
+  AssertReferentialIntegrity(db, "WiFi_Connectivity", "owner", "Mall_Users",
+                             "id");
+  AssertReferentialIntegrity(db, "WiFi_Connectivity", "shop_id", "Shops",
+                             "id");
+  AssertOwnerSkew(db, "WiFi_Connectivity", "owner", 0.2, 0.28);
 
   PolicyStore store(&db);
   ASSERT_TRUE(store.Init().ok());
@@ -190,6 +227,220 @@ TEST(MallGenTest, PopulateAndPolicies) {
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(visible->size(), reference->size());
   EXPECT_LT(visible->size(), ds->num_events);  // policies hide data
+}
+
+// ---------------------------------------------------------------------------
+// Hospital scenario (GDPR-style purpose limitation).
+// ---------------------------------------------------------------------------
+
+class HospitalGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    HospitalConfig config;
+    config.num_patients = 200;
+    config.num_staff = 30;
+    config.num_wards = 6;
+    config.num_days = 40;
+    config.target_encounters = 10000;
+    HospitalGenerator gen(config);
+    auto ds = gen.Populate(db_);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    ds_ = new HospitalDataset(std::move(ds).value());
+  }
+  static Database* db_;
+  static HospitalDataset* ds_;
+};
+Database* HospitalGenTest::db_ = nullptr;
+HospitalDataset* HospitalGenTest::ds_ = nullptr;
+
+TEST_F(HospitalGenTest, SchemaAndIndexes) {
+  AssertTableSchema(*db_, "Patients",
+                    {{"id", DataType::kInt},
+                     {"mrn", DataType::kString},
+                     {"ward", DataType::kInt},
+                     {"consent", DataType::kInt}});
+  AssertTableSchema(*db_, "Staff",
+                    {{"id", DataType::kInt},
+                     {"name", DataType::kString},
+                     {"role", DataType::kString},
+                     {"ward", DataType::kInt}});
+  AssertTableSchema(*db_, "Encounters",
+                    {{"id", DataType::kInt},
+                     {"patient_id", DataType::kInt},
+                     {"staff_id", DataType::kInt},
+                     {"ward", DataType::kInt},
+                     {"enc_time", DataType::kTime},
+                     {"enc_date", DataType::kDate}});
+  AssertTableSchema(*db_, "Diagnoses",
+                    {{"id", DataType::kInt},
+                     {"encounter_id", DataType::kInt},
+                     {"patient_id", DataType::kInt},
+                     {"code", DataType::kString},
+                     {"severity", DataType::kInt},
+                     {"diag_date", DataType::kDate}});
+  AssertIndexes(*db_, "Encounters",
+                {"patient_id", "staff_id", "ward", "enc_time", "enc_date"});
+  AssertIndexes(*db_, "Diagnoses", {"patient_id", "encounter_id", "diag_date"});
+}
+
+TEST_F(HospitalGenTest, CountsMatchDataset) {
+  EXPECT_EQ(ds_->num_encounters, 10000u);
+  const TableEntry* enc = db_->catalog().Find("Encounters");
+  EXPECT_EQ(enc->table->size(), ds_->num_encounters);
+  const TableEntry* diag = db_->catalog().Find("Diagnoses");
+  EXPECT_EQ(diag->table->size(), ds_->num_diagnoses);
+  EXPECT_GT(ds_->num_diagnoses, 0u);
+  // Every policy-relevant role exists even at small scale.
+  for (const char* role : {"doctor", "nurse", "researcher", "billing"}) {
+    EXPECT_FALSE(ds_->StaffWithRole(role).empty()) << role;
+  }
+  EXPECT_FALSE(ds_->ConsentedPatients().empty());
+  EXPECT_FALSE(ds_->ChronicPatients().empty());
+}
+
+TEST_F(HospitalGenTest, ReferentialIntegrityAndSkew) {
+  AssertReferentialIntegrity(*db_, "Encounters", "patient_id", "Patients",
+                             "id");
+  AssertReferentialIntegrity(*db_, "Encounters", "staff_id", "Staff", "id");
+  AssertReferentialIntegrity(*db_, "Diagnoses", "patient_id", "Patients",
+                             "id");
+  AssertReferentialIntegrity(*db_, "Diagnoses", "encounter_id", "Encounters",
+                             "id");
+  // The chronic cohort (20% of patients) receives ~60% of encounters.
+  AssertOwnerSkew(*db_, "Encounters", "patient_id", 0.2, 0.45);
+}
+
+TEST_F(HospitalGenTest, EncountersWithinClinicHours) {
+  auto result = db_->ExecuteSql(
+      "SELECT MIN(enc_time), MAX(enc_time), MIN(enc_date), MAX(enc_date) "
+      "FROM Encounters");
+  ASSERT_TRUE(result.ok());
+  const Row& row = result->rows[0];
+  EXPECT_GE(row[0].raw(), 7 * 3600);
+  EXPECT_LE(row[1].raw(), 20 * 3600);
+  EXPECT_GE(row[2].raw(), ds_->first_day);
+  EXPECT_LT(row[3].raw(), ds_->first_day + 40);
+}
+
+TEST_F(HospitalGenTest, StaffBelongToRoleAndWardGroups) {
+  for (size_t s = 0; s < ds_->staff_role.size(); ++s) {
+    auto groups =
+        ds_->groups.GroupsOf(HospitalDataset::StaffName(static_cast<int>(s)));
+    ASSERT_EQ(groups.size(), 2u);
+    bool has_role = false, has_ward = false;
+    for (const std::string& g : groups) {
+      if (g == HospitalDataset::RoleGroupName(ds_->staff_role[s]))
+        has_role = true;
+      if (g == HospitalDataset::WardGroupName(ds_->staff_ward[s]))
+        has_ward = true;
+    }
+    EXPECT_TRUE(has_role && has_ward) << HospitalDataset::StaffName(
+        static_cast<int>(s));
+  }
+}
+
+TEST_F(HospitalGenTest, PolicyGeneratorInvariants) {
+  PolicyStore store(db_);
+  ASSERT_TRUE(store.Init().ok());
+  HospitalPolicyGenerator pg;
+  auto count = pg.Generate(*ds_, &store);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, store.size());
+  // At least the 4+ baseline grants per patient.
+  EXPECT_GE(*count, static_cast<size_t>(ds_->config.num_patients) * 4);
+
+  size_t research = 0;
+  for (const Policy& p : store.policies()) {
+    EXPECT_TRUE(p.table_name == "Encounters" || p.table_name == "Diagnoses")
+        << p.table_name;
+    EXPECT_FALSE(p.querier.empty());
+    // GDPR purpose limitation: every grant names a concrete purpose.
+    EXPECT_FALSE(p.purpose.empty());
+    EXPECT_NE(p.purpose, "any");
+    EXPECT_EQ(p.action, PolicyAction::kAllow);
+    // oc_owner guarantee on the hospital owner column.
+    bool has_owner = false;
+    for (const auto& oc : p.object_conditions) {
+      if (oc.attr == "patient_id" && oc.op == CompareOp::kEq &&
+          oc.value == p.owner) {
+        has_owner = true;
+      }
+    }
+    EXPECT_TRUE(has_owner) << p.ToString();
+    if (EqualsIgnoreCase(p.purpose, "Research")) {
+      ++research;
+      // Research grants exist only for consented patients.
+      EXPECT_TRUE(ds_->consented[static_cast<size_t>(p.owner.raw())])
+          << p.ToString();
+    }
+  }
+  EXPECT_EQ(research, ds_->ConsentedPatients().size());
+
+  // ResearchPolicyIds enumerates exactly the revocable subset.
+  for (int patient : ds_->ConsentedPatients()) {
+    EXPECT_FALSE(ResearchPolicyIds(store, patient).empty()) << patient;
+  }
+  for (int p = 0; p < ds_->config.num_patients; ++p) {
+    if (!ds_->consented[static_cast<size_t>(p)]) {
+      EXPECT_TRUE(ResearchPolicyIds(store, p).empty()) << p;
+    }
+  }
+}
+
+TEST_F(HospitalGenTest, QueryGeneratorSqlParsesAndOrdersSelectivity) {
+  HospitalQueryGenerator gen(*ds_, 5);
+  size_t counts[3];
+  int i = 0;
+  for (QuerySelectivity sel : {QuerySelectivity::kLow, QuerySelectivity::kMid,
+                               QuerySelectivity::kHigh}) {
+    std::string sql = gen.HQ1(sel);
+    ASSERT_TRUE(Parser::Parse(sql).ok()) << sql;
+    auto result = db_->ExecuteSql(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    counts[i++] = result->size();
+  }
+  EXPECT_LE(counts[0], counts[1]);
+  EXPECT_LE(counts[1], counts[2]);
+
+  for (QuerySelectivity sel : {QuerySelectivity::kLow, QuerySelectivity::kMid,
+                               QuerySelectivity::kHigh}) {
+    for (const std::string& sql : {gen.HQ2(sel), gen.HQ3(sel)}) {
+      ASSERT_TRUE(Parser::Parse(sql).ok()) << sql;
+      ASSERT_TRUE(db_->ExecuteSql(sql).ok()) << sql;
+    }
+  }
+  ASSERT_TRUE(
+      Parser::Parse(HospitalQueryGenerator::SelectAllEncounters()).ok());
+  ASSERT_TRUE(
+      Parser::Parse(HospitalQueryGenerator::SelectAllDiagnoses()).ok());
+}
+
+TEST_F(HospitalGenTest, EnforcementSanity) {
+  // A fresh middleware over the shared dataset: the ward-nurse view is
+  // policy-limited and matches the reference oracle.
+  HospitalWorld* world = HospitalWorld::Get();
+  ASSERT_NE(world, nullptr);
+  const auto nurses = world->dataset.StaffWithRole("nurse");
+  ASSERT_FALSE(nurses.empty());
+  QueryMetadata md{HospitalDataset::StaffName(nurses[0]), "Treatment"};
+  auto visible =
+      world->sieve->Execute("SELECT * FROM Encounters AS E", md);
+  ASSERT_TRUE(visible.ok()) << visible.status().ToString();
+  auto reference =
+      world->sieve->ExecuteReference("SELECT * FROM Encounters AS E", md);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(visible->size(), reference->size());
+  EXPECT_LT(visible->size(), world->dataset.num_encounters);
+  EXPECT_GT(visible->size(), 0u);
+
+  // Purpose limitation: the same nurse under Research sees nothing (no
+  // nurse-facing research grants exist).
+  auto research = world->sieve->Execute(
+      "SELECT * FROM Encounters AS E",
+      {HospitalDataset::StaffName(nurses[0]), "Research"});
+  ASSERT_TRUE(research.ok());
+  EXPECT_EQ(research->size(), 0u);
 }
 
 }  // namespace
