@@ -1,0 +1,91 @@
+#ifndef SIEVE_COMMON_SHARED_GATE_H_
+#define SIEVE_COMMON_SHARED_GATE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace sieve {
+
+/// Reader-writer gate with *thread-agnostic* ownership: unlike
+/// std::shared_mutex (whose unlock must happen on the locking thread —
+/// pthread rwlocks make cross-thread release undefined), a SharedGate
+/// lock is a counted token that may be acquired on one thread and
+/// released on another. The network front-end relies on this: a server
+/// worker opens a cursor (taking the middleware state lock shared), a
+/// *different* worker serves its FETCHes, and the reaper thread may tear
+/// the connection down — the pin travels with the connection object, not
+/// with any thread.
+///
+/// Satisfies the Lockable and SharedLockable named requirements, so
+/// std::unique_lock<SharedGate> and std::shared_lock<SharedGate> work
+/// as drop-in replacements for their shared_mutex counterparts.
+///
+/// Writer-preference: once a writer is waiting, new readers queue behind
+/// it, so a steady reader stream cannot starve policy mutations. As with
+/// shared_mutex, recursive acquisition on one thread is not allowed (a
+/// reader re-entering while a writer waits would deadlock) — the
+/// middleware's session layer documents and upholds that contract.
+class SharedGate {
+ public:
+  SharedGate() = default;
+  SharedGate(const SharedGate&) = delete;
+  SharedGate& operator=(const SharedGate&) = delete;
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    readers_cv_.wait(l,
+                     [&] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (writer_active_ || waiting_writers_ > 0) return false;
+    ++active_readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      writers_cv_.notify_one();
+    }
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    ++waiting_writers_;
+    writers_cv_.wait(l, [&] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (writer_active_ || active_readers_ > 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> l(mu_);
+    writer_active_ = false;
+    if (waiting_writers_ > 0) {
+      writers_cv_.notify_one();
+    } else {
+      readers_cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace sieve
+
+#endif  // SIEVE_COMMON_SHARED_GATE_H_

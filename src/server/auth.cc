@@ -1,0 +1,98 @@
+#include "server/auth.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace sieve::server {
+
+void AuthRegistry::RegisterToken(const std::string& token, QueryMetadata md,
+                                 AdmissionLimits limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_[token] = AuthedIdentity{std::move(md), limits};
+}
+
+void AuthRegistry::RevokeToken(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_.erase(token);
+}
+
+Result<AuthedIdentity> AuthRegistry::Authenticate(
+    const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    // Default deny; deliberately does not say whether the token exists.
+    return Status::AccessDenied("authentication failed");
+  }
+  return it->second;
+}
+
+size_t AuthRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_.size();
+}
+
+AdmissionController::AdmissionController(std::function<double()> clock)
+    : clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+AdmissionController::Verdict AdmissionController::TryAdmit(
+    const std::string& querier, const AdmissionLimits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[ToLower(querier)];
+  if (limits.max_in_flight > 0 && b.in_flight >= limits.max_in_flight) {
+    ++stats_.in_flight_rejected;
+    return Verdict::kTooManyInFlight;
+  }
+  if (limits.rate_per_sec > 0.0) {
+    double now = clock_();
+    double burst = limits.burst > 0.0 ? limits.burst
+                                      : std::max(limits.rate_per_sec, 1.0);
+    if (!b.initialized) {
+      b.tokens = burst;  // buckets start full: a fresh querier may burst
+      b.last_refill = now;
+      b.initialized = true;
+    }
+    b.tokens = std::min(
+        burst, b.tokens + (now - b.last_refill) * limits.rate_per_sec);
+    b.last_refill = now;
+    if (b.tokens < 1.0) {
+      ++stats_.rate_limited;
+      return Verdict::kRateLimited;
+    }
+    b.tokens -= 1.0;
+  }
+  ++b.in_flight;
+  ++stats_.admitted;
+  return Verdict::kAdmit;
+}
+
+void AdmissionController::Release(const std::string& querier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(ToLower(querier));
+  if (it != buckets_.end() && it->second.in_flight > 0) {
+    --it->second.in_flight;
+  }
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int AdmissionController::InFlight(const std::string& querier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(ToLower(querier));
+  return it == buckets_.end() ? 0 : it->second.in_flight;
+}
+
+}  // namespace sieve::server

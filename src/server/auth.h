@@ -1,0 +1,109 @@
+#ifndef SIEVE_SERVER_AUTH_H_
+#define SIEVE_SERVER_AUTH_H_
+
+// The server's front door: token authentication binding a connection to a
+// querier/purpose identity, and per-querier admission control (token-
+// bucket rate limiting + an in-flight ceiling). Authentication is
+// default-deny twice over: an unknown token is rejected, and a known
+// token whose querier/purpose is not a subject of the policy corpus is
+// rejected too — a connection can never execute under an identity the
+// policy store has never heard of (it would see only default-denied
+// tables anyway, but refusing at HELLO keeps the failure loud and early).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/metadata.h"
+#include "common/status.h"
+
+namespace sieve::server {
+
+/// Per-querier admission limits. Zero means "unlimited" for each knob.
+struct AdmissionLimits {
+  /// Token-bucket refill rate for EXECUTE requests, per second.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity (burst size). Defaults to max(rate_per_sec, 1) when
+  /// left 0 with a nonzero rate.
+  double burst = 0.0;
+  /// Ceiling on concurrently admitted executions (an open server-side
+  /// cursor stays admitted until it is drained or closed, since it pins
+  /// middleware state and per-connection buffers).
+  int max_in_flight = 0;
+
+  bool unlimited() const { return rate_per_sec <= 0.0 && max_in_flight <= 0; }
+};
+
+/// A successfully authenticated connection identity.
+struct AuthedIdentity {
+  QueryMetadata md;
+  AdmissionLimits limits;
+};
+
+/// Token -> identity map. Registrations normally happen before the server
+/// starts, but the registry is fully thread-safe so operators can rotate
+/// tokens on a live server.
+class AuthRegistry {
+ public:
+  void RegisterToken(const std::string& token, QueryMetadata md,
+                     AdmissionLimits limits = {});
+  void RevokeToken(const std::string& token);
+
+  /// Default-deny lookup: kAccessDenied unless `token` was registered.
+  Result<AuthedIdentity> Authenticate(const std::string& token) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, AuthedIdentity> tokens_;
+};
+
+/// Per-querier admission control shared by every connection of a server:
+/// a token bucket paces EXECUTE requests and an in-flight counter bounds
+/// concurrently admitted executions (cursors count until closed). The
+/// clock is injectable so rate-limit tests are deterministic.
+class AdmissionController {
+ public:
+  enum class Verdict { kAdmit, kRateLimited, kTooManyInFlight };
+
+  /// `clock` returns monotonic seconds; defaults to steady_clock.
+  explicit AdmissionController(std::function<double()> clock = {});
+
+  /// Tries to admit one execution for `querier` under `limits`. On
+  /// kAdmit the caller owes a Release(querier) once the execution (and
+  /// any cursor it opened) finishes.
+  Verdict TryAdmit(const std::string& querier, const AdmissionLimits& limits);
+
+  /// Returns the in-flight slot taken by a successful TryAdmit.
+  void Release(const std::string& querier);
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rate_limited = 0;
+    uint64_t in_flight_rejected = 0;
+  };
+  Stats stats() const;
+
+  /// Current in-flight count for one querier (tests/diagnostics).
+  int InFlight(const std::string& querier) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    bool initialized = false;
+    int in_flight = 0;
+  };
+
+  std::function<double()> clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;  // keyed by lower querier
+  Stats stats_;
+};
+
+}  // namespace sieve::server
+
+#endif  // SIEVE_SERVER_AUTH_H_

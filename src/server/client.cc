@@ -1,0 +1,211 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace sieve::server {
+
+Status SieveClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::ExecutionError("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::ExecutionError(
+        StrFormat("socket failed: %s", strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("invalid address '%s' (IPv4 only)", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::ExecutionError(
+        StrFormat("connect to %s:%u failed: %s", host.c_str(),
+                  static_cast<unsigned>(port), strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void SieveClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> SieveClient::RoundTrip(MsgType type,
+                                     const std::string& payload) {
+  if (fd_ < 0) return Status::ExecutionError("not connected");
+  SIEVE_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  return ReadFrame(fd_);
+}
+
+Status SieveClient::DecodeError(const Frame& f) {
+  WireReader rd(f.payload);
+  auto code = rd.U16();
+  auto msg = rd.String();
+  if (!code.ok() || !msg.ok()) {
+    return Status::ExecutionError("undecodable error reply");
+  }
+  last_wire_error_ = *code;
+  WireError we = static_cast<WireError>(*code);
+  std::string text = StrFormat("%s: %s", WireErrorName(we), msg->c_str());
+  switch (we) {
+    case WireError::kAuthRequired:
+    case WireError::kAuthFailed:
+      return Status::AccessDenied(text);
+    default:
+      return Status::ExecutionError(text);
+  }
+}
+
+Result<WireResult> SieveClient::DecodeRows(const Frame& f) {
+  WireReader rd(f.payload);
+  WireResult out;
+  SIEVE_ASSIGN_OR_RETURN(out.cursor_id, rd.U32());
+  SIEVE_ASSIGN_OR_RETURN(uint8_t done, rd.U8());
+  out.done = done != 0;
+  SIEVE_ASSIGN_OR_RETURN(uint16_t ncols, rd.U16());
+  out.columns.reserve(ncols);
+  for (uint16_t i = 0; i < ncols; ++i) {
+    SIEVE_ASSIGN_OR_RETURN(std::string name, rd.String());
+    SIEVE_ASSIGN_OR_RETURN(uint8_t type, rd.U8());
+    out.columns.emplace_back(std::move(name), static_cast<DataType>(type));
+  }
+  SIEVE_ASSIGN_OR_RETURN(uint32_t nrows, rd.U32());
+  out.rows.reserve(nrows);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(ncols);
+    for (uint16_t c = 0; c < ncols; ++c) {
+      SIEVE_ASSIGN_OR_RETURN(Value v, rd.ReadValue());
+      row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  if (!rd.AtEnd()) {
+    return Status::ExecutionError("trailing bytes in rows reply");
+  }
+  return out;
+}
+
+Result<QueryMetadata> SieveClient::Hello(const std::string& token) {
+  WireWriter w;
+  w.PutU8(kProtocolVersion);
+  w.PutString(token);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kHello, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kHelloOk) {
+    return Status::ExecutionError("unexpected reply to HELLO");
+  }
+  WireReader rd(reply.payload);
+  QueryMetadata md;
+  SIEVE_ASSIGN_OR_RETURN(md.querier, rd.String());
+  SIEVE_ASSIGN_OR_RETURN(md.purpose, rd.String());
+  last_wire_error_ = 0;
+  return md;
+}
+
+Result<WireStatement> SieveClient::Prepare(const std::string& sql) {
+  WireWriter w;
+  w.PutString(sql);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply,
+                         RoundTrip(MsgType::kPrepare, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kPrepared) {
+    return Status::ExecutionError("unexpected reply to PREPARE");
+  }
+  WireReader rd(reply.payload);
+  WireStatement stmt;
+  SIEVE_ASSIGN_OR_RETURN(stmt.id, rd.U32());
+  SIEVE_ASSIGN_OR_RETURN(stmt.parameter_count, rd.U16());
+  last_wire_error_ = 0;
+  return stmt;
+}
+
+Result<WireResult> SieveClient::Execute(uint32_t stmt_id,
+                                        const std::vector<Value>& params,
+                                        uint32_t chunk_rows) {
+  WireWriter w;
+  w.PutU32(stmt_id);
+  w.PutU32(chunk_rows);
+  w.PutU16(static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) w.PutValue(v);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply,
+                         RoundTrip(MsgType::kExecute, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kRows) {
+    return Status::ExecutionError("unexpected reply to EXECUTE");
+  }
+  SIEVE_ASSIGN_OR_RETURN(WireResult out, DecodeRows(reply));
+  last_wire_error_ = 0;
+  return out;
+}
+
+Result<WireResult> SieveClient::Fetch(uint32_t cursor_id, uint32_t max_rows) {
+  WireWriter w;
+  w.PutU32(cursor_id);
+  w.PutU32(max_rows);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kFetch, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kRows) {
+    return Status::ExecutionError("unexpected reply to FETCH");
+  }
+  SIEVE_ASSIGN_OR_RETURN(WireResult out, DecodeRows(reply));
+  last_wire_error_ = 0;
+  return out;
+}
+
+Status SieveClient::CloseCursor(uint32_t cursor_id) {
+  WireWriter w;
+  w.PutU32(cursor_id);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply,
+                         RoundTrip(MsgType::kCloseCursor, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kOk) {
+    return Status::ExecutionError("unexpected reply to CLOSE_CURSOR");
+  }
+  last_wire_error_ = 0;
+  return Status::OK();
+}
+
+Status SieveClient::CloseStmt(uint32_t stmt_id) {
+  WireWriter w;
+  w.PutU32(stmt_id);
+  SIEVE_ASSIGN_OR_RETURN(Frame reply,
+                         RoundTrip(MsgType::kCloseStmt, w.payload()));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kOk) {
+    return Status::ExecutionError("unexpected reply to CLOSE_STMT");
+  }
+  last_wire_error_ = 0;
+  return Status::OK();
+}
+
+Result<std::string> SieveClient::Stats() {
+  SIEVE_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kStats, {}));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kStatsOk) {
+    return Status::ExecutionError("unexpected reply to STATS");
+  }
+  WireReader rd(reply.payload);
+  SIEVE_ASSIGN_OR_RETURN(std::string json, rd.String());
+  last_wire_error_ = 0;
+  return json;
+}
+
+}  // namespace sieve::server

@@ -1,0 +1,98 @@
+#ifndef SIEVE_SERVER_CLIENT_H_
+#define SIEVE_SERVER_CLIENT_H_
+
+// Blocking reference client for the Sieve wire protocol: one TCP
+// connection, synchronous request/reply. It is the counterpart the
+// loopback tests, the closed-loop bench and the example speak through —
+// deliberately simple (no pipelining, no reconnect) so a transcript of
+// its calls reads like the protocol conversation itself.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metadata.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "server/wire.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace sieve::server {
+
+/// One reply's worth of rows (a materialized result or a cursor chunk).
+struct WireResult {
+  std::vector<std::pair<std::string, DataType>> columns;
+  std::vector<Row> rows;
+  /// 0 for a materialized result; otherwise the server-side cursor to
+  /// FETCH from until `done`.
+  uint32_t cursor_id = 0;
+  bool done = true;
+};
+
+/// A prepared statement handle returned by Prepare.
+struct WireStatement {
+  uint32_t id = 0;
+  uint16_t parameter_count = 0;
+};
+
+class SieveClient {
+ public:
+  SieveClient() = default;
+  ~SieveClient() { Close(); }
+  SieveClient(const SieveClient&) = delete;
+  SieveClient& operator=(const SieveClient&) = delete;
+
+  /// Connects (IPv4). No protocol traffic yet — follow with Hello.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Authenticates with `token`; returns the identity the server bound
+  /// the connection to. kAccessDenied on auth failure (default-deny).
+  Result<QueryMetadata> Hello(const std::string& token);
+
+  Result<WireStatement> Prepare(const std::string& sql);
+
+  /// Executes with positional parameters. chunk_rows == 0 materializes
+  /// the full result in one reply; chunk_rows > 0 opens a server-side
+  /// cursor and returns the first chunk (continue with Fetch until
+  /// done). On a kError reply the wire code is retained in
+  /// last_wire_error() — RATE_LIMITED etc. are programmatically
+  /// distinguishable from execution failures.
+  Result<WireResult> Execute(uint32_t stmt_id,
+                             const std::vector<Value>& params = {},
+                             uint32_t chunk_rows = 0);
+
+  Result<WireResult> Fetch(uint32_t cursor_id, uint32_t max_rows);
+
+  Status CloseCursor(uint32_t cursor_id);
+  Status CloseStmt(uint32_t stmt_id);
+
+  /// The server's JSON health snapshot (STATS).
+  Result<std::string> Stats();
+
+  /// Closes the socket. Idempotent; implied by destruction. The server
+  /// treats a close with an open cursor as abandonment and releases the
+  /// cursor's resources.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Wire error code of the most recent kError reply (undefined before
+  /// the first error). Reset to 0 by each successful call.
+  uint16_t last_wire_error() const { return last_wire_error_; }
+
+ private:
+  /// Sends one frame and reads the reply frame.
+  Result<Frame> RoundTrip(MsgType type, const std::string& payload);
+  /// Decodes a kError reply into a Status, stashing the wire code.
+  Status DecodeError(const Frame& f);
+  Result<WireResult> DecodeRows(const Frame& f);
+
+  int fd_ = -1;
+  uint16_t last_wire_error_ = 0;
+};
+
+}  // namespace sieve::server
+
+#endif  // SIEVE_SERVER_CLIENT_H_

@@ -1,0 +1,276 @@
+#include "server/wire.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace sieve::server {
+
+const char* WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kAuthRequired: return "AUTH_REQUIRED";
+    case WireError::kAuthFailed: return "AUTH_FAILED";
+    case WireError::kRateLimited: return "RATE_LIMITED";
+    case WireError::kTooManyInFlight: return "TOO_MANY_IN_FLIGHT";
+    case WireError::kMalformed: return "MALFORMED";
+    case WireError::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case WireError::kBadStatement: return "BAD_STATEMENT";
+    case WireError::kBadCursor: return "BAD_CURSOR";
+    case WireError::kCursorOpen: return "CURSOR_OPEN";
+    case WireError::kPrepareFailed: return "PREPARE_FAILED";
+    case WireError::kExecFailed: return "EXEC_FAILED";
+    case WireError::kTooManyConnections: return "TOO_MANY_CONNECTIONS";
+    case WireError::kTooManyStatements: return "TOO_MANY_STATEMENTS";
+    case WireError::kServerShutdown: return "SERVER_SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------------
+
+void WireWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v & 0xff));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case DataType::kInt:
+    case DataType::kTime:
+    case DataType::kDate:
+      PutI64(v.raw());
+      break;
+    case DataType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      PutString(v.AsString());
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------------
+
+Status WireReader::Need(size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return Status::InvalidArgument(
+        StrFormat("truncated payload: need %zu byte(s) at offset %zu of %zu",
+                  n, pos_, data_.size()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::U8() {
+  SIEVE_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireReader::U16() {
+  SIEVE_RETURN_IF_ERROR(Need(2));
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  SIEVE_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  SIEVE_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<int64_t> WireReader::I64() {
+  SIEVE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  return static_cast<int64_t>(bits);
+}
+
+Result<double> WireReader::Double() {
+  SIEVE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::String() {
+  SIEVE_ASSIGN_OR_RETURN(uint32_t len, U32());
+  SIEVE_RETURN_IF_ERROR(Need(len));
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Result<Value> WireReader::ReadValue() {
+  SIEVE_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      SIEVE_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value::Bool(b != 0);
+    }
+    case DataType::kInt: {
+      SIEVE_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int(v);
+    }
+    case DataType::kTime: {
+      SIEVE_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Time(v);
+    }
+    case DataType::kDate: {
+      SIEVE_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Date(v);
+    }
+    case DataType::kDouble: {
+      SIEVE_ASSIGN_OR_RETURN(double v, Double());
+      return Value::Double(v);
+    }
+    case DataType::kString: {
+      SIEVE_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown value type tag %u", static_cast<unsigned>(tag)));
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size()) + 1;  // + type byte
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameParse ExtractFrame(std::string* buf, uint32_t max_frame_bytes,
+                        Frame* out) {
+  if (buf->size() < 4) return FrameParse::kNeedMore;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>((*buf)[i])) << (8 * i);
+  }
+  if (len == 0) return FrameParse::kMalformed;
+  if (len > max_frame_bytes) return FrameParse::kTooLarge;
+  if (buf->size() < 4u + len) return FrameParse::kNeedMore;
+  out->type = static_cast<MsgType>(static_cast<uint8_t>((*buf)[4]));
+  out->payload.assign(*buf, 5, len - 1);
+  buf->erase(0, 4u + len);
+  return FrameParse::kFrame;
+}
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  std::string frame = EncodeFrame(type, payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(
+          StrFormat("wire write failed: %s", strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ReadExactly(int fd, char* dst, size_t n, bool* clean_eof_at_start) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(fd, dst + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(
+          StrFormat("wire read failed: %s", strerror(errno)));
+    }
+    if (got == 0) {
+      if (off == 0 && clean_eof_at_start != nullptr) {
+        *clean_eof_at_start = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::ExecutionError("connection closed mid-frame");
+    }
+    off += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes) {
+  char hdr[4];
+  bool clean_eof = false;
+  SIEVE_RETURN_IF_ERROR(ReadExactly(fd, hdr, 4, &clean_eof));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
+  }
+  if (len == 0) return Status::InvalidArgument("zero-length frame");
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds limit %u", len, max_frame_bytes));
+  }
+  std::string body(len, '\0');
+  SIEVE_RETURN_IF_ERROR(ReadExactly(fd, body.data(), len, nullptr));
+  Frame frame;
+  frame.type = static_cast<MsgType>(static_cast<uint8_t>(body[0]));
+  frame.payload = body.substr(1);
+  return frame;
+}
+
+}  // namespace sieve::server

@@ -1,0 +1,175 @@
+#ifndef SIEVE_SERVER_WIRE_H_
+#define SIEVE_SERVER_WIRE_H_
+
+// The Sieve wire protocol: a small length-prefixed binary protocol the
+// network front-end speaks over TCP. Every message is one frame:
+//
+//   +----------------+-----------+------------------+
+//   | u32 len (LE)   | u8 type   | payload (len-1)  |
+//   +----------------+-----------+------------------+
+//
+// `len` counts the type byte plus the payload, so the smallest legal
+// frame is len == 1 (a bare type). Integers are little-endian; strings
+// are u32-length-prefixed UTF-8 bytes; values are a DataType tag byte
+// followed by the type's payload (nothing for NULL). A frame whose
+// announced length exceeds the configured maximum is a protocol error —
+// the server replies kFrameTooLarge and closes, it never allocates the
+// announced size first.
+//
+// Conversation: HELLO (token) authenticates the connection and binds it
+// to a querier/purpose; PREPARE caches a parameterized statement;
+// EXECUTE binds parameters and either materializes (chunk_rows = 0) or
+// opens a server-side cursor and returns the first chunk; FETCH pulls
+// subsequent chunks (pull-based — this is the cursor backpressure: the
+// server never buffers more than one chunk per connection); CLOSE_*
+// release resources; STATS returns a JSON health snapshot.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sieve::server {
+
+/// Default ceiling on one frame (type byte + payload). The server and
+/// client both enforce it on receive; the server's copy is configurable
+/// (ServerOptions::max_frame_bytes).
+inline constexpr uint32_t kMaxFrameBytes = 4u * 1024 * 1024;
+
+/// Protocol revision carried in HELLO; bumped on incompatible change.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frame types. Client-to-server requests are < 0x80, server-to-client
+/// replies have the high bit set.
+enum class MsgType : uint8_t {
+  kHello = 1,        ///< u8 version, str token
+  kPrepare = 2,      ///< str sql
+  kExecute = 3,      ///< u32 stmt_id, u32 chunk_rows (0 = materialize),
+                     ///< u16 nparams, values
+  kFetch = 4,        ///< u32 cursor_id, u32 max_rows
+  kCloseCursor = 5,  ///< u32 cursor_id
+  kCloseStmt = 6,    ///< u32 stmt_id
+  kStats = 7,        ///< (empty)
+
+  kHelloOk = 0x81,   ///< str querier, str purpose
+  kError = 0x82,     ///< u16 code (WireError), str message
+  kPrepared = 0x83,  ///< u32 stmt_id, u16 nparams
+  kRows = 0x84,      ///< u32 cursor_id (0 = complete), u8 done,
+                     ///< u16 ncols, [str name, u8 type]*, u32 nrows, rows
+  kStatsOk = 0x85,   ///< str json
+  kOk = 0x86,        ///< (empty)
+};
+
+/// Machine-readable error classes carried in kError frames.
+enum class WireError : uint16_t {
+  kAuthRequired = 1,    ///< request before a successful HELLO
+  kAuthFailed = 2,      ///< unknown token or unknown policy subject
+  kRateLimited = 3,     ///< per-querier token bucket empty
+  kTooManyInFlight = 4, ///< per-querier in-flight ceiling reached
+  kMalformed = 5,       ///< frame payload failed to decode
+  kFrameTooLarge = 6,   ///< announced frame length over the limit
+  kBadStatement = 7,    ///< unknown statement id
+  kBadCursor = 8,       ///< unknown cursor id
+  kCursorOpen = 9,      ///< PREPARE/EXECUTE while a cursor is open
+  kPrepareFailed = 10,  ///< parse/rewrite error (message has details)
+  kExecFailed = 11,     ///< execution error (timeout, bind error, ...)
+  kTooManyConnections = 12,
+  kTooManyStatements = 13,
+  kServerShutdown = 14,
+};
+
+const char* WireErrorName(WireError e);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+/// Appends protocol primitives to a payload buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+
+  const std::string& payload() const { return buf_; }
+  std::string TakePayload() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reads over a payload. Every getter fails with
+/// kInvalidArgument on truncation instead of reading past the end, so a
+/// malformed frame can never walk off the buffer.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> Double();
+  Result<std::string> String();
+  Result<Value> ReadValue();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes `type` + `payload` into one length-prefixed frame.
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Incremental frame extraction (server read path)
+// ---------------------------------------------------------------------------
+
+enum class FrameParse {
+  kNeedMore,      ///< not enough buffered bytes yet
+  kFrame,         ///< *out holds one complete frame (consumed from *buf)
+  kTooLarge,      ///< announced length exceeds max_frame_bytes
+  kMalformed,     ///< structurally impossible frame (len == 0)
+};
+
+/// Extracts one complete frame from the front of *buf, erasing the
+/// consumed bytes. Never allocates based on the announced length before
+/// validating it against `max_frame_bytes`.
+FrameParse ExtractFrame(std::string* buf, uint32_t max_frame_bytes,
+                        Frame* out);
+
+// ---------------------------------------------------------------------------
+// Blocking socket framing (client + tests)
+// ---------------------------------------------------------------------------
+
+/// Writes one frame to `fd`, retrying partial writes. Fails on EPIPE etc.
+Status WriteFrame(int fd, MsgType type, std::string_view payload);
+
+/// Reads one complete frame from `fd` (blocking). kNotFound on orderly
+/// EOF before any byte of a frame, kExecutionError on mid-frame EOF /
+/// IO error, kInvalidArgument on oversized or zero-length frames.
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes = kMaxFrameBytes);
+
+}  // namespace sieve::server
+
+#endif  // SIEVE_SERVER_WIRE_H_

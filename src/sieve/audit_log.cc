@@ -123,7 +123,51 @@ Status AuditLog::Flush() {
     auto inserted = db_->Insert(kTableName, std::move(row));
     if (!inserted.ok()) return inserted.status();
   }
+  return EnforceRetention();
+}
+
+Status AuditLog::EnforceRetention() {
+  size_t max_rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_rows = max_table_rows_;
+  }
+  if (max_rows == 0) return Status::OK();
+  TableEntry* entry = db_->catalog().Find(kTableName);
+  if (entry == nullptr) return Status::OK();
+  const Table& table = *entry->table;
+  if (table.size() <= max_rows) return Status::OK();
+
+  // Oldest-first: records are flushed in seq order and rows are append-
+  // only, so live RowIds ascend with seq — the first (size - max) live
+  // rows are exactly the oldest ones.
+  size_t to_delete = table.size() - max_rows;
+  std::vector<RowId> victims;
+  victims.reserve(to_delete);
+  table.ForEach([&](RowId id, const Row&) {
+    if (victims.size() < to_delete) victims.push_back(id);
+  });
+  for (RowId id : victims) {
+    SIEVE_RETURN_IF_ERROR(db_->Delete(kTableName, id));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  truncated_ += victims.size();
   return Status::OK();
+}
+
+void AuditLog::set_max_table_rows(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_table_rows_ = n;
+}
+
+size_t AuditLog::max_table_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_table_rows_;
+}
+
+uint64_t AuditLog::truncated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_;
 }
 
 size_t AuditLog::pending() const {

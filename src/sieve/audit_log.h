@@ -101,10 +101,19 @@ class AuditLog {
   /// reported, not retried).
   Status Flush();
 
+  /// Retention bound on the `sieve_audit` table itself: when a Flush
+  /// leaves more than `n` live rows, the oldest rows (lowest seq) are
+  /// deleted first until the bound holds. 0 = unbounded. Thread-safe;
+  /// takes effect at the next Flush.
+  void set_max_table_rows(size_t n);
+  size_t max_table_rows() const;
+
   /// Records appended and not yet flushed (nor dropped).
   size_t pending() const;
   /// Records lost to ring overflow since construction.
   uint64_t dropped() const;
+  /// `sieve_audit` rows removed by the retention bound since construction.
+  uint64_t truncated() const;
   /// Total records ever appended (= the last assigned seq).
   int64_t total_appended() const;
 
@@ -113,12 +122,18 @@ class AuditLog {
   std::vector<AuditRecord> PendingTail(size_t n) const;
 
  private:
+  /// Deletes oldest rows until <= max_table_rows_ remain (caller holds the
+  /// middleware state lock exclusively, like Flush itself).
+  Status EnforceRetention();
+
   Database* db_;
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<AuditRecord> pending_;
   int64_t next_seq_ = 1;
   uint64_t dropped_ = 0;
+  uint64_t truncated_ = 0;
+  size_t max_table_rows_ = 0;  ///< 0 = unbounded
 };
 
 }  // namespace sieve

@@ -1,6 +1,7 @@
 #include "sieve/middleware.h"
 
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "parser/parser.h"
@@ -64,7 +65,7 @@ Result<int64_t> SieveMiddleware::AddPolicy(Policy policy) {
   // Exclusive: waits for in-flight executions/cursors, then mutates the
   // stores. The mutation listeners fire inside InsertPolicy and mark stale
   // exactly the cached rewrites whose dependency keys the insert touches.
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  std::unique_lock<SharedGate> lock(state_mu_);
   return dynamics_.InsertPolicy(std::move(policy));
 }
 
@@ -83,17 +84,32 @@ Status SieveMiddleware::set_options(const SieveOptions& options) {
         StrFormat("batch_size must be >= 0 (0 = adaptive), got %d",
                   options.batch_size));
   }
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (options.audit_max_rows < 0) {
+    return Status::InvalidArgument(
+        StrFormat("audit_max_rows must be >= 0 (0 = unbounded), got %lld",
+                  static_cast<long long>(options.audit_max_rows)));
+  }
+  std::unique_lock<SharedGate> lock(state_mu_);
   options_ = options;
   dynamics_.set_mode(options.regeneration_mode);
+  audit_log_.set_max_table_rows(static_cast<size_t>(options.audit_max_rows));
   return Status::OK();
+}
+
+bool SieveMiddleware::IsKnownSubject(const QueryMetadata& md) const {
+  // Shared: only reads the corpus, but must not observe a torn mutation.
+  std::shared_lock<SharedGate> lock(state_mu_);
+  for (const Policy& p : policies_.policies()) {
+    if (GrantMatchesMetadata(p.querier, p.purpose, md, resolver_)) return true;
+  }
+  return false;
 }
 
 Status SieveMiddleware::FlushAuditLog() {
   // Exclusive: Flush inserts into the sieve_audit engine table, which must
   // not interleave with executions scanning it (same contract as policy
   // catalog mutations).
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  std::unique_lock<SharedGate> lock(state_mu_);
   return audit_log_.Flush();
 }
 
@@ -102,7 +118,7 @@ Result<RewriteResult> SieveMiddleware::Rewrite(const std::string& sql,
   // Exclusive: rewriting may regenerate outdated guards (a GuardStore
   // mutation), which must not run concurrently with executions reading
   // guard state through the Δ UDF.
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  std::unique_lock<SharedGate> lock(state_mu_);
   return rewriter_.RewriteSql(sql, md);
 }
 
@@ -119,7 +135,7 @@ Result<ResultSet> SieveMiddleware::ExecuteReference(const std::string& sql,
   // contract as the Sieve path, so differential tests compare like with
   // like). Intentionally skips dynamics_.ObserveQuery(): the oracle must
   // not perturb the r_pq bookkeeping of the workload under test.
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::shared_lock<SharedGate> lock(state_mu_);
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(sql));
   SelectStmtPtr rewritten = stmt->Clone();
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
+#include "common/shared_gate.h"
 #include "engine/database.h"
 #include "policy/policy_store.h"
 #include "sieve/audit_log.h"
@@ -51,6 +51,25 @@ struct SieveOptions {
   /// the queryable `sieve_audit` table). Off saves the per-execution
   /// bookkeeping for microbenchmarks.
   bool audit_log = true;
+  /// Retention bound on the queryable `sieve_audit` table: when a flush
+  /// leaves more than this many live rows, the oldest rows (lowest seq)
+  /// are truncated first until the bound holds. 0 (the default) keeps the
+  /// table unbounded — the pre-retention behavior. Must be >= 0; truncated
+  /// rows are counted in AuditLog::truncated().
+  int64_t audit_max_rows = 0;
+};
+
+/// One-stop health snapshot for operational surfaces (the server STATS
+/// command, bench metadata): rewrite-cache behavior, audit-log pressure
+/// and the policy epoch, read from their leaf-locked counters without
+/// touching the state gate.
+struct MiddlewareHealth {
+  RewriteCacheStats cache;
+  size_t audit_pending = 0;       ///< records appended, not yet flushed
+  uint64_t audit_dropped = 0;     ///< pending-ring overflow losses
+  int64_t audit_total = 0;        ///< records ever appended
+  uint64_t audit_truncated = 0;   ///< sieve_audit rows removed by retention
+  uint64_t policy_epoch = 0;
 };
 
 /// The Sieve middleware facade (Section 5): intercepts queries, rewrites
@@ -98,6 +117,9 @@ class SieveMiddleware {
         rewriter_(db, &policies_, &guards_, &cost_, resolver),
         dynamics_(db, &policies_, &guards_, &cost_, resolver),
         audit_log_(db) {
+    audit_log_.set_max_table_rows(
+        options_.audit_max_rows < 0 ? 0
+                                    : static_cast<size_t>(options_.audit_max_rows));
     RegisterInvalidationListeners();
   }
 
@@ -150,6 +172,28 @@ class SieveMiddleware {
     return rewrite_cache_.stats();
   }
 
+  /// Health snapshot (cache + audit counters + epoch) for operational
+  /// surfaces. Lock-light: reads leaf-locked counters only, safe to call
+  /// from any thread at any time (server STATS, bench metadata).
+  MiddlewareHealth Health() const {
+    MiddlewareHealth h;
+    h.cache = rewrite_cache_.stats();
+    h.audit_pending = audit_log_.pending();
+    h.audit_dropped = audit_log_.dropped();
+    h.audit_total = audit_log_.total_appended();
+    h.audit_truncated = audit_log_.truncated();
+    h.policy_epoch = policy_epoch();
+    return h;
+  }
+
+  /// True when (querier, purpose) is a subject of the policy corpus: some
+  /// policy's grant reaches this metadata directly or through group
+  /// membership — the same GrantMatchesMetadata semantics the rewriter and
+  /// keyed invalidation use, so authentication and enforcement can never
+  /// disagree about who a policy addresses. Takes the state gate shared
+  /// (the server's HELLO check runs on the general lane).
+  bool IsKnownSubject(const QueryMetadata& md) const;
+
   /// The shared prepared-rewrite cache (benches/tests: Clear() emulates
   /// wholesale invalidation for comparison runs).
   RewriteCache& rewrite_cache() { return rewrite_cache_; }
@@ -196,8 +240,12 @@ class SieveMiddleware {
   RewriteCache rewrite_cache_;
   AuditLog audit_log_;
   /// Readers: executions and open cursors. Writers: policy/guard/options
-  /// mutations and cache-miss rewrites. See the class comment.
-  mutable std::shared_mutex state_mu_;
+  /// mutations and cache-miss rewrites. See the class comment. A
+  /// SharedGate (not a shared_mutex) so a cursor's pin can be released
+  /// from a different thread than acquired it — the server multiplexes
+  /// one connection's requests across workers and tears connections down
+  /// from its reaper path.
+  mutable SharedGate state_mu_;
 };
 
 }  // namespace sieve

@@ -51,7 +51,7 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
   // Authoritative path: the writer lock both excludes policy mutations and
   // allows EnsureGuards to regenerate outdated guards (a GuardStore
   // mutation) while no query is executing.
-  std::unique_lock<std::shared_mutex> lock(mw->state_mu_);
+  std::unique_lock<SharedGate> lock(mw->state_mu_);
   if (auto hit = mw->rewrite_cache_.Lookup(key)) {
     return hit;
   }
@@ -154,7 +154,7 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
   SIEVE_RETURN_IF_ERROR(MaybeFlushAuditReads());
   for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
-      std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
+      std::shared_lock<SharedGate> lock(mw_->state_mu_);
       // Keyed invalidation: only a mutation touching one of *this*
       // rewrite's dependency keys marks it stale — unrelated AddPolicy
       // churn leaves the snapshot valid and execution proceeds.
@@ -194,7 +194,7 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
   SIEVE_RETURN_IF_ERROR(MaybeFlushAuditReads());
   for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
-      std::shared_lock<std::shared_mutex> lock(mw_->state_mu_);
+      std::shared_lock<SharedGate> lock(mw_->state_mu_);
       if (!rewrite_->stale()) {
         SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr bound,
                                BindTemplate(*rewrite_, params));

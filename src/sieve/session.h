@@ -24,14 +24,17 @@ namespace sieve {
 /// whichever comes first — so a finished cursor may outlive its scope
 /// without blocking writers.
 ///
-/// IMPORTANT — while a cursor is live (opened, not yet finished), the
-/// owning thread must not call back into the middleware: no Prepare of
-/// new SQL (a cache miss takes the state lock exclusively → self-
-/// deadlock), no AddPolicy/set_options, and no concurrent Execute or
-/// second cursor (recursive shared acquisition of the state lock is
-/// undefined). Drain the cursor or Close() it first; interleaving work
-/// belongs in a different thread's session. Single-threaded like the
-/// session that produced it; movable.
+/// IMPORTANT — while a cursor is live (opened, not yet finished), its
+/// owner must not call back into the middleware: no Prepare of new SQL
+/// (a cache miss takes the state lock exclusively and would wait forever
+/// on this cursor's own pin), no AddPolicy/set_options, and no concurrent
+/// Execute or second cursor (recursive shared acquisition of the state
+/// gate deadlocks once a writer queues). Drain the cursor or Close() it
+/// first; interleaving work belongs in a different session. Use from one
+/// thread at a time, but not thread-affine: the pin is a SharedGate
+/// token, so a cursor may be handed between threads (opened by one server
+/// worker, fetched by another, torn down by the reaper) — exactly what
+/// the network front-end does. Movable.
 class ResultCursor {
  public:
   static constexpr size_t kDefaultBatchRows = 1024;
@@ -88,7 +91,7 @@ class ResultCursor {
 
  private:
   friend class PreparedQuery;
-  ResultCursor(std::shared_lock<std::shared_mutex> epoch_lock,
+  ResultCursor(std::shared_lock<SharedGate> epoch_lock,
                std::unique_ptr<QueryMetadata> metadata, SelectStmtPtr bound,
                std::unique_ptr<QueryCursor> cursor, AuditLog* audit,
                std::unique_ptr<AuditRecord> audit_record)
@@ -115,7 +118,7 @@ class ResultCursor {
     if (epoch_lock_.owns_lock()) epoch_lock_.unlock();
   }
 
-  std::shared_lock<std::shared_mutex> epoch_lock_;  // pins the policy epoch
+  std::shared_lock<SharedGate> epoch_lock_;  // pins the policy epoch
   std::unique_ptr<QueryMetadata> metadata_;         // referenced by cursor_
   SelectStmtPtr bound_stmt_;                        // keeps the plan's source alive
   std::unique_ptr<QueryCursor> cursor_;

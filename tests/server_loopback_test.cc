@@ -1,0 +1,187 @@
+// Loopback equivalence: results fetched over the wire protocol must be
+// row-identical (values and order) to the same query executed through an
+// in-process SieveSession — for materialized EXECUTE and for the chunked
+// cursor path, across the equivalence-sweep query shapes (scans, set
+// operations, joins, aggregates, parameter bindings) and both engine
+// profiles.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/server_test_util.h"
+
+namespace sieve::server {
+namespace {
+
+struct ShapedQuery {
+  const char* label;
+  const char* sql;
+  std::vector<Value> params;
+};
+
+std::vector<ShapedQuery> EquivalenceShapes() {
+  return {
+      {"full_scan", "SELECT id, wifiAP, owner, ts_time FROM wifi", {}},
+      {"pred_scan",
+       "SELECT id, owner FROM wifi WHERE ts_time >= ? AND ts_time <= ?",
+       {Value::Time(8 * 3600), Value::Time(15 * 3600)}},
+      {"point_param", "SELECT id FROM wifi WHERE wifiAP = ?",
+       {Value::Int(3)}},
+      {"union_all",
+       "SELECT id, owner FROM wifi WHERE wifiAP = 0 UNION ALL "
+       "SELECT id, owner FROM wifi WHERE wifiAP = 1",
+       {}},
+      {"union_dedup",
+       "SELECT owner FROM wifi WHERE wifiAP = 0 UNION "
+       "SELECT owner FROM wifi WHERE wifiAP = 1",
+       {}},
+      {"except",
+       "SELECT id FROM wifi WHERE ts_time >= 28800 EXCEPT "
+       "SELECT id FROM wifi WHERE wifiAP = 2",
+       {}},
+      {"join",
+       "SELECT w.id, a.building FROM wifi w, aps a WHERE w.wifiAP = a.ap "
+       "AND w.ts_time >= 32400",
+       {}},
+      {"group_agg",
+       "SELECT owner, COUNT(*), MIN(ts_time), MAX(ts_time) FROM wifi "
+       "GROUP BY owner",
+       {}},
+      {"global_agg", "SELECT COUNT(*), SUM(owner), AVG(owner) FROM wifi", {}},
+  };
+}
+
+void ExpectRowsEqual(const std::vector<Row>& got,
+                     const std::vector<Row>& expected, const char* label,
+                     const char* path) {
+  ASSERT_EQ(got.size(), expected.size()) << label << " (" << path << ")";
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), expected[i].size())
+        << label << " (" << path << ") row " << i;
+    for (size_t j = 0; j < got[i].size(); ++j) {
+      EXPECT_EQ(got[i][j], expected[i][j])
+          << label << " (" << path << ") row " << i << " col " << j;
+    }
+  }
+}
+
+void RunEquivalenceSweep(EngineProfile profile) {
+  ServerHarness h({}, profile);
+  auto wire = h.Client("tok-alice");
+  SieveSession session(&h.mw(), MakeMd("alice", "any"));
+
+  for (const ShapedQuery& q : EquivalenceShapes()) {
+    SCOPED_TRACE(q.label);
+    auto prepared = session.Prepare(q.sql);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    auto expected = prepared->Execute(q.params);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    auto stmt = wire->Prepare(q.sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    EXPECT_EQ(stmt->parameter_count, q.params.size());
+
+    // Materialized path.
+    auto materialized = wire->Execute(stmt->id, q.params);
+    ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+    EXPECT_TRUE(materialized->done);
+    EXPECT_EQ(materialized->cursor_id, 0u);
+    ASSERT_EQ(materialized->columns.size(),
+              expected->schema.num_columns());
+    for (size_t i = 0; i < materialized->columns.size(); ++i) {
+      EXPECT_EQ(materialized->columns[i].first,
+                expected->schema.column(i).name);
+      EXPECT_EQ(materialized->columns[i].second,
+                expected->schema.column(i).type);
+    }
+    ExpectRowsEqual(materialized->rows, expected->rows, q.label,
+                    "materialized");
+
+    // Chunked cursor path (a chunk size that never divides evenly).
+    auto chunk = wire->Execute(stmt->id, q.params, /*chunk_rows=*/13);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    std::vector<Row> streamed = chunk->rows;
+    while (!chunk->done) {
+      auto next = wire->Fetch(chunk->cursor_id, 13);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      streamed.insert(streamed.end(), next->rows.begin(), next->rows.end());
+      chunk->done = next->done;
+    }
+    ExpectRowsEqual(streamed, expected->rows, q.label, "cursor");
+
+    ASSERT_TRUE(wire->CloseStmt(stmt->id).ok());
+  }
+}
+
+TEST(ServerLoopbackTest, WireMatchesInProcessMySqlLike) {
+  RunEquivalenceSweep(EngineProfile::MySqlLike());
+}
+
+TEST(ServerLoopbackTest, WireMatchesInProcessPostgresLike) {
+  RunEquivalenceSweep(EngineProfile::PostgresLike());
+}
+
+TEST(ServerLoopbackTest, EveryCampusIdentitySeesItsOwnRows) {
+  ServerHarness h;
+  struct Expectation {
+    const char* token;
+    int64_t distinct_owners;
+  };
+  // alice: owners 0..4; bob: owner 5; carol (via students): owner 6.
+  for (const Expectation& e : {Expectation{"tok-alice", 5},
+                               Expectation{"tok-bob", 1},
+                               Expectation{"tok-carol", 1}}) {
+    SCOPED_TRACE(e.token);
+    auto c = h.Client(e.token);
+    auto stmt = c->Prepare("SELECT owner FROM wifi GROUP BY owner");
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto res = c->Execute(stmt->id);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(static_cast<int64_t>(res->rows.size()), e.distinct_owners);
+  }
+}
+
+TEST(ServerLoopbackTest, ManyConnectionsFewWorkersAllComplete) {
+  // 24 concurrent connections multiplexed onto 3 workers: every querier
+  // gets exact results (session-pool multiplexing correctness, small-
+  // scale version of the closed-loop bench).
+  ServerOptions opts;
+  opts.num_workers = 3;
+  ServerHarness h(opts);
+  constexpr int kClients = 24;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&h, &failures, i] {
+      SieveClient c;
+      if (!c.Connect("127.0.0.1", h.port()).ok() ||
+          !c.Hello("tok-alice").ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto stmt = c.Prepare("SELECT COUNT(*) FROM wifi WHERE owner = ?");
+      if (!stmt.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int iter = 0; iter < 10; ++iter) {
+        auto res = c.Execute(stmt->id, {Value::Int((i + iter) % 5)});
+        if (!res.ok() || res->rows.size() != 1 ||
+            !(res->rows[0][0] == Value::Int(60))) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(h.server().stats().queries_executed,
+            static_cast<uint64_t>(kClients * 10));
+}
+
+}  // namespace
+}  // namespace sieve::server

@@ -1,0 +1,112 @@
+#ifndef SIEVE_TESTS_SERVER_TEST_UTIL_H_
+#define SIEVE_TESTS_SERVER_TEST_UTIL_H_
+
+// Shared harness for the network front-end tests: a MiniCampus dataset
+// behind a SieveMiddleware, a token registry with one token per campus
+// identity, and a loopback SieveServer on an ephemeral port.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "sieve/middleware.h"
+#include "tests/test_fixtures.h"
+
+namespace sieve::server {
+
+/// Grants used across the server tests:
+///   alice  — owners 0..4, any purpose (sees 300 of 600 wifi rows);
+///   bob    — owner 5, Analytics only;
+///   carol  — via the `students` group, owner 6, Social.
+inline void AddCampusPolicies(MiniCampus* campus, SieveMiddleware* mw) {
+  for (int owner = 0; owner < 5; ++owner) {
+    ASSERT_TRUE(mw->AddPolicy(campus->MakePolicy(owner, "alice", "any")).ok());
+  }
+  ASSERT_TRUE(mw->AddPolicy(campus->MakePolicy(5, "bob", "Analytics")).ok());
+  ASSERT_TRUE(
+      mw->AddPolicy(campus->MakePolicy(6, "students", "Social")).ok());
+}
+
+inline QueryMetadata MakeMd(const std::string& querier,
+                            const std::string& purpose) {
+  QueryMetadata md;
+  md.querier = querier;
+  md.purpose = purpose;
+  return md;
+}
+
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerOptions options = {},
+                         EngineProfile profile = EngineProfile::MySqlLike(),
+                         SieveOptions sieve_options = {})
+      : campus_(profile) {
+    mw_ = std::make_unique<SieveMiddleware>(&campus_.db(), &campus_.groups(),
+                                            sieve_options);
+    EXPECT_TRUE(mw_->Init().ok());
+    AddCampusPolicies(&campus_, mw_.get());
+    auth_.RegisterToken("tok-alice", MakeMd("alice", "any"));
+    auth_.RegisterToken("tok-bob", MakeMd("bob", "Analytics"));
+    auth_.RegisterToken("tok-carol", MakeMd("carol", "Social"));
+    server_ = std::make_unique<SieveServer>(mw_.get(), &auth_, options);
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  ~ServerHarness() { server_->Stop(); }
+
+  MiniCampus& campus() { return campus_; }
+  SieveMiddleware& mw() { return *mw_; }
+  AuthRegistry& auth() { return auth_; }
+  SieveServer& server() { return *server_; }
+  uint16_t port() const { return server_->port(); }
+
+  /// A connected + authenticated client, failing the test on error.
+  std::unique_ptr<SieveClient> Client(const std::string& token) {
+    auto c = std::make_unique<SieveClient>();
+    EXPECT_TRUE(c->Connect("127.0.0.1", port()).ok());
+    auto md = c->Hello(token);
+    EXPECT_TRUE(md.ok()) << md.status().ToString();
+    return c;
+  }
+
+ private:
+  MiniCampus campus_;
+  std::unique_ptr<SieveMiddleware> mw_;
+  AuthRegistry auth_;
+  std::unique_ptr<SieveServer> server_;
+};
+
+/// Raw blocking TCP connection for protocol-level (mis)behavior tests.
+inline int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Sends raw bytes (not necessarily a whole frame).
+inline void RawSend(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace sieve::server
+
+#endif  // SIEVE_TESTS_SERVER_TEST_UTIL_H_
