@@ -1,0 +1,221 @@
+#include "common/fault_injection.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace sieve {
+
+std::atomic<int> FaultInjector::armed_count_{0};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point,
+                        const FaultTrigger& trigger) {
+  if (trigger.mode == FaultTrigger::Mode::kOff) {
+    Disarm(point);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(point);
+  it->second.trigger = trigger;
+  it->second.rng = Rng(trigger.seed);
+  it->second.hits = 0;
+  it->second.fires = 0;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFire(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& st = it->second;
+  ++st.hits;
+  bool fire = false;
+  switch (st.trigger.mode) {
+    case FaultTrigger::Mode::kOff:
+      break;
+    case FaultTrigger::Mode::kAlways:
+      fire = true;
+      break;
+    case FaultTrigger::Mode::kProbability:
+      fire = st.rng.Chance(st.trigger.probability);
+      break;
+    case FaultTrigger::Mode::kNth:
+      fire = st.hits == st.trigger.n;
+      break;
+    case FaultTrigger::Mode::kEveryNth:
+      fire = st.trigger.n > 0 && st.hits % st.trigger.n == 0;
+      break;
+    case FaultTrigger::Mode::kFromNth:
+      fire = st.hits >= st.trigger.n;
+      break;
+    case FaultTrigger::Mode::kRange:
+      fire = st.hits >= st.trigger.first && st.hits <= st.trigger.last;
+      break;
+  }
+  if (fire) ++st.fires;
+  return fire;
+}
+
+FaultPointStats FaultInjector::stats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::vector<std::string> FaultInjector::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, st] : points_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string Strip(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+/// trigger := off | always | prob:P[:seed] | nth:N | every:N | from:N
+///          | range:A-B
+Status ParseTrigger(const std::string& text, FaultTrigger* out) {
+  std::string kind = text;
+  std::string args;
+  size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    kind = text.substr(0, colon);
+    args = text.substr(colon + 1);
+  }
+  if (kind == "off") {
+    *out = FaultTrigger::Off();
+    return Status::OK();
+  }
+  if (kind == "always") {
+    *out = FaultTrigger::Always();
+    return Status::OK();
+  }
+  if (kind == "prob") {
+    std::string p_text = args;
+    uint64_t seed = 42;
+    size_t c2 = args.find(':');
+    if (c2 != std::string::npos) {
+      p_text = args.substr(0, c2);
+      if (!ParseU64(args.substr(c2 + 1), &seed)) {
+        return Status::InvalidArgument("fault spec: bad prob seed in '" +
+                                       text + "'");
+      }
+    }
+    double p = 0.0;
+    if (!ParseDouble(p_text, &p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "fault spec: prob wants a probability in [0,1], got '" + text + "'");
+    }
+    *out = FaultTrigger::Probability(p, seed);
+    return Status::OK();
+  }
+  uint64_t n = 0;
+  if (kind == "nth" || kind == "every" || kind == "from") {
+    if (!ParseU64(args, &n) || n == 0) {
+      return Status::InvalidArgument("fault spec: '" + kind +
+                                     "' wants a positive count, got '" + text +
+                                     "'");
+    }
+    if (kind == "nth") *out = FaultTrigger::Nth(n);
+    if (kind == "every") *out = FaultTrigger::EveryNth(n);
+    if (kind == "from") *out = FaultTrigger::FromNth(n);
+    return Status::OK();
+  }
+  if (kind == "range") {
+    size_t dash = args.find('-');
+    uint64_t a = 0, b = 0;
+    if (dash == std::string::npos || !ParseU64(args.substr(0, dash), &a) ||
+        !ParseU64(args.substr(dash + 1), &b) || a == 0 || b < a) {
+      return Status::InvalidArgument(
+          "fault spec: range wants A-B with 1 <= A <= B, got '" + text + "'");
+    }
+    *out = FaultTrigger::Range(a, b);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("fault spec: unknown trigger '" + text + "'");
+}
+
+}  // namespace
+
+Status FaultInjector::LoadSpec(const std::string& spec) {
+  // Parse everything first so a malformed entry arms nothing.
+  std::vector<std::pair<std::string, FaultTrigger>> parsed;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t semi = spec.find(';', start);
+    std::string entry = Strip(
+        semi == std::string::npos ? spec.substr(start)
+                                  : spec.substr(start, semi - start));
+    start = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault spec: entry '" + entry + "' lacks '=' (want point=trigger)");
+    }
+    std::string point = Strip(entry.substr(0, eq));
+    if (point.empty()) {
+      return Status::InvalidArgument("fault spec: empty point name in '" +
+                                     entry + "'");
+    }
+    FaultTrigger trigger;
+    SIEVE_RETURN_IF_ERROR(ParseTrigger(Strip(entry.substr(eq + 1)), &trigger));
+    parsed.emplace_back(std::move(point), trigger);
+  }
+  for (const auto& [point, trigger] : parsed) Arm(point, trigger);
+  return Status::OK();
+}
+
+Status FaultInjector::LoadFromEnv(const char* var) {
+  const char* spec = std::getenv(var);
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return LoadSpec(spec);
+}
+
+}  // namespace sieve

@@ -1,0 +1,223 @@
+#ifndef SIEVE_COMMON_FAULT_INJECTION_H_
+#define SIEVE_COMMON_FAULT_INJECTION_H_
+
+/// Deterministic fault injection.
+///
+/// Code under test declares *fault points* — named places where a failure
+/// can be simulated — with the SIEVE_FAULT_POINT macro:
+///
+///   if (SIEVE_FAULT_POINT("mw.rewrite.fail")) {
+///     return SIEVE_INJECT_FAULT("mw.rewrite.fail");
+///   }
+///
+/// Tests (or an operator, via the SIEVE_FAULT_SPEC environment variable)
+/// arm points on the process-wide registry with a trigger that decides,
+/// per hit, whether the fault fires:
+///
+///   FaultInjector::Instance().Arm("mw.rewrite.fail", FaultTrigger::Nth(3));
+///
+/// Trigger kinds (all deterministic given the same hit sequence):
+///   Off            never fires (same as not armed)
+///   Always         fires on every hit
+///   Probability    fires with probability p, seeded PRNG per point
+///   Nth            fires exactly once, on the Nth hit (1-based)
+///   EveryNth       fires on every Nth hit (N, 2N, 3N, ...)
+///   FromNth        fires on hit N and every hit after it
+///   Range          fires on hits [A, B] inclusive (1-based)
+///
+/// Spec string syntax (used by LoadSpec / the SIEVE_FAULT_SPEC env var):
+///   point=trigger[;point=trigger...]
+/// with trigger one of
+///   off | always | prob:P[:seed] | nth:N | every:N | from:N | range:A-B
+/// e.g.  SIEVE_FAULT_SPEC="server.io.short_read=prob:0.2:7;mw.audit_flush.fail=nth:1"
+///
+/// The disarmed fast path is one relaxed atomic load (no lock, no map
+/// lookup), so fault points are cheap enough for per-batch hot paths.
+/// Defining SIEVE_FAULT_INJECTION_DISABLED (CMake option SIEVE_FAULT_INJECTION=OFF)
+/// compiles every fault point to a constant false.
+///
+/// Catalog of points wired through the tree (see ARCHITECTURE.md,
+/// "Failure model & graceful degradation", for what each one simulates):
+///   server.accept.fail      accepted connection dropped immediately
+///   server.io.read_eintr    recv interrupted (EINTR)
+///   server.io.short_read    recv clamped to one byte (frame reassembly)
+///   server.io.disconnect    peer vanishes mid-frame (recv -> 0)
+///   server.io.write_short   send clamped to one byte (partial write loop)
+///   server.io.write_error   send fails hard (simulated EPIPE)
+///   server.worker.stall     worker sleeps 1ms before serving a request
+///   pool.task.stall         thread-pool morsel claim loop sleeps 1ms
+///   mw.rewrite.fail         cache-miss rewrite fails under the state gate
+///   mw.guard_regen.fail     guard regeneration fails on outdated guards
+///   mw.audit_flush.fail     audit ring flush fails (records -> unflushed)
+///   exec.morsel.fail        one morsel of a parallel batch fails
+///   exec.interrupt          CheckTimeout reports an execution error
+///   exec.stall              CheckTimeout sleeps 1ms (slows queries so
+///                           deadline tests are deterministic)
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sieve {
+
+/// Decides, per hit of a fault point, whether the fault fires.
+struct FaultTrigger {
+  enum class Mode : uint8_t {
+    kOff,
+    kAlways,
+    kProbability,
+    kNth,
+    kEveryNth,
+    kFromNth,
+    kRange,
+  };
+
+  Mode mode = Mode::kOff;
+  double probability = 0.0;  // kProbability
+  uint64_t seed = 0;         // kProbability PRNG seed
+  uint64_t n = 0;            // kNth / kEveryNth / kFromNth
+  uint64_t first = 0;        // kRange: first firing hit (1-based)
+  uint64_t last = 0;         // kRange: last firing hit (inclusive)
+
+  static FaultTrigger Off() { return {}; }
+  static FaultTrigger Always() {
+    FaultTrigger t;
+    t.mode = Mode::kAlways;
+    return t;
+  }
+  static FaultTrigger Probability(double p, uint64_t seed = 42) {
+    FaultTrigger t;
+    t.mode = Mode::kProbability;
+    t.probability = p;
+    t.seed = seed;
+    return t;
+  }
+  /// Fires exactly once, on the nth hit (1-based).
+  static FaultTrigger Nth(uint64_t n) {
+    FaultTrigger t;
+    t.mode = Mode::kNth;
+    t.n = n;
+    return t;
+  }
+  static FaultTrigger EveryNth(uint64_t n) {
+    FaultTrigger t;
+    t.mode = Mode::kEveryNth;
+    t.n = n;
+    return t;
+  }
+  /// Fires on hit n and every hit after it.
+  static FaultTrigger FromNth(uint64_t n) {
+    FaultTrigger t;
+    t.mode = Mode::kFromNth;
+    t.n = n;
+    return t;
+  }
+  /// Fires on hits [first, last] inclusive (1-based).
+  static FaultTrigger Range(uint64_t first, uint64_t last) {
+    FaultTrigger t;
+    t.mode = Mode::kRange;
+    t.first = first;
+    t.last = last;
+    return t;
+  }
+};
+
+/// Hit/fire counters of one armed fault point.
+struct FaultPointStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// Process-wide fault-point registry. Thread-safe; a single instance
+/// lives for the life of the process.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// True when at least one point is armed — the macro fast path. A
+  /// relaxed load: a racing Arm() may be missed for a few hits, which is
+  /// fine (tests arm before starting traffic).
+  static bool Enabled() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms) a point. Re-arming resets its hit/fire counters
+  /// and, for probabilistic triggers, reseeds the PRNG. Arming with
+  /// Mode::kOff is equivalent to Disarm.
+  void Arm(const std::string& point, const FaultTrigger& trigger);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Parses a `point=trigger[;point=trigger...]` spec (syntax above) and
+  /// arms every entry. On a malformed entry nothing is armed and an
+  /// InvalidArgument status names the offending token.
+  Status LoadSpec(const std::string& spec);
+
+  /// Loads the spec from an environment variable (default
+  /// SIEVE_FAULT_SPEC). Unset or empty is a no-op OK.
+  Status LoadFromEnv(const char* var = "SIEVE_FAULT_SPEC");
+
+  /// Called by SIEVE_FAULT_POINT when Enabled(): counts a hit of `point`
+  /// and returns whether the fault fires. Unarmed points return false
+  /// without recording anything.
+  bool ShouldFire(const char* point);
+
+  /// Counters of an armed point ({0,0} if not armed).
+  FaultPointStats stats(const std::string& point) const;
+  std::vector<std::string> ArmedPoints() const;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultTrigger trigger;
+    Rng rng{0};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  static std::atomic<int> armed_count_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+/// Arms a point for the lifetime of a scope (test helper).
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, const FaultTrigger& trigger)
+      : point_(std::move(point)) {
+    FaultInjector::Instance().Arm(point_, trigger);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace sieve
+
+#ifdef SIEVE_FAULT_INJECTION_DISABLED
+#define SIEVE_FAULT_POINT(name) (false)
+#else
+#define SIEVE_FAULT_POINT(name)             \
+  (::sieve::FaultInjector::Enabled() &&     \
+   ::sieve::FaultInjector::Instance().ShouldFire(name))
+#endif
+
+/// The canonical status returned by a firing fault point.
+#define SIEVE_INJECT_FAULT(name) \
+  ::sieve::Status::ExecutionError("injected fault: " name)
+
+#endif  // SIEVE_COMMON_FAULT_INJECTION_H_

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+
+#include "common/fault_injection.h"
 
 namespace sieve {
 
@@ -91,6 +94,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     while (true) {
       size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      // Chaos knob: delays a claimed index before it runs, perturbing the
+      // dynamic morsel schedule (a slow worker, a descheduled thread).
+      if (SIEVE_FAULT_POINT("pool.task.stall")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       std::exception_ptr error;
       try {
         (*fn_ptr)(i);

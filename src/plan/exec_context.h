@@ -2,14 +2,17 @@
 #define SIEVE_PLAN_EXEC_CONTEXT_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/exec_stats.h"
+#include "common/fault_injection.h"
 #include "common/metadata.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -133,6 +136,15 @@ struct ExecContext {
   Status CheckTimeout() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return Status::Timeout("query cancelled: a sibling partition failed");
+    }
+    // exec.stall slows the query down (1ms per check) so deadline tests can
+    // force a timeout deterministically; exec.interrupt simulates an engine
+    // failure surfacing mid-execution (including mid-cursor).
+    if (SIEVE_FAULT_POINT("exec.stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (SIEVE_FAULT_POINT("exec.interrupt")) {
+      return SIEVE_INJECT_FAULT("exec.interrupt");
     }
     if (timeout_seconds > 0.0 && timer.ElapsedSeconds() > timeout_seconds) {
       return Status::Timeout("query exceeded timeout");

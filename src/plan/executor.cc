@@ -113,19 +113,25 @@ Status RunWorkers(ExecContext* ctx, size_t n,
   ctx->pool->ParallelFor(n, [&](size_t i) {
     ExecContext worker = ctx->MakeWorkerContext(&worker_stats[i], cancel);
     Status st;
-    try {
-      st = body(i, &worker);
-    } catch (const std::exception& e) {
-      // A throwing worker (a UDF raising, bad_alloc mid-drain) fails the
-      // query like any erroring partition: convert to a Status naming the
-      // partition and let the first-error selection below pick the winner
-      // deterministically, instead of the exception unwinding past the
-      // sibling workers' barrier.
-      st = Status::ExecutionError(
-          StrFormat("partition worker %zu threw: %s", i, e.what()));
-    } catch (...) {
-      st = Status::ExecutionError(
-          StrFormat("partition worker %zu threw an unknown exception", i));
+    if (SIEVE_FAULT_POINT("exec.morsel.fail")) {
+      // Fails this morsel before it runs; flows through the same
+      // first-error/cancellation path as a genuine partition failure.
+      st = SIEVE_INJECT_FAULT("exec.morsel.fail");
+    } else {
+      try {
+        st = body(i, &worker);
+      } catch (const std::exception& e) {
+        // A throwing worker (a UDF raising, bad_alloc mid-drain) fails the
+        // query like any erroring partition: convert to a Status naming the
+        // partition and let the first-error selection below pick the winner
+        // deterministically, instead of the exception unwinding past the
+        // sibling workers' barrier.
+        st = Status::ExecutionError(
+            StrFormat("partition worker %zu threw: %s", i, e.what()));
+      } catch (...) {
+        st = Status::ExecutionError(
+            StrFormat("partition worker %zu threw an unknown exception", i));
+      }
     }
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
@@ -273,6 +279,16 @@ Result<ResultSet> QueryCursor::Drain() {
 }
 
 double QueryCursor::elapsed_ms() const { return timer_.ElapsedMillis(); }
+
+void QueryCursor::TightenDeadline(double seconds_from_now) {
+  if (seconds_from_now <= 0.0) return;
+  // The timeout budget is measured from the shared timer epoch, so a
+  // deadline "seconds from now" converts to elapsed-so-far + budget.
+  double budget = ctx_.timer.ElapsedSeconds() + seconds_from_now;
+  if (ctx_.timeout_seconds <= 0.0 || budget < ctx_.timeout_seconds) {
+    ctx_.timeout_seconds = budget;
+  }
+}
 
 Status Executor::Materialize(Operator* root, ExecContext* ctx, Schema* schema,
                              std::vector<Row>* rows) {

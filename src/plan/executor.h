@@ -105,6 +105,13 @@ class QueryCursor {
   const ExecStats& stats() const { return stats_; }
   double elapsed_ms() const;
 
+  /// Shrinks the remaining time budget so the cursor times out at most
+  /// `seconds_from_now` from this call (measured on the cursor's shared
+  /// timer epoch). Only ever tightens: a budget longer than what is
+  /// already configured is ignored. Non-positive values are ignored.
+  /// Backs the per-FETCH wire deadline.
+  void TightenDeadline(double seconds_from_now);
+
  private:
   QueryCursor() = default;
 

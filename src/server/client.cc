@@ -8,12 +8,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "common/string_util.h"
 
 namespace sieve::server {
 
-Status SieveClient::Connect(const std::string& host, uint16_t port) {
-  if (fd_ >= 0) return Status::ExecutionError("already connected");
+Status SieveClient::ConnectFd() {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::ExecutionError(
@@ -21,23 +25,31 @@ Status SieveClient::Connect(const std::string& host, uint16_t port) {
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return Status::InvalidArgument(
-        StrFormat("invalid address '%s' (IPv4 only)", host.c_str()));
+        StrFormat("invalid address '%s' (IPv4 only)", host_.c_str()));
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status s = Status::ExecutionError(
-        StrFormat("connect to %s:%u failed: %s", host.c_str(),
-                  static_cast<unsigned>(port), strerror(errno)));
+        StrFormat("connect to %s:%u failed: %s", host_.c_str(),
+                  static_cast<unsigned>(port_), strerror(errno)));
     ::close(fd);
     return s;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  transport_error_ = false;
   return Status::OK();
+}
+
+Status SieveClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::ExecutionError("already connected");
+  host_ = host;
+  port_ = port;
+  return ConnectFd();
 }
 
 void SieveClient::Close() {
@@ -47,11 +59,59 @@ void SieveClient::Close() {
   }
 }
 
+void SieveClient::enable_retry(const RetryPolicy& policy) {
+  retry_enabled_ = true;
+  policy_ = policy;
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  rng_ = Rng(policy_.seed);
+}
+
+void SieveClient::Backoff(int attempt) {
+  double delay = policy_.initial_backoff_ms *
+                 std::pow(policy_.multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, policy_.max_backoff_ms);
+  double jitter = 1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  delay *= std::max(jitter, 0.0);
+  if (delay <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+}
+
+Status SieveClient::Reconnect() {
+  Close();
+  SIEVE_RETURN_IF_ERROR(ConnectFd());
+  ++reconnects_;
+  if (helloed_) {
+    Result<QueryMetadata> md = HelloOnce(token_);
+    if (!md.ok()) return md.status();
+  }
+  // Re-prepare every live handle so callers' statement ids keep working.
+  for (auto& [handle, entry] : prepared_) {
+    SIEVE_ASSIGN_OR_RETURN(WireStatement stmt, PrepareOnce(entry.sql));
+    entry.server_id = stmt.id;
+    entry.parameter_count = stmt.parameter_count;
+  }
+  return Status::OK();
+}
+
+bool SieveClient::RetryableWireError() const {
+  WireError we = static_cast<WireError>(last_wire_error_);
+  return we == WireError::kRateLimited || we == WireError::kTooManyInFlight;
+}
+
 Result<Frame> SieveClient::RoundTrip(MsgType type,
                                      const std::string& payload) {
-  if (fd_ < 0) return Status::ExecutionError("not connected");
-  SIEVE_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
-  return ReadFrame(fd_);
+  if (fd_ < 0) {
+    transport_error_ = true;
+    return Status::ExecutionError("not connected");
+  }
+  Status ws = WriteFrame(fd_, type, payload);
+  if (!ws.ok()) {
+    transport_error_ = true;
+    return ws;
+  }
+  Result<Frame> reply = ReadFrame(fd_);
+  if (!reply.ok()) transport_error_ = true;
+  return reply;
 }
 
 Status SieveClient::DecodeError(const Frame& f) {
@@ -68,6 +128,8 @@ Status SieveClient::DecodeError(const Frame& f) {
     case WireError::kAuthRequired:
     case WireError::kAuthFailed:
       return Status::AccessDenied(text);
+    case WireError::kDeadlineExceeded:
+      return Status::Timeout(text);
     default:
       return Status::ExecutionError(text);
   }
@@ -103,7 +165,7 @@ Result<WireResult> SieveClient::DecodeRows(const Frame& f) {
   return out;
 }
 
-Result<QueryMetadata> SieveClient::Hello(const std::string& token) {
+Result<QueryMetadata> SieveClient::HelloOnce(const std::string& token) {
   WireWriter w;
   w.PutU8(kProtocolVersion);
   w.PutString(token);
@@ -120,7 +182,38 @@ Result<QueryMetadata> SieveClient::Hello(const std::string& token) {
   return md;
 }
 
-Result<WireStatement> SieveClient::Prepare(const std::string& sql) {
+Result<QueryMetadata> SieveClient::Hello(const std::string& token) {
+  if (!retry_enabled_) return HelloOnce(token);
+  Result<QueryMetadata> md = Status::ExecutionError("retry attempts exhausted");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (transport_error_ || fd_ < 0) {
+      Close();
+      Status s = ConnectFd();
+      if (!s.ok()) {
+        ++reconnects_;
+        Backoff(attempt);
+        md = s;
+        continue;
+      }
+      ++reconnects_;
+    }
+    md = HelloOnce(token);
+    if (md.ok()) {
+      token_ = token;
+      helloed_ = true;
+      return md;
+    }
+    if (transport_error_) continue;  // reconnect on the next attempt
+    if (!RetryableWireError()) return md;
+    // The server kills the connection with most HELLO errors; rate
+    // limiting does not apply to HELLO, but stay uniform and back off.
+    Backoff(attempt);
+  }
+  return md;
+}
+
+Result<WireStatement> SieveClient::PrepareOnce(const std::string& sql) {
   WireWriter w;
   w.PutString(sql);
   SIEVE_ASSIGN_OR_RETURN(Frame reply,
@@ -137,14 +230,45 @@ Result<WireStatement> SieveClient::Prepare(const std::string& sql) {
   return stmt;
 }
 
-Result<WireResult> SieveClient::Execute(uint32_t stmt_id,
-                                        const std::vector<Value>& params,
-                                        uint32_t chunk_rows) {
+Result<WireStatement> SieveClient::Prepare(const std::string& sql) {
+  if (!retry_enabled_) return PrepareOnce(sql);
+  Result<WireStatement> stmt =
+      Status::ExecutionError("retry attempts exhausted");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (transport_error_ || fd_ < 0) {
+      Status s = Reconnect();
+      if (!s.ok()) {
+        Backoff(attempt);
+        stmt = s;
+        continue;
+      }
+    }
+    stmt = PrepareOnce(sql);
+    if (stmt.ok()) {
+      uint32_t handle = next_handle_++;
+      prepared_[handle] = {sql, stmt->id, stmt->parameter_count};
+      return WireStatement{handle, stmt->parameter_count};
+    }
+    if (transport_error_) continue;
+    if (!RetryableWireError()) return stmt;
+    Backoff(attempt);
+  }
+  return stmt;
+}
+
+Result<WireResult> SieveClient::ExecuteOnce(uint32_t server_stmt_id,
+                                            const std::vector<Value>& params,
+                                            uint32_t chunk_rows,
+                                            uint32_t deadline_ms) {
   WireWriter w;
-  w.PutU32(stmt_id);
+  w.PutU32(server_stmt_id);
   w.PutU32(chunk_rows);
   w.PutU16(static_cast<uint16_t>(params.size()));
   for (const Value& v : params) w.PutValue(v);
+  // Trailing optional field: omitted entirely when there is no deadline,
+  // so pre-deadline servers keep accepting our frames.
+  if (deadline_ms > 0) w.PutU32(deadline_ms);
   SIEVE_ASSIGN_OR_RETURN(Frame reply,
                          RoundTrip(MsgType::kExecute, w.payload()));
   if (reply.type == MsgType::kError) return DecodeError(reply);
@@ -156,10 +280,44 @@ Result<WireResult> SieveClient::Execute(uint32_t stmt_id,
   return out;
 }
 
-Result<WireResult> SieveClient::Fetch(uint32_t cursor_id, uint32_t max_rows) {
+Result<WireResult> SieveClient::Execute(uint32_t stmt_id,
+                                        const std::vector<Value>& params,
+                                        uint32_t chunk_rows,
+                                        uint32_t deadline_ms) {
+  if (!retry_enabled_) {
+    return ExecuteOnce(stmt_id, params, chunk_rows, deadline_ms);
+  }
+  auto it = prepared_.find(stmt_id);
+  if (it == prepared_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown statement handle %u", stmt_id));
+  }
+  Result<WireResult> out = Status::ExecutionError("retry attempts exhausted");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (transport_error_ || fd_ < 0) {
+      Status s = Reconnect();
+      if (!s.ok()) {
+        Backoff(attempt);
+        out = s;
+        continue;
+      }
+    }
+    out = ExecuteOnce(it->second.server_id, params, chunk_rows, deadline_ms);
+    if (out.ok()) return out;
+    if (transport_error_) continue;  // safe: every query is a SELECT
+    if (!RetryableWireError()) return out;
+    Backoff(attempt);
+  }
+  return out;
+}
+
+Result<WireResult> SieveClient::Fetch(uint32_t cursor_id, uint32_t max_rows,
+                                      uint32_t deadline_ms) {
   WireWriter w;
   w.PutU32(cursor_id);
   w.PutU32(max_rows);
+  if (deadline_ms > 0) w.PutU32(deadline_ms);
   SIEVE_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kFetch, w.payload()));
   if (reply.type == MsgType::kError) return DecodeError(reply);
   if (reply.type != MsgType::kRows) {
@@ -184,8 +342,20 @@ Status SieveClient::CloseCursor(uint32_t cursor_id) {
 }
 
 Status SieveClient::CloseStmt(uint32_t stmt_id) {
+  uint32_t server_id = stmt_id;
+  if (retry_enabled_) {
+    auto it = prepared_.find(stmt_id);
+    if (it == prepared_.end()) {
+      return Status::InvalidArgument(
+          StrFormat("unknown statement handle %u", stmt_id));
+    }
+    server_id = it->second.server_id;
+    // Drop the handle regardless of the outcome: a failed close leaves
+    // at worst a garbage server-side statement on a dying connection.
+    prepared_.erase(it);
+  }
   WireWriter w;
-  w.PutU32(stmt_id);
+  w.PutU32(server_id);
   SIEVE_ASSIGN_OR_RETURN(Frame reply,
                          RoundTrip(MsgType::kCloseStmt, w.payload()));
   if (reply.type == MsgType::kError) return DecodeError(reply);
@@ -197,14 +367,40 @@ Status SieveClient::CloseStmt(uint32_t stmt_id) {
 }
 
 Result<std::string> SieveClient::Stats() {
-  SIEVE_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kStats, {}));
-  if (reply.type == MsgType::kError) return DecodeError(reply);
-  if (reply.type != MsgType::kStatsOk) {
-    return Status::ExecutionError("unexpected reply to STATS");
+  Result<std::string> json = Status::ExecutionError("retry attempts exhausted");
+  int attempts = retry_enabled_ ? policy_.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (retry_enabled_ && (transport_error_ || fd_ < 0)) {
+      Status s = Reconnect();
+      if (!s.ok()) {
+        Backoff(attempt);
+        json = s;
+        continue;
+      }
+    }
+    Result<Frame> reply = RoundTrip(MsgType::kStats, {});
+    if (!reply.ok()) {
+      json = reply.status();
+      if (retry_enabled_ && transport_error_) continue;
+      return json;
+    }
+    if (reply->type == MsgType::kError) {
+      json = DecodeError(*reply);
+      if (retry_enabled_ && RetryableWireError()) {
+        Backoff(attempt);
+        continue;
+      }
+      return json;
+    }
+    if (reply->type != MsgType::kStatsOk) {
+      return Status::ExecutionError("unexpected reply to STATS");
+    }
+    WireReader rd(reply->payload);
+    SIEVE_ASSIGN_OR_RETURN(std::string out, rd.String());
+    last_wire_error_ = 0;
+    return out;
   }
-  WireReader rd(reply.payload);
-  SIEVE_ASSIGN_OR_RETURN(std::string json, rd.String());
-  last_wire_error_ = 0;
   return json;
 }
 

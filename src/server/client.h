@@ -4,15 +4,28 @@
 // Blocking reference client for the Sieve wire protocol: one TCP
 // connection, synchronous request/reply. It is the counterpart the
 // loopback tests, the closed-loop bench and the example speak through —
-// deliberately simple (no pipelining, no reconnect) so a transcript of
-// its calls reads like the protocol conversation itself.
+// deliberately simple (no pipelining) so a transcript of its calls reads
+// like the protocol conversation itself.
+//
+// Resilience is opt-in: enable_retry() turns on reconnect-and-retry with
+// capped exponential backoff and deterministic jitter for *idempotent*
+// requests (HELLO / PREPARE / EXECUTE / STATS — every query is a SELECT,
+// so re-running one is safe) and for RATE_LIMITED / TOO_MANY_IN_FLIGHT
+// replies. FETCH is never retried: a lost chunk cannot be re-pulled, the
+// caller must re-EXECUTE. SERVER_SHUTDOWN is never retried either — a
+// draining server wants its clients gone, not hammering. In retry mode
+// Prepare returns client-side statement handles that survive reconnects
+// (the client re-prepares transparently); without it, ids pass through
+// untranslated and behavior is exactly the historical one.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metadata.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "server/wire.h"
@@ -31,10 +44,25 @@ struct WireResult {
   bool done = true;
 };
 
-/// A prepared statement handle returned by Prepare.
+/// A prepared statement handle returned by Prepare. In retry mode the id
+/// is a client-side handle stable across reconnects; otherwise it is the
+/// server's statement id verbatim.
 struct WireStatement {
   uint32_t id = 0;
   uint16_t parameter_count = 0;
+};
+
+/// Reconnect/backoff tuning for enable_retry. Backoff for attempt k is
+/// min(initial_backoff_ms * multiplier^k, max_backoff_ms), scaled by a
+/// uniform jitter factor in [1 - jitter, 1 + jitter] drawn from a seeded
+/// PRNG (deterministic given the seed).
+struct RetryPolicy {
+  int max_attempts = 5;            ///< total tries per request (>= 1)
+  double initial_backoff_ms = 5.0;
+  double max_backoff_ms = 200.0;
+  double multiplier = 2.0;
+  double jitter = 0.25;            ///< fraction of the delay, [0, 1]
+  uint64_t seed = 42;              ///< jitter PRNG seed
 };
 
 class SieveClient {
@@ -56,14 +84,21 @@ class SieveClient {
   /// Executes with positional parameters. chunk_rows == 0 materializes
   /// the full result in one reply; chunk_rows > 0 opens a server-side
   /// cursor and returns the first chunk (continue with Fetch until
-  /// done). On a kError reply the wire code is retained in
-  /// last_wire_error() — RATE_LIMITED etc. are programmatically
-  /// distinguishable from execution failures.
+  /// done). deadline_ms > 0 attaches a per-request deadline: the server
+  /// aborts the execution cleanly with DEADLINE_EXCEEDED (surfaced as
+  /// kTimeout) once the budget is spent, leaving the connection usable.
+  /// On a kError reply the wire code is retained in last_wire_error() —
+  /// RATE_LIMITED etc. are programmatically distinguishable from
+  /// execution failures.
   Result<WireResult> Execute(uint32_t stmt_id,
                              const std::vector<Value>& params = {},
-                             uint32_t chunk_rows = 0);
+                             uint32_t chunk_rows = 0,
+                             uint32_t deadline_ms = 0);
 
-  Result<WireResult> Fetch(uint32_t cursor_id, uint32_t max_rows);
+  /// Pulls the next chunk. deadline_ms > 0 tightens the cursor's
+  /// remaining time budget. Never retried (see file comment).
+  Result<WireResult> Fetch(uint32_t cursor_id, uint32_t max_rows,
+                           uint32_t deadline_ms = 0);
 
   Status CloseCursor(uint32_t cursor_id);
   Status CloseStmt(uint32_t stmt_id);
@@ -78,19 +113,71 @@ class SieveClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Turns on reconnect-and-retry (see file comment). Call before the
+  /// first Prepare: statement ids handed out earlier are server ids and
+  /// will not survive a reconnect.
+  void enable_retry(const RetryPolicy& policy = {});
+
+  /// Times the transport was re-established (retry mode).
+  uint64_t reconnects() const { return reconnects_; }
+  /// Requests that needed more than one attempt (retry mode).
+  uint64_t retries() const { return retries_; }
+
   /// Wire error code of the most recent kError reply (undefined before
   /// the first error). Reset to 0 by each successful call.
   uint16_t last_wire_error() const { return last_wire_error_; }
 
  private:
-  /// Sends one frame and reads the reply frame.
+  /// Client-side view of one prepared statement (retry mode).
+  struct PreparedEntry {
+    std::string sql;
+    uint32_t server_id = 0;
+    uint16_t parameter_count = 0;
+  };
+
+  /// Sends one frame and reads the reply frame; records a transport
+  /// failure so the retry layer knows the connection is unusable.
   Result<Frame> RoundTrip(MsgType type, const std::string& payload);
   /// Decodes a kError reply into a Status, stashing the wire code.
   Status DecodeError(const Frame& f);
   Result<WireResult> DecodeRows(const Frame& f);
 
+  /// Single-attempt request bodies (shared by the plain and retry paths).
+  Result<QueryMetadata> HelloOnce(const std::string& token);
+  Result<WireStatement> PrepareOnce(const std::string& sql);
+  Result<WireResult> ExecuteOnce(uint32_t server_stmt_id,
+                                 const std::vector<Value>& params,
+                                 uint32_t chunk_rows, uint32_t deadline_ms);
+
+  /// True for kError replies worth a backoff-and-retry (RATE_LIMITED,
+  /// TOO_MANY_IN_FLIGHT). SERVER_SHUTDOWN and semantic errors are not.
+  bool RetryableWireError() const;
+  /// Sleeps the jittered exponential backoff for attempt k (0-based).
+  void Backoff(int attempt);
+  /// Tears down and re-establishes the transport: connect, HELLO with
+  /// the remembered token, re-PREPARE every live handle.
+  Status Reconnect();
+  /// Raw socket connect to the remembered endpoint.
+  Status ConnectFd();
+
   int fd_ = -1;
   uint16_t last_wire_error_ = 0;
+  /// The last RoundTrip died on the socket (as opposed to a server
+  /// error reply): the connection must be re-established before reuse.
+  bool transport_error_ = false;
+
+  // Retry state (inert until enable_retry).
+  bool retry_enabled_ = false;
+  RetryPolicy policy_;
+  Rng rng_{42};
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string token_;
+  bool helloed_ = false;
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
+  std::map<uint32_t, PreparedEntry> prepared_;  ///< by client handle
+  uint32_t next_handle_ = 1;
 };
 
 }  // namespace sieve::server

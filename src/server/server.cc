@@ -12,8 +12,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace sieve::server {
@@ -52,6 +54,14 @@ void AppendJsonKV(std::string* out, const char* key, uint64_t v, bool last) {
   if (!last) out->push_back(',');
 }
 
+/// Wire error class for a failed execution: a deadline / timeout overrun
+/// is a clean, retryable DEADLINE_EXCEEDED (the connection and its
+/// admission slot stay usable); everything else is EXEC_FAILED.
+WireError ExecWireError(const Status& s) {
+  return s.code() == StatusCode::kTimeout ? WireError::kDeadlineExceeded
+                                          : WireError::kExecFailed;
+}
+
 }  // namespace
 
 SieveServer::SieveServer(SieveMiddleware* middleware, AuthRegistry* auth,
@@ -73,6 +83,9 @@ Status SieveServer::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     if (started_) return Status::ExecutionError("server already started");
   }
+  // Operator-facing chaos hook: a malformed SIEVE_FAULT_SPEC fails Start
+  // loudly instead of silently running without the requested faults.
+  SIEVE_RETURN_IF_ERROR(FaultInjector::Instance().LoadFromEnv());
 
   // Non-blocking listener: the accept loop drains until EAGAIN.
   listen_fd_ =
@@ -140,7 +153,41 @@ Status SieveServer::Start() {
 void SieveServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || stopping_) return;
+    if (!started_ || stop_requested_) return;
+    stop_requested_ = true;
+  }
+
+  // Phase 1 — drain. New connections and work-starting requests (HELLO /
+  // PREPARE / EXECUTE) are refused with SERVER_SHUTDOWN; requests already
+  // queued or running finish, and open cursors keep serving the cursor
+  // lane. Wait (bounded by the grace period) until no connection holds
+  // work: lanes empty, nobody busy, inboxes empty, cursors closed.
+  draining_.store(true, std::memory_order_release);
+  WakeIo();
+  const double grace = options_.drain_grace_seconds;
+  const double grace_deadline = grace > 0.0 ? NowSeconds() + grace : 0.0;
+  while (grace > 0.0 && NowSeconds() < grace_deadline) {
+    bool idle = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idle = cursor_lane_.empty() && general_lane_.empty();
+      if (idle) {
+        for (auto& [fd, c] : conns_) {
+          if (c->busy || c->cursor || !c->inbox.empty()) {
+            idle = false;
+            break;
+          }
+        }
+      }
+    }
+    if (idle) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Phase 2 — hard stop: whatever survived the grace period is torn down.
+  hard_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -166,6 +213,7 @@ void SieveServer::Stop() {
         if (c->busy || !c->cursor) continue;
         orphans.push_back(std::move(c->cursor));
         c->cursor_id = 0;
+        cursors_aborted_.fetch_add(1, std::memory_order_relaxed);
         if (c->admitted) {
           admission_.Release(c->ident.md.querier);
           c->admitted = false;
@@ -203,6 +251,12 @@ void SieveServer::Stop() {
       fd = -1;
     }
   }
+
+  // Every cursor is closed now, so the exclusive state gate is free:
+  // materialize the enforcement records of the final requests instead of
+  // dropping them with the server (failures stay counted in
+  // MiddlewareHealth::audit_unflushed).
+  [[maybe_unused]] Status flushed = mw_->FlushAuditLog();
 }
 
 SieveServer::Stats SieveServer::stats() const {
@@ -216,6 +270,10 @@ SieveServer::Stats SieveServer::stats() const {
   AdmissionController::Stats a = admission_.stats();
   s.rate_limited = a.rate_limited;
   s.in_flight_rejected = a.in_flight_rejected;
+  s.write_timeouts = write_timeouts_.load(std::memory_order_relaxed);
+  s.drain_rejected = drain_rejected_.load(std::memory_order_relaxed);
+  s.cursors_drained = cursors_drained_.load(std::memory_order_relaxed);
+  s.cursors_aborted = cursors_aborted_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   s.active_connections = conns_.size();
   for (const auto& [fd, c] : conns_) {
@@ -237,7 +295,11 @@ std::string SieveServer::StatsJson() const {
   AppendJsonKV(&j, "queries_executed", s.queries_executed, false);
   AppendJsonKV(&j, "protocol_errors", s.protocol_errors, false);
   AppendJsonKV(&j, "rate_limited", s.rate_limited, false);
-  AppendJsonKV(&j, "in_flight_rejected", s.in_flight_rejected, true);
+  AppendJsonKV(&j, "in_flight_rejected", s.in_flight_rejected, false);
+  AppendJsonKV(&j, "write_timeouts", s.write_timeouts, false);
+  AppendJsonKV(&j, "drain_rejected", s.drain_rejected, false);
+  AppendJsonKV(&j, "cursors_drained", s.cursors_drained, false);
+  AppendJsonKV(&j, "cursors_aborted", s.cursors_aborted, true);
   j += "},\"cache\":{";
   AppendJsonKV(&j, "hits", h.cache.hits, false);
   AppendJsonKV(&j, "misses", h.cache.misses, false);
@@ -247,6 +309,7 @@ std::string SieveServer::StatsJson() const {
   j += "},\"audit\":{";
   AppendJsonKV(&j, "pending", h.audit_pending, false);
   AppendJsonKV(&j, "dropped", h.audit_dropped, false);
+  AppendJsonKV(&j, "unflushed", h.audit_unflushed, false);
   AppendJsonKV(&j, "total_appended", static_cast<uint64_t>(h.audit_total),
                false);
   AppendJsonKV(&j, "truncated", h.audit_truncated, true);
@@ -335,16 +398,30 @@ void SieveServer::IoLoop() {
           if (errno == EINTR) continue;
           break;  // EAGAIN or transient accept failure
         }
-        bool over = false;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          over = conns_.size() >= options_.max_connections;
+        if (SIEVE_FAULT_POINT("server.accept.fail")) {
+          // Simulated transient accept-path failure (fd exhaustion,
+          // aborted handshake): the connection is dropped on the floor.
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+          continue;
         }
-        if (over) {
+        WireError refuse = WireError::kMalformed;
+        const char* refuse_msg = nullptr;
+        if (draining_.load(std::memory_order_acquire)) {
+          refuse = WireError::kServerShutdown;
+          refuse_msg = "server is shutting down";
+        } else {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (conns_.size() >= options_.max_connections) {
+            refuse = WireError::kTooManyConnections;
+            refuse_msg = "server at connection capacity";
+          }
+        }
+        if (refuse_msg != nullptr) {
           rejected_.fetch_add(1, std::memory_order_relaxed);
           WireWriter w;
-          w.PutU16(static_cast<uint16_t>(WireError::kTooManyConnections));
-          w.PutString("server at connection capacity");
+          w.PutU16(static_cast<uint16_t>(refuse));
+          w.PutString(refuse_msg);
           std::string frame = EncodeFrame(MsgType::kError, w.payload());
           // Best-effort courtesy reply; the socket buffer is empty.
           [[maybe_unused]] ssize_t n =
@@ -354,6 +431,10 @@ void SieveServer::IoLoop() {
         }
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (options_.so_sndbuf > 0) {
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                       sizeof(options_.so_sndbuf));
+        }
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;
         accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -372,7 +453,19 @@ bool SieveServer::DrainSocket(Connection* conn) {
   size_t taken = 0;
   bool eof = false;
   while (taken < kMaxBytesPerPass) {
-    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    ssize_t n;
+    if (SIEVE_FAULT_POINT("server.io.disconnect")) {
+      n = 0;  // peer vanished mid-frame
+    } else if (SIEVE_FAULT_POINT("server.io.read_eintr")) {
+      n = -1;
+      errno = EINTR;  // interrupted syscall; the retry path must absorb it
+    } else {
+      // A short read clamps the request to one byte: frames arrive one
+      // byte at a time and must reassemble across passes.
+      size_t want =
+          SIEVE_FAULT_POINT("server.io.short_read") ? 1 : sizeof(buf);
+      n = ::recv(conn->fd, buf, want, 0);
+    }
     if (n > 0) {
       conn->inbuf.append(buf, static_cast<size_t>(n));
       taken += static_cast<size_t>(n);
@@ -483,6 +576,10 @@ void SieveServer::WorkerLoop(int worker_index) {
     Request req = std::move(conn->inbox.front());
     conn->inbox.pop_front();
     lk.unlock();
+    if (SIEVE_FAULT_POINT("server.worker.stall")) {
+      // Scheduling jitter: shakes out request-ordering assumptions.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     ProcessRequest(conn, std::move(req));
     lk.lock();
     conn->busy = false;
@@ -506,6 +603,17 @@ void SieveServer::ProcessRequest(Connection* conn, Request req) {
     return;
   }
   const MsgType type = req.frame.type;
+  // Drain gate: once Stop() is underway, no new work starts — but the
+  // cursor lane (FETCH / CLOSE_* / STATS) keeps serving so open cursors
+  // can finish within the grace period.
+  if (draining_.load(std::memory_order_acquire) &&
+      (type == MsgType::kHello || type == MsgType::kPrepare ||
+       type == MsgType::kExecute)) {
+    drain_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, WireError::kServerShutdown,
+              "server is shutting down; no new work accepted");
+    return;
+  }
   if (!conn->authed && type != MsgType::kHello) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SendError(conn, WireError::kAuthRequired,
@@ -647,10 +755,18 @@ void SieveServer::HandleExecute(Connection* conn, WireReader* rd) {
     }
     params.push_back(std::move(*v));
   }
+  // Optional trailing per-request deadline (0 = none). Clients predating
+  // the field simply omit it.
+  uint32_t deadline_ms = 0;
   if (!rd->AtEnd()) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    SendError(conn, WireError::kMalformed, "trailing bytes after parameters");
-    return;
+    auto dl = rd->U32();
+    if (!dl.ok() || !rd->AtEnd()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, WireError::kMalformed,
+                "trailing bytes after parameters");
+      return;
+    }
+    deadline_ms = *dl;
   }
   auto it = conn->stmts.find(*stmt_id);
   if (it == conn->stmts.end()) {
@@ -673,13 +789,14 @@ void SieveServer::HandleExecute(Connection* conn, WireReader* rd) {
   }
   conn->admitted = true;
 
+  const double deadline_seconds = deadline_ms / 1000.0;
   if (*chunk_rows == 0) {
     // Materialized execution: admission covers just the execution.
-    Result<ResultSet> rs = it->second.Execute(params);
+    Result<ResultSet> rs = it->second.Execute(params, deadline_seconds);
     admission_.Release(conn->ident.md.querier);
     conn->admitted = false;
     if (!rs.ok()) {
-      SendError(conn, WireError::kExecFailed, rs.status().message());
+      SendError(conn, ExecWireError(rs.status()), rs.status().message());
       return;
     }
     std::string payload = EncodeRowsPayload(0, true, rs->schema, rs->rows);
@@ -696,11 +813,11 @@ void SieveServer::HandleExecute(Connection* conn, WireReader* rd) {
   // Cursor execution: the admission slot is held until the cursor is
   // drained or closed (it pins middleware state and per-connection
   // buffering the whole time).
-  Result<ResultCursor> cur = it->second.OpenCursor(params);
+  Result<ResultCursor> cur = it->second.OpenCursor(params, deadline_seconds);
   if (!cur.ok()) {
     admission_.Release(conn->ident.md.querier);
     conn->admitted = false;
-    SendError(conn, WireError::kExecFailed, cur.status().message());
+    SendError(conn, ExecWireError(cur.status()), cur.status().message());
     return;
   }
   conn->cursor = std::make_unique<ResultCursor>(std::move(*cur));
@@ -712,15 +829,29 @@ void SieveServer::HandleExecute(Connection* conn, WireReader* rd) {
 void SieveServer::HandleFetch(Connection* conn, WireReader* rd) {
   auto cursor_id = rd->U32();
   auto max_rows = rd->U32();
-  if (!cursor_id.ok() || !max_rows.ok() || !rd->AtEnd()) {
+  if (!cursor_id.ok() || !max_rows.ok()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SendError(conn, WireError::kMalformed, "bad FETCH payload");
     return;
+  }
+  // Optional trailing per-chunk deadline (0 = none).
+  uint32_t deadline_ms = 0;
+  if (!rd->AtEnd()) {
+    auto dl = rd->U32();
+    if (!dl.ok() || !rd->AtEnd()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, WireError::kMalformed, "bad FETCH payload");
+      return;
+    }
+    deadline_ms = *dl;
   }
   if (!conn->cursor || *cursor_id != conn->cursor_id) {
     SendError(conn, WireError::kBadCursor,
               StrFormat("no open cursor with id %u", *cursor_id));
     return;
+  }
+  if (deadline_ms > 0) {
+    conn->cursor->TightenDeadline(deadline_ms / 1000.0);
   }
   ReplyCursorChunk(conn, *max_rows);
 }
@@ -732,9 +863,10 @@ void SieveServer::ReplyCursorChunk(Connection* conn, uint32_t want) {
     Result<bool> more =
         conn->cursor->Next(&rows, want - static_cast<uint32_t>(rows.size()));
     if (!more.ok()) {
+      WireError code = ExecWireError(more.status());
       std::string msg(more.status().message());
       FinishCursor(conn, /*abandon=*/true);
-      SendError(conn, WireError::kExecFailed, msg);
+      SendError(conn, code, msg);
       return;
     }
     if (!*more) break;
@@ -757,6 +889,13 @@ void SieveServer::FinishCursor(Connection* conn, bool abandon) {
   if (conn->cursor) {
     if (abandon) conn->cursor->Close();
     conn->cursor.reset();
+    // Drain bookkeeping: cursors that close while Stop() waits count as
+    // drained; those still alive at the hard stop count as aborted.
+    if (hard_stop_.load(std::memory_order_acquire)) {
+      cursors_aborted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (draining_.load(std::memory_order_acquire)) {
+      cursors_drained_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   conn->cursor_id = 0;
   if (conn->admitted) {
@@ -827,8 +966,18 @@ void SieveServer::SendFrame(Connection* conn, MsgType type,
           : 0.0;
   size_t off = 0;
   while (off < frame.size()) {
-    ssize_t n = ::send(conn->fd, frame.data() + off, frame.size() - off,
-                       MSG_NOSIGNAL);
+    ssize_t n;
+    if (SIEVE_FAULT_POINT("server.io.write_error")) {
+      n = -1;
+      errno = EPIPE;  // peer reset mid-reply
+    } else {
+      // A short write clamps to one byte: the partial-write loop must
+      // finish the frame across many sends.
+      size_t len = SIEVE_FAULT_POINT("server.io.write_short")
+                       ? 1
+                       : frame.size() - off;
+      n = ::send(conn->fd, frame.data() + off, len, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
@@ -836,8 +985,12 @@ void SieveServer::SendFrame(Connection* conn, MsgType type,
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Slow reader: wait for the socket to drain, bounded by the write
-      // timeout (a stuck reader must not pin a worker forever).
+      // timeout (a stuck reader must not pin a worker forever). Only this
+      // connection is torn down — its cursor closes and its admission
+      // slot frees immediately, rather than waiting for the reaper.
       if (deadline > 0.0 && NowSeconds() >= deadline) {
+        write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        FinishCursor(conn, /*abandon=*/true);
         KillConnection(conn);
         return;
       }
@@ -845,7 +998,8 @@ void SieveServer::SendFrame(Connection* conn, MsgType type,
       ::poll(&p, 1, 100);
       continue;
     }
-    KillConnection(conn);  // EPIPE / ECONNRESET / ...
+    FinishCursor(conn, /*abandon=*/true);  // EPIPE / ECONNRESET / ...
+    KillConnection(conn);
     return;
   }
 }

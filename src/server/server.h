@@ -80,8 +80,17 @@ struct ServerOptions {
   /// (see IsKnownSubject). Default-deny posture.
   bool require_known_subject = true;
   /// Give up on a reply write blocked this long (slow/stuck reader) and
-  /// drop the connection. 0 = wait forever.
+  /// drop the connection — only that connection: its cursor is closed and
+  /// its admission slot released, everything else keeps serving. 0 = wait
+  /// forever.
   double write_timeout_seconds = 30.0;
+  /// Grace period Stop() grants in-flight requests and open cursors
+  /// before the hard teardown (see Stop). 0 = tear down immediately.
+  double drain_grace_seconds = 5.0;
+  /// SO_SNDBUF applied to accepted sockets when > 0. Test knob: a tiny
+  /// send buffer makes the write-timeout path reachable with small
+  /// results.
+  int so_sndbuf = 0;
   /// Admission limits applied when a token was registered without any.
   AdmissionLimits default_limits;
   /// Monotonic-seconds clock for the admission controller's token
@@ -103,8 +112,15 @@ class SieveServer {
   /// Binds, listens and spawns the IO + worker threads.
   Status Start();
 
-  /// Stops intake, tears down every connection (open cursors are closed,
-  /// releasing their middleware pins), joins all threads. Idempotent.
+  /// Graceful drain, then stop. Phase 1 (drain): new connections and new
+  /// work-starting requests (HELLO / PREPARE / EXECUTE) are refused with
+  /// SERVER_SHUTDOWN while in-flight requests finish and open cursors
+  /// keep serving FETCH / CLOSE_* until drained — bounded by
+  /// drain_grace_seconds. Phase 2 (hard stop): whatever remains is torn
+  /// down (open cursors are closed, releasing their middleware pins),
+  /// all threads join, and the pending audit ring is flushed. Drain
+  /// outcomes are counted in Stats (cursors_drained / cursors_aborted /
+  /// drain_rejected). Idempotent.
   void Stop();
 
   /// Bound port (valid after Start; useful with port 0).
@@ -119,6 +135,10 @@ class SieveServer {
     uint64_t protocol_errors = 0;
     uint64_t rate_limited = 0;       ///< token-bucket rejections
     uint64_t in_flight_rejected = 0; ///< in-flight-ceiling rejections
+    uint64_t write_timeouts = 0;     ///< connections dropped by a blocked write
+    uint64_t drain_rejected = 0;     ///< requests refused during Stop() drain
+    uint64_t cursors_drained = 0;    ///< cursors that finished during drain
+    uint64_t cursors_aborted = 0;    ///< cursors force-closed at hard stop
     size_t active_connections = 0;
     size_t open_cursors = 0;
   };
@@ -208,8 +228,14 @@ class SieveServer {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  bool stopping_ = false;
+  bool stopping_ = false;        ///< hard stop: threads exit (phase 2)
+  bool stop_requested_ = false;  ///< Stop() entered (idempotency latch)
   bool started_ = false;
+  /// Drain phase flags, readable without mu_ from the IO and worker
+  /// threads' hot paths. draining_: refuse work-starting requests and new
+  /// connections; hard_stop_: remaining cursors count as aborted.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> hard_stop_{false};
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;  // by fd
   std::deque<Connection*> cursor_lane_;
   std::deque<Connection*> general_lane_;
@@ -224,6 +250,10 @@ class SieveServer {
   std::atomic<uint64_t> frames_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> write_timeouts_{0};
+  std::atomic<uint64_t> drain_rejected_{0};
+  std::atomic<uint64_t> cursors_drained_{0};
+  std::atomic<uint64_t> cursors_aborted_{0};
 };
 
 }  // namespace sieve::server

@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -26,6 +27,7 @@ const char* WireErrorName(WireError e) {
     case WireError::kTooManyConnections: return "TOO_MANY_CONNECTIONS";
     case WireError::kTooManyStatements: return "TOO_MANY_STATEMENTS";
     case WireError::kServerShutdown: return "SERVER_SHUTDOWN";
+    case WireError::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -216,7 +218,11 @@ Status WriteFrame(int fd, MsgType type, std::string_view payload) {
   std::string frame = EncodeFrame(type, payload);
   size_t off = 0;
   while (off < frame.size()) {
-    ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE
+    // (a Status the caller's retry layer can act on), not kill the
+    // process with SIGPIPE.
+    ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::ExecutionError(

@@ -23,6 +23,13 @@
 // subsequent chunks (pull-based — this is the cursor backpressure: the
 // server never buffers more than one chunk per connection); CLOSE_*
 // release resources; STATS returns a JSON health snapshot.
+//
+// EXECUTE and FETCH may carry an optional trailing u32 deadline_ms: a
+// per-request time budget that tightens (never extends) the middleware's
+// configured query timeout. Overrunning it yields a clean
+// kDeadlineExceeded error reply; the connection, its statements and its
+// admission slot all remain usable. Absent or zero means no per-request
+// deadline — old clients interoperate unchanged.
 
 #include <cstdint>
 #include <string>
@@ -48,8 +55,10 @@ enum class MsgType : uint8_t {
   kHello = 1,        ///< u8 version, str token
   kPrepare = 2,      ///< str sql
   kExecute = 3,      ///< u32 stmt_id, u32 chunk_rows (0 = materialize),
-                     ///< u16 nparams, values
-  kFetch = 4,        ///< u32 cursor_id, u32 max_rows
+                     ///< u16 nparams, values,
+                     ///< [u32 deadline_ms] (optional; 0 = none)
+  kFetch = 4,        ///< u32 cursor_id, u32 max_rows,
+                     ///< [u32 deadline_ms] (optional; 0 = none)
   kCloseCursor = 5,  ///< u32 cursor_id
   kCloseStmt = 6,    ///< u32 stmt_id
   kStats = 7,        ///< (empty)
@@ -79,6 +88,9 @@ enum class WireError : uint16_t {
   kTooManyConnections = 12,
   kTooManyStatements = 13,
   kServerShutdown = 14,
+  kDeadlineExceeded = 15,  ///< per-request deadline (or query timeout) hit;
+                           ///< the connection and its admission slot stay
+                           ///< usable
 };
 
 const char* WireErrorName(WireError e);

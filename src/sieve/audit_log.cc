@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "sieve/rewriter.h"
 
 namespace sieve {
@@ -103,7 +104,13 @@ Status AuditLog::Flush() {
     std::lock_guard<std::mutex> lock(mu_);
     drained.swap(pending_);
   }
+  Status failure = Status::OK();
+  size_t inserted_count = 0;
+  if (SIEVE_FAULT_POINT("mw.audit_flush.fail")) {
+    failure = SIEVE_INJECT_FAULT("mw.audit_flush.fail");
+  }
   for (const AuditRecord& r : drained) {
+    if (!failure.ok()) break;
     Row row{Value::Int(r.seq),
             Value::String(r.querier),
             Value::String(r.purpose),
@@ -121,7 +128,18 @@ Status AuditLog::Flush() {
             Value::Int(r.comparisons),
             Value::Int(r.policy_evals)};
     auto inserted = db_->Insert(kTableName, std::move(row));
-    if (!inserted.ok()) return inserted.status();
+    if (!inserted.ok()) {
+      failure = inserted.status();
+      break;
+    }
+    ++inserted_count;
+  }
+  if (!failure.ok()) {
+    // The drained-but-not-inserted tail is lost; count it so the failure
+    // is visible beyond this one return value.
+    std::lock_guard<std::mutex> lock(mu_);
+    unflushed_ += drained.size() - inserted_count;
+    return failure;
   }
   return EnforceRetention();
 }
@@ -178,6 +196,11 @@ size_t AuditLog::pending() const {
 uint64_t AuditLog::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+uint64_t AuditLog::unflushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unflushed_;
 }
 
 int64_t AuditLog::total_appended() const {

@@ -98,7 +98,8 @@ class AuditLog {
   /// Drains every pending record into `sieve_audit`. Caller must exclude
   /// concurrent query execution (see class comment). Records are gone from
   /// the ring whether or not the insert succeeds (a failed flush is
-  /// reported, not retried).
+  /// reported, not retried); records lost to a failed flush are counted in
+  /// unflushed().
   Status Flush();
 
   /// Retention bound on the `sieve_audit` table itself: when a Flush
@@ -112,6 +113,11 @@ class AuditLog {
   size_t pending() const;
   /// Records lost to ring overflow since construction.
   uint64_t dropped() const;
+  /// Records drained by a Flush that could not be inserted into
+  /// `sieve_audit` (the flush failed partway): they are gone, and this
+  /// counter is the only trace. Surfaced as MiddlewareHealth::
+  /// audit_unflushed so shutdown-time flush failures are visible.
+  uint64_t unflushed() const;
   /// `sieve_audit` rows removed by the retention bound since construction.
   uint64_t truncated() const;
   /// Total records ever appended (= the last assigned seq).
@@ -132,6 +138,7 @@ class AuditLog {
   std::deque<AuditRecord> pending_;
   int64_t next_seq_ = 1;
   uint64_t dropped_ = 0;
+  uint64_t unflushed_ = 0;
   uint64_t truncated_ = 0;
   size_t max_table_rows_ = 0;  ///< 0 = unbounded
 };

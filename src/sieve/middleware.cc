@@ -10,6 +10,16 @@
 
 namespace sieve {
 
+SieveMiddleware::~SieveMiddleware() {
+  // No sessions may be live at destruction, so the gate is uncontended;
+  // a failed flush has nowhere to report — the records count as unflushed
+  // for whatever outlives the log (nothing does, but the attempt is what
+  // keeps the normal shutdown path lossless).
+  if (audit_log_.pending() > 0) {
+    [[maybe_unused]] Status flushed = FlushAuditLog();
+  }
+}
+
 void SieveMiddleware::RegisterInvalidationListeners() {
   // Both listeners fire synchronously inside store mutations — normally
   // under this middleware's exclusive state_mu_, but also from direct store

@@ -67,6 +67,7 @@ struct MiddlewareHealth {
   RewriteCacheStats cache;
   size_t audit_pending = 0;       ///< records appended, not yet flushed
   uint64_t audit_dropped = 0;     ///< pending-ring overflow losses
+  uint64_t audit_unflushed = 0;   ///< records lost to failed flushes
   int64_t audit_total = 0;        ///< records ever appended
   uint64_t audit_truncated = 0;   ///< sieve_audit rows removed by retention
   uint64_t policy_epoch = 0;
@@ -122,6 +123,13 @@ class SieveMiddleware {
                                     : static_cast<size_t>(options_.audit_max_rows));
     RegisterInvalidationListeners();
   }
+
+  /// Best-effort flush of the pending audit ring: enforcement records
+  /// produced just before the middleware goes away are materialized into
+  /// `sieve_audit` rather than silently dropped (a failure leaves them
+  /// counted in AuditLog::unflushed(), though the middleware is gone to
+  /// report it).
+  ~SieveMiddleware();
 
   /// Creates the policy/guard catalog tables (including the `sieve_audit`
   /// audit table), registers the Δ UDF and (optionally) calibrates the
@@ -180,6 +188,7 @@ class SieveMiddleware {
     h.cache = rewrite_cache_.stats();
     h.audit_pending = audit_log_.pending();
     h.audit_dropped = audit_log_.dropped();
+    h.audit_unflushed = audit_log_.unflushed();
     h.audit_total = audit_log_.total_appended();
     h.audit_truncated = audit_log_.truncated();
     h.policy_epoch = policy_epoch();

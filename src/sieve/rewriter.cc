@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "parser/parser.h"
 #include "sieve/delta.h"
@@ -59,6 +60,11 @@ Result<const GuardedExpression*> QueryRewriter::EnsureGuards(
     TableRewriteInfo* info) {
   if (!guards_->IsOutdated(md.querier, md.purpose, table)) {
     return guards_->Get(md.querier, md.purpose, table);
+  }
+  // Chaos hook: regeneration failing must leave the guard store outdated
+  // (not torn) so the next query retries it — the point sits before Build.
+  if (SIEVE_FAULT_POINT("mw.guard_regen.fail")) {
+    return SIEVE_INJECT_FAULT("mw.guard_regen.fail");
   }
   // Regenerate at query time — the paper's trigger-on-outdated behaviour.
   SIEVE_ASSIGN_OR_RETURN(GuardedExpression ge, builder_.Build(md, table));

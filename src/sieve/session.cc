@@ -1,5 +1,6 @@
 #include "sieve/session.h"
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "parser/parser.h"
 
@@ -29,6 +30,16 @@ Result<SelectStmtPtr> BindTemplate(const PreparedRewrite& rewrite,
   return bound;
 }
 
+// Per-request deadline folded into the configured budget: the effective
+// timeout is whichever is tighter (0 means "no bound" on either side).
+double EffectiveTimeout(double configured, double deadline_seconds) {
+  if (deadline_seconds <= 0.0) return configured;
+  if (configured <= 0.0 || deadline_seconds < configured) {
+    return deadline_seconds;
+  }
+  return configured;
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
@@ -56,6 +67,13 @@ Result<std::shared_ptr<const PreparedRewrite>> SieveSession::PrepareRewrite(
     return hit;
   }
   if (from_cache != nullptr) *from_cache = false;
+
+  // Chaos hook: a cache-miss rewrite failing under the writer lock must
+  // release the gate cleanly and leave cache/guard state untouched (the
+  // point sits before any mutation).
+  if (SIEVE_FAULT_POINT("mw.rewrite.fail")) {
+    return SIEVE_INJECT_FAULT("mw.rewrite.fail");
+  }
 
   SIEVE_ASSIGN_OR_RETURN(SelectStmtPtr stmt, Parser::Parse(normalized_sql));
   auto entry = std::make_shared<PreparedRewrite>();
@@ -147,7 +165,8 @@ Status PreparedQuery::MaybeFlushAuditReads() {
   return Status::OK();
 }
 
-Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
+Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params,
+                                         double deadline_seconds) {
   // Queries over the audit trail see every prior enforcement decision:
   // drain the pending ring into sieve_audit first (exclusive lock — must
   // happen before we take the state lock shared below).
@@ -163,8 +182,10 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
                                BindTemplate(*rewrite_, params));
         mw_->dynamics_.ObserveQuery();
         const SieveOptions& opts = mw_->options_;
-        auto result = mw_->db_->ExecuteStmt(*bound, &md_, opts.timeout_seconds,
-                                            opts.num_threads, opts.batch_size);
+        auto result = mw_->db_->ExecuteStmt(
+            *bound, &md_,
+            EffectiveTimeout(opts.timeout_seconds, deadline_seconds),
+            opts.num_threads, opts.batch_size);
         if (opts.audit_log && result.ok()) {
           // Leaf-locked append while still holding the state lock shared:
           // the record names exactly the policies/guards of the snapshot
@@ -190,7 +211,7 @@ Result<ResultSet> PreparedQuery::ExecuteNamed(
 }
 
 Result<ResultCursor> PreparedQuery::OpenCursor(
-    const std::vector<Value>& params) {
+    const std::vector<Value>& params, double deadline_seconds) {
   SIEVE_RETURN_IF_ERROR(MaybeFlushAuditReads());
   for (int attempt = 0; attempt < kMaxRefreshRetries; ++attempt) {
     {
@@ -206,8 +227,10 @@ Result<ResultCursor> PreparedQuery::OpenCursor(
         auto md = std::make_unique<QueryMetadata>(md_);
         SIEVE_ASSIGN_OR_RETURN(
             std::unique_ptr<QueryCursor> cursor,
-            mw_->db_->OpenCursor(*bound, md.get(), opts.timeout_seconds,
-                                 opts.num_threads, opts.batch_size));
+            mw_->db_->OpenCursor(
+                *bound, md.get(),
+                EffectiveTimeout(opts.timeout_seconds, deadline_seconds),
+                opts.num_threads, opts.batch_size));
         // The audit record travels with the cursor and is appended once
         // the stream finishes, carrying the cursor's final stats.
         std::unique_ptr<AuditRecord> record;

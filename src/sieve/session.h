@@ -89,6 +89,13 @@ class ResultCursor {
   /// Execute of the same query — once exhausted() is true.
   const ExecStats& stats() const { return cursor_->stats(); }
 
+  /// Shrinks the remaining execution budget so the stream times out at
+  /// most `seconds_from_now` from this call; never extends it. Backs the
+  /// per-FETCH wire deadline (see server/wire.h).
+  void TightenDeadline(double seconds_from_now) {
+    cursor_->TightenDeadline(seconds_from_now);
+  }
+
  private:
   friend class PreparedQuery;
   ResultCursor(std::shared_lock<SharedGate> epoch_lock,
@@ -149,7 +156,15 @@ class PreparedQuery {
   /// `?` in parse order; every occurrence of one `:name` shares a slot).
   /// Requires exactly parameter_count() values; binding NULL is allowed
   /// and compares as SQL NULL (matches nothing).
-  Result<ResultSet> Execute(const std::vector<Value>& params = {});
+  ///
+  /// `deadline_seconds` > 0 caps this execution's time budget: the
+  /// effective timeout is the smaller of it and the middleware's
+  /// configured SieveOptions::timeout_seconds, and overrunning it returns
+  /// Status::Timeout like any other query timeout. 0 keeps the configured
+  /// budget. This is how a per-request wire deadline reaches the
+  /// ExecContext timeout epoch.
+  Result<ResultSet> Execute(const std::vector<Value>& params = {},
+                            double deadline_seconds = 0.0);
 
   /// Executes with named bindings. Every slot must carry a name (prepare
   /// with `:name` placeholders, not `?`); names are case-insensitive, and
@@ -159,7 +174,11 @@ class PreparedQuery {
 
   /// Opens a streaming cursor instead of materializing the result. The
   /// cursor blocks policy mutations while open — see ResultCursor.
-  Result<ResultCursor> OpenCursor(const std::vector<Value>& params = {});
+  /// `deadline_seconds` caps the stream's total budget exactly as in
+  /// Execute (the cursor's clock starts at open and keeps running between
+  /// Next calls); ResultCursor::TightenDeadline can shrink it further.
+  Result<ResultCursor> OpenCursor(const std::vector<Value>& params = {},
+                                  double deadline_seconds = 0.0);
 
   /// Number of parameter slots in the prepared statement.
   size_t parameter_count() const { return rewrite_->params.size(); }

@@ -1,0 +1,169 @@
+// Fault-injection framework semantics: trigger kinds are deterministic,
+// spec parsing is strict (a malformed entry arms nothing), counters track
+// hits vs fires, and the compiled-in macro honors arming state.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace sieve {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().DisarmAll(); }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  /// Runs `hits` hits of `point` and returns which (1-based) hits fired.
+  std::vector<uint64_t> FiringHits(const char* point, int hits) {
+    std::vector<uint64_t> fired;
+    for (int i = 1; i <= hits; ++i) {
+      if (SIEVE_FAULT_POINT(point)) fired.push_back(static_cast<uint64_t>(i));
+    }
+    return fired;
+  }
+};
+
+TEST_F(FaultInjectionTest, UnarmedNeverFires) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(FiringHits("test.point", 100).empty());
+  // Unarmed hits are not even recorded.
+  EXPECT_EQ(FaultInjector::Instance().stats("test.point").hits, 0u);
+}
+
+TEST_F(FaultInjectionTest, AlwaysFiresEveryHit) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Always());
+  EXPECT_TRUE(FaultInjector::Enabled());
+  EXPECT_EQ(FiringHits("test.point", 5),
+            (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+  FaultPointStats s = FaultInjector::Instance().stats("test.point");
+  EXPECT_EQ(s.hits, 5u);
+  EXPECT_EQ(s.fires, 5u);
+}
+
+TEST_F(FaultInjectionTest, OffIsEquivalentToDisarmed) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Off());
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(FiringHits("test.point", 10).empty());
+}
+
+TEST_F(FaultInjectionTest, NthFiresExactlyOnce) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Nth(3));
+  EXPECT_EQ(FiringHits("test.point", 10), (std::vector<uint64_t>{3}));
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresPeriodically) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::EveryNth(4));
+  EXPECT_EQ(FiringHits("test.point", 12), (std::vector<uint64_t>{4, 8, 12}));
+}
+
+TEST_F(FaultInjectionTest, FromNthFiresFromThenOn) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::FromNth(7));
+  EXPECT_EQ(FiringHits("test.point", 9), (std::vector<uint64_t>{7, 8, 9}));
+}
+
+TEST_F(FaultInjectionTest, RangeFiresInclusive) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Range(2, 4));
+  EXPECT_EQ(FiringHits("test.point", 8), (std::vector<uint64_t>{2, 3, 4}));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  FaultInjector::Instance().Arm("test.point",
+                                FaultTrigger::Probability(0.3, 7));
+  std::vector<uint64_t> first = FiringHits("test.point", 200);
+  EXPECT_GT(first.size(), 20u);   // ~60 expected
+  EXPECT_LT(first.size(), 120u);
+  // Re-arming with the same seed replays the identical firing sequence.
+  FaultInjector::Instance().Arm("test.point",
+                                FaultTrigger::Probability(0.3, 7));
+  EXPECT_EQ(FiringHits("test.point", 200), first);
+  FaultInjector::Instance().Arm("test.point",
+                                FaultTrigger::Probability(0.3, 8));
+  EXPECT_NE(FiringHits("test.point", 200), first);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremes) {
+  FaultInjector::Instance().Arm("p0", FaultTrigger::Probability(0.0));
+  EXPECT_TRUE(FiringHits("p0", 50).empty());
+  FaultInjector::Instance().Arm("p1", FaultTrigger::Probability(1.0));
+  EXPECT_EQ(FiringHits("p1", 3), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST_F(FaultInjectionTest, ReArmResetsCounters) {
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Nth(2));
+  (void)FiringHits("test.point", 5);
+  EXPECT_EQ(FaultInjector::Instance().stats("test.point").hits, 5u);
+  FaultInjector::Instance().Arm("test.point", FaultTrigger::Nth(2));
+  EXPECT_EQ(FaultInjector::Instance().stats("test.point").hits, 0u);
+  // The Nth counter restarted too: hit 2 fires again.
+  EXPECT_EQ(FiringHits("test.point", 3), (std::vector<uint64_t>{2}));
+}
+
+TEST_F(FaultInjectionTest, DisarmAndDisarmAll) {
+  FaultInjector::Instance().Arm("a", FaultTrigger::Always());
+  FaultInjector::Instance().Arm("b", FaultTrigger::Always());
+  EXPECT_EQ(FaultInjector::Instance().ArmedPoints().size(), 2u);
+  FaultInjector::Instance().Disarm("a");
+  EXPECT_TRUE(FiringHits("a", 3).empty());
+  EXPECT_EQ(FiringHits("b", 1), (std::vector<uint64_t>{1}));
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(FaultInjector::Instance().ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault f("scoped.point", FaultTrigger::Always());
+    EXPECT_EQ(FiringHits("scoped.point", 1), (std::vector<uint64_t>{1}));
+  }
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(FiringHits("scoped.point", 3).empty());
+}
+
+TEST_F(FaultInjectionTest, LoadSpecArmsEveryEntry) {
+  Status st = FaultInjector::Instance().LoadSpec(
+      "a=always;b=nth:3;c=prob:0.5:9;d=every:2;e=from:4;f=range:2-5;g=off");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(FiringHits("a", 2), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(FiringHits("b", 4), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(FiringHits("d", 4), (std::vector<uint64_t>{2, 4}));
+  EXPECT_EQ(FiringHits("e", 5), (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(FiringHits("f", 6), (std::vector<uint64_t>{2, 3, 4, 5}));
+  EXPECT_TRUE(FiringHits("g", 5).empty());
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecArmsNothing) {
+  for (const char* bad :
+       {"a", "a=", "=always", "a=nope", "a=nth", "a=nth:x", "a=prob:2.0",
+        "a=prob:-0.1", "a=range:5-2", "a=range:0-3", "a=nth:0",
+        "a=always;b=bogus"}) {
+    Status st = FaultInjector::Instance().LoadSpec(bad);
+    EXPECT_FALSE(st.ok()) << "spec '" << bad << "' should be rejected";
+    EXPECT_TRUE(FaultInjector::Instance().ArmedPoints().empty())
+        << "spec '" << bad << "' armed something";
+  }
+}
+
+TEST_F(FaultInjectionTest, EmptySpecIsNoop) {
+  EXPECT_TRUE(FaultInjector::Instance().LoadSpec("").ok());
+  EXPECT_TRUE(FaultInjector::Instance().ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, LoadFromEnvUnsetIsNoop) {
+  Status st = FaultInjector::Instance().LoadFromEnv(
+      "SIEVE_FAULT_SPEC_TEST_DOES_NOT_EXIST");
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(FaultInjector::Instance().ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, InjectFaultStatusNamesThePoint) {
+  Status st = SIEVE_INJECT_FAULT("some.point");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.message().find("some.point"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,709 @@
+// Chaos suite for the server path: every fault point in the catalog is
+// driven against a live loopback server, asserting the degradation
+// contract — failures surface as clean wire errors, nothing leaks
+// (cursor pins, admission slots, the state gate), transparently
+// recoverable faults stay invisible, and successful results under chaos
+// are row-identical to an in-process SieveSession (which doubles as the
+// policy-leakage oracle). Also home of the per-request deadline tests,
+// the slow-reader write-timeout test and the graceful-drain tests.
+//
+// The closed-loop test honors SIEVE_CHAOS_SEEDS (default 2) the same way
+// the fuzz suites honor SIEVE_FUZZ_SEEDS.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "sieve/session.h"
+#include "tests/server_test_util.h"
+
+namespace sieve::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+uint16_t Code(WireError e) { return static_cast<uint16_t>(e); }
+
+bool RowsMatch(const std::vector<Row>& got, const std::vector<Row>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].size() != want[i].size()) return false;
+    for (size_t j = 0; j < got[i].size(); ++j) {
+      if (!(got[i][j] == want[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+/// Keep harness teardown snappy in tests that may leave a cursor behind
+/// on a failure path.
+ServerOptions FastStop() {
+  ServerOptions o;
+  o.drain_grace_seconds = 1.0;
+  return o;
+}
+
+/// Every test must leave the process-wide injector clean, including on
+/// early ASSERT exits.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().DisarmAll(); }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Middleware fault points: fail cleanly, leave state retryable
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, RewriteFaultFailsCleanlyAndIsRetryable) {
+  ServerHarness h(FastStop());
+  auto c = h.Client("tok-alice");
+  {
+    ScopedFault f("mw.rewrite.fail", FaultTrigger::Always());
+    auto stmt = c->Prepare("SELECT id FROM wifi");
+    ASSERT_FALSE(stmt.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kPrepareFailed));
+    EXPECT_NE(stmt.status().message().find("injected fault"),
+              std::string::npos);
+  }
+  // The failure released the state gate and cached nothing: the same
+  // statement prepares and runs on the same connection.
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto rows = c->Execute(stmt->id);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 300u);
+}
+
+TEST_F(ChaosTest, GuardRegenFaultLeavesGuardsRetryable) {
+  ServerHarness h(FastStop());
+  auto c = h.Client("tok-alice");
+  // Build alice's guards once.
+  auto s1 = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(c->Execute(s1->id).ok());
+  // A policy insertion marks them outdated (lazy regeneration mode).
+  ASSERT_TRUE(h.mw().AddPolicy(h.campus().MakePolicy(7, "alice", "any")).ok());
+  {
+    ScopedFault f("mw.guard_regen.fail", FaultTrigger::Always());
+    auto s2 = c->Prepare("SELECT owner FROM wifi");
+    ASSERT_FALSE(s2.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kPrepareFailed));
+    EXPECT_NE(s2.status().message().find("injected fault"),
+              std::string::npos);
+  }
+  // The guard store was left outdated, not torn: the retry regenerates
+  // and the new policy is visible (owners 0..4 plus 7 -> 360 rows).
+  auto s3 = c->Prepare("SELECT owner FROM wifi");
+  ASSERT_TRUE(s3.ok()) << s3.status().ToString();
+  auto rows = c->Execute(s3->id);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 360u);
+}
+
+TEST_F(ChaosTest, AuditFlushFaultCountsUnflushedRecords) {
+  ServerHarness h(FastStop());
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(c->Execute(stmt->id).ok());
+  ASSERT_GT(h.mw().Health().audit_pending, 0u);
+  {
+    ScopedFault f("mw.audit_flush.fail", FaultTrigger::Always());
+    EXPECT_FALSE(h.mw().FlushAuditLog().ok());
+  }
+  MiddlewareHealth health = h.mw().Health();
+  EXPECT_EQ(health.audit_pending, 0u);   // ring drained either way
+  EXPECT_GT(health.audit_unflushed, 0u); // ...and the loss is accounted
+  // Later records flush normally.
+  ASSERT_TRUE(c->Execute(stmt->id).ok());
+  EXPECT_TRUE(h.mw().FlushAuditLog().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Execution fault points
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, MorselFaultFailsExecuteWithoutLeaking) {
+  SieveOptions so;
+  so.num_threads = 2;  // morsel-parallel path
+  ServerHarness h(FastStop(), EngineProfile::MySqlLike(), so);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id, owner FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  {
+    ScopedFault f("exec.morsel.fail", FaultTrigger::Always());
+    auto r = c->Execute(stmt->id);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kExecFailed));
+    EXPECT_NE(r.status().message().find("injected fault"), std::string::npos);
+  }
+  // The admission slot came back and the next run succeeds.
+  EXPECT_EQ(h.server().admission().InFlight("alice"), 0);
+  auto r2 = c->Execute(stmt->id);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->rows.size(), 300u);
+}
+
+TEST_F(ChaosTest, InterruptFaultTearsDownCursorCleanly) {
+  SieveOptions so;
+  so.batch_size = 1;  // a timeout/interrupt check per row
+  ServerHarness h(FastStop(), EngineProfile::MySqlLike(), so);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto first = c->Execute(stmt->id, {}, /*chunk_rows=*/10);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->done);
+  {
+    ScopedFault f("exec.interrupt", FaultTrigger::Nth(1));
+    auto r = c->Fetch(first->cursor_id, 10);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kExecFailed));
+  }
+  // The failed fetch finished the cursor: its pin and admission slot are
+  // gone, the id is dead, the connection stays usable.
+  auto gone = c->Fetch(first->cursor_id, 10);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(c->last_wire_error(), Code(WireError::kBadCursor));
+  EXPECT_EQ(h.server().stats().open_cursors, 0u);
+  EXPECT_EQ(h.server().admission().InFlight("alice"), 0);
+  auto again = c->Execute(stmt->id);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows.size(), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport fault points
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, ShortReadsAndEintrAreInvisible) {
+  ServerHarness h(FastStop());
+  // Reference rows from an in-process session.
+  SieveSession ref(&h.mw(), MakeMd("alice", "any"));
+  auto prep = ref.Prepare("SELECT id, owner FROM wifi WHERE wifiAP = 3");
+  ASSERT_TRUE(prep.ok());
+  auto want = prep->Execute();
+  ASSERT_TRUE(want.ok());
+  ASSERT_FALSE(want->rows.empty());
+
+  ScopedFault short_read("server.io.short_read",
+                         FaultTrigger::Probability(0.5, 11));
+  ScopedFault eintr("server.io.read_eintr",
+                    FaultTrigger::Probability(0.3, 12));
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id, owner FROM wifi WHERE wifiAP = 3");
+  ASSERT_TRUE(stmt.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = c->Execute(stmt->id);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(RowsMatch(r->rows, want->rows));
+  }
+}
+
+TEST_F(ChaosTest, DisconnectRecoversViaClientRetry) {
+  ServerHarness h(FastStop());
+  SieveClient c;
+  RetryPolicy rp;
+  rp.initial_backoff_ms = 1.0;
+  rp.max_backoff_ms = 10.0;
+  c.enable_retry(rp);
+  ASSERT_TRUE(c.Connect("127.0.0.1", h.port()).ok());
+  ASSERT_TRUE(c.Hello("tok-alice").ok());
+  auto stmt = c.Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto baseline = c.Execute(stmt->id);
+  ASSERT_TRUE(baseline.ok());
+
+  // The next inbound read is treated as a peer hang-up; the retry layer
+  // reconnects, re-prepares the handle and re-runs the SELECT.
+  FaultInjector::Instance().Arm("server.io.disconnect", FaultTrigger::Nth(1));
+  auto r = c.Execute(stmt->id);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(RowsMatch(r->rows, baseline->rows));
+  EXPECT_GE(c.reconnects(), 1u);
+  EXPECT_GE(c.retries(), 1u);
+}
+
+TEST_F(ChaosTest, WriteErrorRecoversViaClientRetry) {
+  ServerHarness h(FastStop());
+  SieveClient c;
+  RetryPolicy rp;
+  rp.initial_backoff_ms = 1.0;
+  rp.max_backoff_ms = 10.0;
+  c.enable_retry(rp);
+  ASSERT_TRUE(c.Connect("127.0.0.1", h.port()).ok());
+  ASSERT_TRUE(c.Hello("tok-alice").ok());
+  auto stmt = c.Prepare("SELECT COUNT(*) FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+
+  // The server's next reply write dies with EPIPE; that connection is
+  // torn down and the client recovers on a fresh one.
+  FaultInjector::Instance().Arm("server.io.write_error", FaultTrigger::Nth(1));
+  auto r = c.Execute(stmt->id);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Value::Int(300));
+  EXPECT_GE(c.reconnects(), 1u);
+}
+
+TEST_F(ChaosTest, AcceptFaultRecoversViaClientRetry) {
+  ServerHarness h(FastStop());
+  FaultInjector::Instance().Arm("server.accept.fail", FaultTrigger::Nth(1));
+  SieveClient c;
+  RetryPolicy rp;
+  rp.initial_backoff_ms = 1.0;
+  rp.max_backoff_ms = 10.0;
+  c.enable_retry(rp);
+  // The TCP connect lands in the backlog, but the server drops the
+  // connection at accept; HELLO fails in transit and is retried on a
+  // reconnect.
+  ASSERT_TRUE(c.Connect("127.0.0.1", h.port()).ok());
+  auto md = c.Hello("tok-alice");
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  EXPECT_EQ(md->querier, "alice");
+  EXPECT_GE(c.reconnects(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-request deadlines
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, ExecuteDeadlineExceededLeavesConnectionUsable) {
+  SieveOptions so;
+  so.batch_size = 1;  // per-row deadline checks; exec.stall adds 1ms each
+  ServerHarness h(FastStop(), EngineProfile::MySqlLike(), so);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  {
+    ScopedFault slow("exec.stall", FaultTrigger::Always());
+    auto r = c->Execute(stmt->id, {}, /*chunk_rows=*/0, /*deadline_ms=*/30);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kDeadlineExceeded));
+    EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  }
+  // The deadline consumed nothing durable: same connection, same
+  // statement, no deadline -> full result.
+  auto ok = c->Execute(stmt->id);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows.size(), 300u);
+  EXPECT_EQ(h.server().admission().InFlight("alice"), 0);
+}
+
+TEST_F(ChaosTest, FetchDeadlineTightensCursorBudget) {
+  SieveOptions so;
+  so.batch_size = 1;
+  ServerHarness h(FastStop(), EngineProfile::MySqlLike(), so);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto first = c->Execute(stmt->id, {}, /*chunk_rows=*/10);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+  {
+    ScopedFault slow("exec.stall", FaultTrigger::Always());
+    auto r = c->Fetch(first->cursor_id, 200, /*deadline_ms=*/30);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(c->last_wire_error(), Code(WireError::kDeadlineExceeded));
+  }
+  // The timed-out cursor was finished server-side...
+  EXPECT_EQ(h.server().stats().open_cursors, 0u);
+  EXPECT_EQ(h.server().admission().InFlight("alice"), 0);
+  // ...and the connection is immediately reusable.
+  auto again = c->Execute(stmt->id);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows.size(), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-reader write timeout
+// ---------------------------------------------------------------------------
+
+/// RawConnect with a tiny receive buffer (set before connect so the
+/// window never opens wide).
+int SlowReaderConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int rcvbuf = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST_F(ChaosTest, WriteTimeoutDropsOnlyTheSlowReader) {
+  ServerOptions opts;
+  opts.write_timeout_seconds = 0.3;
+  opts.drain_grace_seconds = 1.0;
+  opts.so_sndbuf = 4096;  // so a ~150 KB chunk cannot fit in flight
+  ServerHarness h(opts);
+
+  int fd = SlowReaderConnect(h.port());
+  WireWriter hello;
+  hello.PutU8(kProtocolVersion);
+  hello.PutString("tok-alice");
+  ASSERT_TRUE(WriteFrame(fd, MsgType::kHello, hello.payload()).ok());
+  auto hr = ReadFrame(fd);
+  ASSERT_TRUE(hr.ok());
+  ASSERT_EQ(hr->type, MsgType::kHelloOk);
+
+  // A self-join alice sees ~15000 pairs of: big enough that the first
+  // cursor chunk overflows both socket buffers.
+  WireWriter prep;
+  prep.PutString(
+      "SELECT w.id, v.id FROM wifi w, wifi v WHERE w.wifiAP = v.wifiAP");
+  ASSERT_TRUE(WriteFrame(fd, MsgType::kPrepare, prep.payload()).ok());
+  auto pr = ReadFrame(fd);
+  ASSERT_TRUE(pr.ok());
+  ASSERT_EQ(pr->type, MsgType::kPrepared);
+  WireReader rd(pr->payload);
+  auto stmt_id = rd.U32();
+  ASSERT_TRUE(stmt_id.ok());
+
+  // EXECUTE with a large chunk, then never read the reply.
+  WireWriter exec;
+  exec.PutU32(*stmt_id);
+  exec.PutU32(8192);
+  exec.PutU16(0);
+  ASSERT_TRUE(WriteFrame(fd, MsgType::kExecute, exec.payload()).ok());
+
+  // Meanwhile the rest of the server keeps serving.
+  auto other = h.Client("tok-bob");
+  auto os = other->Prepare("SELECT COUNT(*) FROM wifi");
+  ASSERT_TRUE(os.ok());
+  ASSERT_TRUE(other->Execute(os->id).ok());
+
+  // The blocked reply write times out; only the slow connection dies,
+  // and it takes its cursor pin and admission slot with it. The counter
+  // bumps before the teardown runs, so poll for the whole outcome.
+  bool cleaned_up = false;
+  SieveServer::Stats st{};
+  for (int i = 0; i < 200 && !cleaned_up; ++i) {
+    st = h.server().stats();
+    cleaned_up = st.write_timeouts >= 1 && st.open_cursors == 0 &&
+                 h.server().admission().InFlight("alice") == 0;
+    if (!cleaned_up) std::this_thread::sleep_for(25ms);
+  }
+  EXPECT_TRUE(cleaned_up);
+  EXPECT_GE(st.write_timeouts, 1u);
+  EXPECT_EQ(st.open_cursors, 0u);
+  EXPECT_EQ(h.server().admission().InFlight("alice"), 0);
+  ::close(fd);
+
+  // The surviving connection never noticed.
+  auto after = other->Execute(os->id);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+// The acceptance test for Stop(): an in-flight cursor must be allowed to
+// finish during the grace period. Under the old abandon-on-stop behavior
+// the FETCHes below fail immediately, so this test fails loudly there.
+TEST_F(ChaosTest, GracefulDrainCompletesOpenCursor) {
+  ServerOptions opts;
+  opts.drain_grace_seconds = 10.0;
+  ServerHarness h(opts);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id, owner FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto chunk = c->Execute(stmt->id, {}, /*chunk_rows=*/32);
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_FALSE(chunk->done);
+
+  std::thread stopper([&] { h.server().Stop(); });
+  // Wait until the drain gate is visibly closed: EXECUTE flips from the
+  // one-cursor-per-connection refusal to SERVER_SHUTDOWN.
+  for (;;) {
+    auto refused = c->Execute(stmt->id);
+    ASSERT_FALSE(refused.ok());
+    if (c->last_wire_error() == Code(WireError::kServerShutdown)) break;
+    ASSERT_EQ(c->last_wire_error(), Code(WireError::kCursorOpen));
+    std::this_thread::sleep_for(2ms);
+  }
+  // New connections are refused while draining.
+  {
+    SieveClient fresh;
+    ASSERT_TRUE(fresh.Connect("127.0.0.1", h.port()).ok());
+    EXPECT_FALSE(fresh.Hello("tok-bob").ok());
+  }
+  // But the in-flight cursor drains to completion.
+  size_t total = chunk->rows.size();
+  bool done = chunk->done;
+  while (!done) {
+    auto next = c->Fetch(chunk->cursor_id, 32);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    total += next->rows.size();
+    done = next->done;
+  }
+  stopper.join();
+  EXPECT_EQ(total, 300u);
+  SieveServer::Stats st = h.server().stats();
+  EXPECT_GE(st.cursors_drained, 1u);
+  EXPECT_EQ(st.cursors_aborted, 0u);
+  EXPECT_EQ(st.open_cursors, 0u);
+  EXPECT_GE(st.drain_rejected, 1u);
+}
+
+TEST_F(ChaosTest, DrainGraceExpiryAbortsAbandonedCursor) {
+  ServerOptions opts;
+  opts.drain_grace_seconds = 0.3;
+  ServerHarness h(opts);
+  auto c = h.Client("tok-alice");
+  auto stmt = c->Prepare("SELECT id FROM wifi");
+  ASSERT_TRUE(stmt.ok());
+  auto chunk = c->Execute(stmt->id, {}, /*chunk_rows=*/16);
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_FALSE(chunk->done);
+
+  // Nobody ever fetches: Stop must wait out the grace period, then
+  // force-close the cursor rather than hang.
+  auto t0 = std::chrono::steady_clock::now();
+  h.server().Stop();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_GE(elapsed, 0.25);
+  EXPECT_LT(elapsed, 5.0);
+  SieveServer::Stats st = h.server().stats();
+  EXPECT_GE(st.cursors_aborted, 1u);
+  EXPECT_EQ(st.open_cursors, 0u);
+  EXPECT_EQ(st.active_connections, 0u);
+}
+
+TEST_F(ChaosTest, StopFlushesPendingAuditRecords) {
+  ServerHarness h(FastStop());
+  {
+    auto c = h.Client("tok-alice");
+    auto stmt = c->Prepare("SELECT id FROM wifi");
+    ASSERT_TRUE(stmt.ok());
+    ASSERT_TRUE(c->Execute(stmt->id).ok());
+  }
+  ASSERT_GT(h.mw().Health().audit_pending, 0u);
+  h.server().Stop();
+  MiddlewareHealth health = h.mw().Health();
+  EXPECT_EQ(health.audit_pending, 0u);
+  EXPECT_EQ(health.audit_unflushed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop under the full catalog
+// ---------------------------------------------------------------------------
+
+int ChaosSeeds() {
+  const char* env = std::getenv("SIEVE_CHAOS_SEEDS");
+  if (env != nullptr && *env != '\0') {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+std::string Prob(const char* point, double p, uint64_t seed) {
+  return std::string(point) + "=prob:" + std::to_string(p) + ":" +
+         std::to_string(seed) + ";";
+}
+
+TEST_F(ChaosTest, ClosedLoopUnderFaultsMatchesInProcessResults) {
+  const int seeds = ChaosSeeds();
+  const std::vector<std::string> queries = {
+      "SELECT id, owner FROM wifi WHERE ts_time >= 28800",
+      "SELECT COUNT(*) FROM wifi",
+      "SELECT owner, COUNT(*) FROM wifi GROUP BY owner",
+  };
+  struct Actor {
+    const char* token;
+    const char* querier;
+    const char* purpose;
+  };
+  const std::vector<Actor> actors = {{"tok-alice", "alice", "any"},
+                                     {"tok-bob", "bob", "Analytics"},
+                                     {"tok-carol", "carol", "Social"}};
+
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    ServerOptions opts;
+    opts.drain_grace_seconds = 2.0;
+    SieveOptions so;
+    so.num_threads = 2;  // include the morsel-parallel path
+    ServerHarness h(opts, EngineProfile::MySqlLike(), so);
+
+    // Reference rows per (actor, query) from in-process sessions — the
+    // leakage oracle for everything the wire path returns under chaos.
+    std::vector<std::vector<std::vector<Row>>> expected(actors.size());
+    for (size_t a = 0; a < actors.size(); ++a) {
+      SieveSession session(&h.mw(),
+                           MakeMd(actors[a].querier, actors[a].purpose));
+      for (const std::string& sql : queries) {
+        auto prep = session.Prepare(sql);
+        ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+        auto rs = prep->Execute();
+        ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+        expected[a].push_back(rs->rows);
+      }
+    }
+
+    // Arm the whole catalog at low probabilities. read_eintr and
+    // short_read are transparent; everything else surfaces as clean
+    // errors the retry client absorbs. disconnect stays rare because
+    // short reads multiply the recv count (each recv rolls its dice).
+    const uint64_t base = 1000 + static_cast<uint64_t>(seed) * 97;
+    std::string spec;
+    spec += Prob("server.io.short_read", 0.02, base + 1);
+    spec += Prob("server.io.read_eintr", 0.05, base + 2);
+    spec += Prob("server.io.disconnect", 0.002, base + 3);
+    spec += Prob("server.io.write_short", 0.02, base + 4);
+    spec += Prob("server.io.write_error", 0.002, base + 5);
+    spec += Prob("server.accept.fail", 0.05, base + 6);
+    spec += Prob("server.worker.stall", 0.05, base + 7);
+    spec += Prob("pool.task.stall", 0.02, base + 8);
+    spec += Prob("mw.rewrite.fail", 0.05, base + 9);
+    spec += Prob("mw.audit_flush.fail", 0.2, base + 10);
+    spec += Prob("exec.morsel.fail", 0.01, base + 11);
+    spec += Prob("exec.interrupt", 0.005, base + 12);
+    spec += Prob("exec.stall", 0.01, base + 13);
+    spec.pop_back();  // trailing ';'
+    ASSERT_TRUE(FaultInjector::Instance().LoadSpec(spec).ok());
+
+    std::atomic<int> wire_ok{0};
+    std::atomic<int> wire_failed{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (size_t a = 0; a < actors.size(); ++a) {
+      threads.emplace_back([&, a] {
+        SieveClient c;
+        RetryPolicy rp;
+        rp.max_attempts = 6;
+        rp.initial_backoff_ms = 1.0;
+        rp.max_backoff_ms = 20.0;
+        rp.seed = base + 50 + a;
+        c.enable_retry(rp);
+        if (!c.Connect("127.0.0.1", h.port()).ok()) return;
+        if (!c.Hello(actors[a].token).ok()) {
+          wire_failed.fetch_add(1);
+          return;
+        }
+        std::vector<uint32_t> handles(queries.size(), 0);
+        Rng rng(base + 80 + a);
+        for (int op = 0; op < 40; ++op) {
+          size_t q = static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(queries.size()) - 1));
+          if (handles[q] == 0) {
+            auto st = c.Prepare(queries[q]);
+            if (!st.ok()) {
+              wire_failed.fetch_add(1);
+              continue;
+            }
+            handles[q] = st->id;
+          }
+          int64_t kind = rng.Uniform(0, 5);
+          if (kind == 0) {
+            // Health snapshot round-trip.
+            if (c.Stats().ok()) {
+              wire_ok.fetch_add(1);
+            } else {
+              wire_failed.fetch_add(1);
+            }
+          } else if (kind <= 3) {
+            // Materialized execute.
+            auto r = c.Execute(handles[q]);
+            if (!r.ok()) {
+              wire_failed.fetch_add(1);
+              continue;
+            }
+            wire_ok.fetch_add(1);
+            if (!RowsMatch(r->rows, expected[a][q])) mismatches.fetch_add(1);
+          } else {
+            // Cursor + fetch loop with a small chunk.
+            auto r = c.Execute(handles[q], {}, /*chunk_rows=*/7);
+            if (!r.ok()) {
+              wire_failed.fetch_add(1);
+              continue;
+            }
+            std::vector<Row> rows = r->rows;
+            bool done = r->done;
+            bool failed = false;
+            while (!done) {
+              auto next = c.Fetch(r->cursor_id, 7);
+              if (!next.ok()) {
+                failed = true;
+                break;
+              }
+              rows.insert(rows.end(), next->rows.begin(), next->rows.end());
+              done = next->done;
+            }
+            if (failed) {
+              // Best effort: release the server-side cursor so later
+              // EXECUTEs on this connection are not refused.
+              (void)c.CloseCursor(r->cursor_id);
+              wire_failed.fetch_add(1);
+              continue;
+            }
+            wire_ok.fetch_add(1);
+            if (!RowsMatch(rows, expected[a][q])) mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    FaultInjector::Instance().DisarmAll();
+
+    // Row-identity of every successful wire result is the leakage oracle.
+    EXPECT_EQ(mismatches.load(), 0);
+    // The loop must have made real progress despite the chaos.
+    EXPECT_GT(wire_ok.load(), 0) << "failed ops: " << wire_failed.load();
+
+    // Post-chaos invariants: nothing leaked. Dropped connections are
+    // reaped asynchronously, so poll briefly.
+    SieveServer::Stats st{};
+    for (int i = 0; i < 100; ++i) {
+      st = h.server().stats();
+      if (st.open_cursors == 0) break;
+      std::this_thread::sleep_for(20ms);
+    }
+    EXPECT_EQ(st.open_cursors, 0u);
+    for (const Actor& actor : actors) {
+      EXPECT_EQ(h.server().admission().InFlight(actor.querier), 0)
+          << actor.querier << " leaked an admission slot";
+    }
+    // The state gate is free: a policy mutation completes promptly
+    // (a leaked shared pin would wedge this forever).
+    auto fut = std::async(std::launch::async, [&] {
+      return h.mw().AddPolicy(h.campus().MakePolicy(8, "alice", "any"));
+    });
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "AddPolicy wedged: a cursor pin leaked through the chaos run";
+    EXPECT_TRUE(fut.get().ok());
+    // And a fresh, fault-free client sees correct results again.
+    auto c = h.Client("tok-bob");
+    auto stmt = c->Prepare(queries[1]);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto r = c->Execute(stmt->id);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(RowsMatch(r->rows, expected[1][1]));
+  }
+}
+
+}  // namespace
+}  // namespace sieve::server
